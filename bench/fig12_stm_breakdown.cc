@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 12: single-thread STM execution-time breakdown for BST,
+ * hashtable, and Btree — TLS access, stmWriteBarrier, stmCommit,
+ * stmValidate, stmReadBarrier, and the application remainder.
+ *
+ * Paper shape: the read barrier and validation dominate the STM
+ * overhead (they are "the prime targets for optimization and
+ * hardware acceleration").
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Figure 12: STM execution time breakdown "
+                 "(single thread, % of total cycles)\n\n";
+
+    Table table({"component", "bst", "hashtable", "btree"});
+    const WorkloadKind workloads[] = {WorkloadKind::Bst,
+                                      WorkloadKind::HashTable,
+                                      WorkloadKind::Btree};
+    double pct[6][3];
+    for (unsigned w = 0; w < 3; ++w) {
+        ExperimentConfig cfg;
+        cfg.workload = workloads[w];
+        cfg.scheme = TmScheme::Stm;
+        cfg.threads = 1;
+        cfg.totalOps = 4096;
+        cfg.initialSize = 8192;
+        cfg.keyRange = 32768;
+        cfg.hashBuckets = 1024;
+        cfg.machine.arenaBytes = 64ull * 1024 * 1024;
+        ExperimentResult r = runDataStructure(cfg);
+        Cycles total = 0;
+        for (auto c : r.phaseCycles)
+            total += c;
+        auto share = [&](Phase p) {
+            return 100.0 * double(r.phaseCycles[std::size_t(p)]) /
+                   double(total);
+        };
+        pct[0][w] = share(Phase::RdBarrier);
+        pct[1][w] = share(Phase::Validate);
+        pct[2][w] = share(Phase::Commit);
+        pct[3][w] = share(Phase::WrBarrier);
+        pct[4][w] = share(Phase::TlsAccess);
+        pct[5][w] = 100.0 - pct[0][w] - pct[1][w] - pct[2][w] -
+                    pct[3][w] - pct[4][w];
+    }
+    const char *names[] = {"stmReadBarrier", "stmValidate", "stmCommit",
+                           "stmWriteBarrier", "TLS access",
+                           "application/other"};
+    for (unsigned i = 0; i < 6; ++i)
+        table.addRow({names[i], fmt(pct[i][0], 1), fmt(pct[i][1], 1),
+                      fmt(pct[i][2], 1)});
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper): read barrier + validation "
+                 "are the largest TM components.\n";
+    return 0;
+}

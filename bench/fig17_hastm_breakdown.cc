@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 17: where HASTM's gain comes from — full HASTM vs the
+ * HASTM-Cautious ablation (no read-log elision) vs HASTM-NoReuse
+ * (no read-barrier filtering) vs base STM, relative to sequential.
+ *
+ * Also reproduces the §7.3 observation that cautious mode executes
+ * ~5 % fewer instructions than the STM yet can take longer (the
+ * loadtestmark-dependent branch and the STM fast path's ILP).
+ *
+ * Paper shape: the hashtable benefits from log elision + validation
+ * (aggressive mode), not reuse — its cautious ablation is no faster
+ * than STM; BST/Btree benefit significantly from reuse filtering.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Figure 17: performance breakdown for HASTM "
+                 "(relative to sequential)\n\n";
+
+    const WorkloadKind workloads[] = {WorkloadKind::Bst,
+                                      WorkloadKind::HashTable,
+                                      WorkloadKind::Btree};
+    const char *wl_names[] = {"bst", "hashtable", "btree"};
+    const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::HastmCautious,
+                                TmScheme::HastmNoReuse, TmScheme::Stm};
+
+    Table table({"workload", "hastm", "hastm_cautious", "hastm_noreuse",
+                 "stm"});
+    Table instr({"workload", "cautious_instr/stm_instr",
+                 "cautious_time/stm_time"});
+    for (unsigned w = 0; w < 3; ++w) {
+        ExperimentConfig cfg;
+        cfg.workload = workloads[w];
+        cfg.threads = 1;
+        cfg.totalOps = 4096;
+        cfg.initialSize = 8192;
+        cfg.keyRange = 32768;
+        cfg.hashBuckets = 1024;
+        cfg.machine.arenaBytes = 64ull * 1024 * 1024;
+        cfg.scheme = TmScheme::Sequential;
+        Cycles seq = runDataStructure(cfg).makespan;
+        std::vector<std::string> row = {wl_names[w]};
+        std::uint64_t stm_instr = 0, cautious_instr = 0;
+        Cycles stm_time = 0, cautious_time = 0;
+        for (TmScheme s : schemes) {
+            cfg.scheme = s;
+            ExperimentResult r = runDataStructure(cfg);
+            row.push_back(fmt(double(r.makespan) / double(seq)));
+            if (s == TmScheme::Stm) {
+                stm_instr = r.instructions;
+                stm_time = r.makespan;
+            } else if (s == TmScheme::HastmCautious) {
+                cautious_instr = r.instructions;
+                cautious_time = r.makespan;
+            }
+        }
+        table.addRow(row);
+        instr.addRow({wl_names[w],
+                      fmt(double(cautious_instr) / double(stm_instr)),
+                      fmt(double(cautious_time) / double(stm_time))});
+    }
+    table.print(std::cout);
+    std::cout << "\n§7.3 check: cautious mode executes fewer "
+                 "instructions than STM, yet is not\nproportionally "
+                 "faster (dependent branch + STM fast-path ILP):\n\n";
+    instr.print(std::cout);
+    std::cout << "\nExpected shape (paper): hastm lowest everywhere; "
+                 "cautious shows no benefit on the\nhashtable (reuse "
+                 "< 3%) and its instr ratio < 1.0 while its time "
+                 "ratio is ~1.0 or above.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figures 21-22: the importance of avoiding spurious aborts. HASTM
+ * (adaptive: cautious until interference subsides) vs the naive
+ * always-aggressive-first policy (the shape of HTM-with-SW-fallback /
+ * HyTM) vs base STM, on BST (Fig 21) and Btree (Fig 22), 1-4 cores.
+ *
+ * Paper shape: the naive policy scales poorly — destructive cache
+ * interference (prefetches, inclusive-L2 victims) aborts aggressive
+ * transactions on *false* conflicts, forcing constant re-execution —
+ * and ends up worse than plain STM at 4 cores, while HASTM stays in
+ * cautious mode under interference and keeps its acceleration
+ * without the spurious aborts.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+int
+main()
+{
+    setQuiet(true);
+    const WorkloadKind workloads[] = {WorkloadKind::Bst,
+                                      WorkloadKind::Btree};
+    const char *titles[] = {
+        "Figure 21: BST scaling under different TM schemes",
+        "Figure 22: Btree scaling under different TM schemes"};
+    const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::HastmNaive,
+                                TmScheme::Stm};
+
+    for (unsigned w = 0; w < 2; ++w) {
+        std::cout << titles[w]
+                  << "\n(execution time relative to 1-core lock; "
+                     "spurious aborts shown)\n\n";
+        ExperimentConfig lock_cfg;
+        lock_cfg.workload = workloads[w];
+        lock_cfg.scheme = TmScheme::Lock;
+        lock_cfg.threads = 1;
+        lock_cfg.totalOps = 4096;
+        lock_cfg.initialSize = 32768;
+        lock_cfg.keyRange = 131072;
+        lock_cfg.hashBuckets = 4096;
+        lock_cfg.machine.arenaBytes = 128ull * 1024 * 1024;
+        // Contended quad-core: small private L1s, a shared inclusive
+        // L2 barely larger than their sum, and a degree-2
+        // store-stream prefetcher — the environment whose destructive
+        // interference §7.4 describes.
+        lock_cfg.machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
+        lock_cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
+        lock_cfg.machine.mem.prefetchDegree = 2;
+        Cycles lock1 = runDataStructure(lock_cfg).makespan;
+
+        Table table({"cores", "hastm", "naive_aggr", "stm",
+                     "hastm_spurious", "naive_spurious"});
+        for (unsigned ci = 0; ci < 3; ++ci) {
+            unsigned cores = 1u << ci;
+            double rel[3];
+            std::uint64_t spurious[3];
+            for (unsigned s = 0; s < 3; ++s) {
+                ExperimentConfig cfg = lock_cfg;
+                cfg.scheme = schemes[s];
+                cfg.threads = cores;
+                ExperimentResult r = runDataStructure(cfg);
+                rel[s] = double(r.makespan) / double(lock1);
+                spurious[s] = r.tm.aggressiveAborts;
+            }
+            table.addRow({fmt(std::uint64_t(cores)), fmt(rel[0]),
+                          fmt(rel[1]), fmt(rel[2]), fmt(spurious[0]),
+                          fmt(spurious[1])});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Expected shape (paper): naive_aggr degrades with "
+                 "cores (high spurious-abort count)\nand loses to "
+                 "plain stm at 4 cores; hastm keeps the lowest curve "
+                 "with few spurious aborts.\n";
+    return 0;
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the primitive operations: the
+ * fiber switch, cache hit/miss paths, the mark-bit ISA, and the
+ * per-scheme read/write barriers. Host wall-clock measures simulator
+ * throughput; the SimCycles counter reports the simulated cost per
+ * operation, which is what the figure benches build on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/fiber.hh"
+#include "workloads/tm_api.hh"
+
+using namespace hastm;
+
+namespace {
+
+MachineParams
+benchMachine()
+{
+    MachineParams p;
+    p.mem.numCores = 1;
+    p.mem.prefetchNextLine = false;
+    p.arenaBytes = 16 * 1024 * 1024;
+    return p;
+}
+
+/** Run @p body once inside a simulated thread and report cycles/op. */
+template <typename Setup, typename Body>
+void
+simLoop(benchmark::State &state, Setup setup, Body body)
+{
+    for (auto _ : state) {
+        (void)_;
+        Machine machine(benchMachine());
+        Cycles used = 0;
+        machine.run({[&](Core &core) {
+            auto ctx = setup(machine, core);
+            Cycles t0 = core.cycles();
+            const int reps = 256;
+            for (int i = 0; i < reps; ++i)
+                body(core, ctx, i);
+            used = (core.cycles() - t0) / reps;
+        }});
+        state.counters["SimCycles"] =
+            benchmark::Counter(double(used));
+    }
+}
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    Fiber main_fiber;
+    Fiber *child_ptr = nullptr;
+    Fiber child([&] {
+        for (;;)
+            child_ptr->switchTo(main_fiber);
+    });
+    child_ptr = &child;
+    for (auto _ : state) {
+        (void)_;
+        main_fiber.switchTo(child);
+    }
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_L1HitLoad(benchmark::State &state)
+{
+    simLoop(
+        state,
+        [](Machine &, Core &core) {
+            core.load<std::uint64_t>(4096);
+            return 0;
+        },
+        [](Core &core, int, int) { core.load<std::uint64_t>(4096); });
+}
+BENCHMARK(BM_L1HitLoad);
+
+void
+BM_MemoryMissLoad(benchmark::State &state)
+{
+    simLoop(
+        state, [](Machine &, Core &) { return 0; },
+        [](Core &core, int, int i) {
+            // New line every access: always misses the hierarchy.
+            core.load<std::uint64_t>(4096 + 64ull * (i + 1) * 7);
+        });
+}
+BENCHMARK(BM_MemoryMissLoad);
+
+void
+BM_LoadSetMarkHit(benchmark::State &state)
+{
+    simLoop(
+        state,
+        [](Machine &, Core &core) {
+            core.load<std::uint64_t>(4096);
+            return 0;
+        },
+        [](Core &core, int, int) {
+            core.loadSetMark<std::uint64_t>(4096);
+        });
+}
+BENCHMARK(BM_LoadSetMarkHit);
+
+void
+BM_LoadTestMarkHit(benchmark::State &state)
+{
+    simLoop(
+        state,
+        [](Machine &, Core &core) {
+            core.loadSetMark<std::uint64_t>(4096);
+            return 0;
+        },
+        [](Core &core, int, int) {
+            bool marked;
+            core.loadTestMark<std::uint64_t>(4096, marked);
+            benchmark::DoNotOptimize(marked);
+        });
+}
+BENCHMARK(BM_LoadTestMarkHit);
+
+void
+BM_Cas(benchmark::State &state)
+{
+    simLoop(
+        state,
+        [](Machine &, Core &core) {
+            core.store<std::uint64_t>(4096, 0);
+            return 0;
+        },
+        [](Core &core, int, int i) {
+            core.cas<std::uint64_t>(4096, i, i + 1);
+        });
+}
+BENCHMARK(BM_Cas);
+
+/** Read-barrier cost per scheme: repeated reads of one hot field. */
+void
+barrierBench(benchmark::State &state, TmScheme scheme, bool repeat_same)
+{
+    for (auto _ : state) {
+        (void)_;
+        Machine machine(benchMachine());
+        SessionConfig sc;
+        sc.scheme = scheme;
+        sc.numThreads = 1;
+        TmSession session(machine, sc);
+        Cycles used = 0;
+        machine.run({[&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            Addr obj = t.txAlloc(8 * 128);
+            t.atomic([&] { t.readField(obj, 0); });  // policy warmup
+            Cycles t0 = core.cycles();
+            const int reps = 128;
+            t.atomic([&] {
+                for (int i = 0; i < reps; ++i)
+                    t.readField(obj, repeat_same ? 0 : 8 * i);
+            });
+            used = (core.cycles() - t0) / reps;
+        }});
+        state.counters["SimCycles"] = benchmark::Counter(double(used));
+    }
+}
+
+void
+BM_ReadBarrier_Stm_Repeated(benchmark::State &state)
+{
+    barrierBench(state, TmScheme::Stm, true);
+}
+BENCHMARK(BM_ReadBarrier_Stm_Repeated);
+
+void
+BM_ReadBarrier_Hastm_Repeated(benchmark::State &state)
+{
+    barrierBench(state, TmScheme::Hastm, true);
+}
+BENCHMARK(BM_ReadBarrier_Hastm_Repeated);
+
+void
+BM_ReadBarrier_Hytm_Repeated(benchmark::State &state)
+{
+    barrierBench(state, TmScheme::Hytm, true);
+}
+BENCHMARK(BM_ReadBarrier_Hytm_Repeated);
+
+void
+BM_ReadBarrier_Stm_Distinct(benchmark::State &state)
+{
+    barrierBench(state, TmScheme::Stm, false);
+}
+BENCHMARK(BM_ReadBarrier_Stm_Distinct);
+
+void
+BM_ReadBarrier_Hastm_Distinct(benchmark::State &state)
+{
+    barrierBench(state, TmScheme::Hastm, false);
+}
+BENCHMARK(BM_ReadBarrier_Hastm_Distinct);
+
+void
+BM_WriteBarrier_Stm(benchmark::State &state)
+{
+    for (auto _ : state) {
+        (void)_;
+        Machine machine(benchMachine());
+        SessionConfig sc;
+        sc.scheme = TmScheme::Stm;
+        sc.numThreads = 1;
+        TmSession session(machine, sc);
+        Cycles used = 0;
+        machine.run({[&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            Addr obj = t.txAlloc(8 * 128);
+            Cycles t0 = core.cycles();
+            const int reps = 128;
+            t.atomic([&] {
+                for (int i = 0; i < reps; ++i)
+                    t.writeField(obj, 8 * i, i);
+            });
+            used = (core.cycles() - t0) / reps;
+        }});
+        state.counters["SimCycles"] = benchmark::Counter(double(used));
+    }
+}
+BENCHMARK(BM_WriteBarrier_Stm);
+
+} // namespace
+
+BENCHMARK_MAIN();

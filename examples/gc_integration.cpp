@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Language-environment integration (§2, §5): a moving garbage
+ * collection runs in the middle of live HASTM transactions. The
+ * collector suspends the mutators at safepoints, copies every live
+ * object, rewrites the transactions' read/write sets and undo logs
+ * (whose entries carry precise-GC metadata), and resumes. The
+ * suspended transactions commit WITHOUT aborting — they merely lose
+ * their mark bits and fall back to one full software validation.
+ */
+
+#include <iostream>
+
+#include "gc/collector.hh"
+#include "gc/heap.hh"
+#include "workloads/tm_api.hh"
+
+using namespace hastm;
+
+int
+main()
+{
+    MachineParams mp;
+    mp.mem.numCores = 2;
+    mp.arenaBytes = 64ull * 1024 * 1024;
+    Machine machine(mp);
+
+    StmConfig stm_cfg;
+    stm_cfg.gran = Granularity::Object;  // managed environment
+    stm_cfg.validateEvery = 0;
+    StmGlobals globals(machine, stm_cfg);
+    ManagedHeap heap(machine, 1024 * 1024);
+    Collector gc(heap);
+
+    std::vector<std::unique_ptr<HastmThread>> threads(2);
+    // A linked list the mutator extends transactionally.
+    Addr list_head = kNullAddr;
+    gc.addRoot(&list_head);
+    bool mutating = false;
+    bool gc_done = false;
+    GcResult gc_result;
+
+    machine.run({
+        // Mutator: builds list nodes inside one long transaction that
+        // spans the collection.
+        [&](Core &core) {
+            threads[0] = std::make_unique<HastmThread>(
+                core, globals, HastmVariant::Normal, 2);
+            gc.addThread(threads[0].get());
+            HastmThread &t = *threads[0];
+
+            // Committed prefix: 64 nodes (field 0: value, field 1:
+            // next) plus plenty of garbage for the GC to reclaim.
+            for (int i = 0; i < 64; ++i) {
+                Addr node = heap.alloc(core, 16, 0b10);
+                core.store<std::uint64_t>(node + kObjHeaderBytes, i);
+                core.store<std::uint64_t>(node + kObjHeaderBytes + 8,
+                                          list_head);
+                list_head = node;
+            }
+            for (int i = 0; i < 500; ++i)
+                heap.alloc(core, 48, 0);  // unreachable
+
+            std::size_t used_before = heap.usedBytes();
+            t.atomic([&] {
+                // Read and modify list nodes, then hold the
+                // transaction open while the collector runs.
+                Addr n = list_head;
+                for (int i = 0; i < 8; ++i)
+                    n = t.readField(n, 8);
+                t.writeField(n, 0, 4242);
+                mutating = true;
+                while (!gc_done)
+                    core.stall(500);
+                // Everything moved; the updated root still reaches a
+                // consistent list and our own write is visible.
+                Addr m = list_head;
+                for (int i = 0; i < 8; ++i)
+                    m = t.readField(m, 8);
+                if (t.readField(m, 0) != 4242)
+                    panic("own write lost across the collection");
+                t.writeField(m, 0, 4243);
+            });
+            std::cout << "mutator: commits=" << t.stats().commits
+                      << " aborts=" << t.stats().aborts
+                      << " full validations="
+                      << t.stats().fullValidations << "\n";
+            std::cout << "heap: used before GC " << used_before
+                      << " B, after " << heap.usedBytes() << " B\n";
+        },
+        // Collector thread.
+        [&](Core &core) {
+            threads[1] = std::make_unique<HastmThread>(
+                core, globals, HastmVariant::Normal, 2);
+            gc.addThread(threads[1].get());
+            while (!mutating)
+                core.stall(200);
+            gc_result = gc.collect(core);
+            gc_done = true;
+        },
+    });
+
+    std::cout << "gc: copied " << gc_result.objectsCopied
+              << " objects (" << gc_result.bytesCopied
+              << " B), reclaimed " << gc_result.objectsReclaimed
+              << " dead objects\n";
+
+    // Verify the final list from a fresh transaction.
+    bool ok = false;
+    machine.run({[&](Core &core) {
+        HastmThread &t = *threads[0];
+        t.atomic([&] {
+            Addr n = list_head;
+            for (int i = 0; i < 8; ++i)
+                n = t.readField(n, 8);
+            ok = t.readField(n, 0) == 4243;
+        });
+        (void)core;
+    }});
+    std::cout << (ok ? "list intact after moving GC: ok"
+                     : "list corrupted: FAILED")
+              << "\n";
+    return ok ? 0 : 1;
+}

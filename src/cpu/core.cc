@@ -1,0 +1,209 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+namespace {
+
+/** The architected mark counter saturates (§3). */
+constexpr std::uint64_t kMarkCounterMax = 0xffff;
+
+void
+bumpCounterSaturating(std::uint64_t &ctr, unsigned n)
+{
+    ctr = std::min<std::uint64_t>(kMarkCounterMax, ctr + n);
+}
+
+} // namespace
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::App:        return "app";
+      case Phase::TxBegin:    return "tx_begin";
+      case Phase::TlsAccess:  return "tls_access";
+      case Phase::RdBarrier:  return "rd_barrier";
+      case Phase::WrBarrier:  return "wr_barrier";
+      case Phase::Validate:   return "validate";
+      case Phase::Commit:     return "commit";
+      case Phase::Abort:      return "abort";
+      case Phase::Contention: return "contention";
+      case Phase::Lock:       return "lock";
+      case Phase::Gc:         return "gc";
+      default:                return "unknown";
+    }
+}
+
+Core::Core(CoreId id, MemSystem &mem, Scheduler &sched,
+           const TimingParams &timing)
+    : id_(id), mem_(mem), sched_(sched), timing_(timing)
+{
+    mem_.setListener(id_, this);
+    for (auto &per_smt : markCounter_)
+        per_smt.fill(0);
+}
+
+void
+Core::advance(Cycles c)
+{
+    totalCycles_ += c;
+    phaseCycles_[std::size_t(phaseStack_.back())] += c;
+    if (timing_.interruptQuantum > 0)
+        sinceInterrupt_ += c;
+    sched_.advance(c);
+    maybeInterrupt();
+}
+
+void
+Core::maybeInterrupt()
+{
+    if (timing_.interruptQuantum == 0 ||
+        sinceInterrupt_ < timing_.interruptQuantum) {
+        return;
+    }
+    sinceInterrupt_ = 0;
+    // An OS interrupt is a ring transition: the hardware (or the OS
+    // on its way back to user mode) executes resetmarkall, so marks
+    // never leak across protection domains (§3). The transaction
+    // itself is *not* aborted — it will simply fall back to software
+    // validation (§5).
+    Cycles cost = timing_.interruptCost;
+    totalCycles_ += cost;
+    phaseCycles_[std::size_t(phaseStack_.back())] += cost;
+    if (fullMarkIsa_) {
+        for (unsigned f = 0; f < kNumFilters; ++f)
+            mem_.resetMarkAll(id_, smt_, f);
+    }
+    for (unsigned f = 0; f < kNumFilters; ++f)
+        bumpCounterSaturating(markCounter_[smt_][f], 1);
+    sched_.advance(cost);
+}
+
+void
+Core::countAccess(const AccessResult &r, bool is_write)
+{
+    if (is_write) {
+        ++stores_;
+    } else {
+        ++loads_;
+        if (r.l1Hit)
+            ++l1HitLoads_;
+    }
+}
+
+Cycles
+Core::storeQueuePush()
+{
+    Cycles now = totalCycles_;
+    while (!storeQueue_.empty() && storeQueue_.front() <= now)
+        storeQueue_.pop_front();
+    Cycles stall = 0;
+    if (storeQueue_.size() >= timing_.storeQueueSize) {
+        stall = storeQueue_.front() - now;
+        now = storeQueue_.front();
+        storeQueue_.pop_front();
+    }
+    storeQueue_.push_back(now + timing_.storeRetireLat);
+    return stall;
+}
+
+void
+Core::execInstr(unsigned n)
+{
+    totalInstrs_ += n;
+    phaseInstrs_[std::size_t(phaseStack_.back())] += n;
+    advance(n);
+}
+
+void
+Core::execInstrIlp(unsigned n)
+{
+    totalInstrs_ += n;
+    phaseInstrs_[std::size_t(phaseStack_.back())] += n;
+    advance(static_cast<Cycles>(
+        std::ceil(static_cast<double>(n) * timing_.ilpFactor)));
+}
+
+void
+Core::dependentBranch()
+{
+    totalInstrs_ += 1;
+    phaseInstrs_[std::size_t(phaseStack_.back())] += 1;
+    advance(timing_.depBranchPenalty);
+}
+
+void
+Core::stall(Cycles c)
+{
+    advance(c);
+}
+
+void
+Core::pushPhase(Phase p)
+{
+    phaseStack_.push_back(p);
+}
+
+void
+Core::popPhase()
+{
+    HASTM_ASSERT(phaseStack_.size() > 1);
+    phaseStack_.pop_back();
+}
+
+Cycles
+Core::phaseCycles(Phase p) const
+{
+    return phaseCycles_[std::size_t(p)];
+}
+
+std::uint64_t
+Core::phaseInstrs(Phase p) const
+{
+    return phaseInstrs_[std::size_t(p)];
+}
+
+void
+Core::setSmt(SmtId smt)
+{
+    HASTM_ASSERT(smt < kMaxSmt);
+    smt_ = smt;
+}
+
+void
+Core::setSpecHandler(std::function<void(SpecLoss)> handler)
+{
+    specHandler_ = std::move(handler);
+}
+
+void
+Core::resetCounters()
+{
+    phaseCycles_.fill(0);
+    phaseInstrs_.fill(0);
+    totalCycles_ = 0;
+    totalInstrs_ = 0;
+    loads_ = stores_ = l1HitLoads_ = 0;
+    storeQueue_.clear();
+    sinceInterrupt_ = 0;
+}
+
+void
+Core::marksDiscarded(SmtId smt, unsigned filter, unsigned count)
+{
+    bumpCounterSaturating(markCounter_[smt][filter], count);
+}
+
+void
+Core::specLost(SpecLoss why)
+{
+    if (specHandler_)
+        specHandler_(why);
+}
+
+} // namespace hastm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Machine: the whole simulated platform in one object.
+ *
+ * Owns the arena, allocator, memory hierarchy, cores, and scheduler,
+ * and provides the "spawn one software thread per core, run to
+ * completion" harness every test, bench, and example uses.
+ */
+
+#ifndef HASTM_CPU_MACHINE_HH
+#define HASTM_CPU_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/alloc.hh"
+#include "mem/arena.hh"
+#include "mem/mem_system.hh"
+#include "sim/rng.hh"
+#include "sim/scheduler.hh"
+
+namespace hastm {
+
+/** Top-level configuration. */
+struct MachineParams
+{
+    MemParams mem;
+    TimingParams timing;
+    std::size_t arenaBytes = 64ull * 1024 * 1024;
+    std::uint64_t seed = 1;
+};
+
+/** A complete simulated multi-core platform. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineParams &params = {});
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    MemArena &arena() { return *arena_; }
+    MemSystem &mem() { return *mem_; }
+    SimAllocator &heap() { return *heap_; }
+    Scheduler &sched() { return sched_; }
+    Rng &rng() { return rng_; }
+    const MachineParams &params() const { return params_; }
+
+    unsigned numCores() const { return params_.mem.numCores; }
+    Core &core(CoreId id) { return *cores_[id]; }
+
+    /**
+     * Run @p fns[i] on core i as a simulated thread; returns when all
+     * threads finish. May be called repeatedly on the same machine.
+     */
+    void run(const std::vector<std::function<void(Core &)>> &fns);
+
+    /** Convenience: run the same body on the first @p n cores. */
+    void runOnCores(unsigned n, const std::function<void(Core &)> &body);
+
+    /** Longest per-core cycle count — the experiment's makespan. */
+    Cycles maxCoreCycles() const;
+
+    /** Reset all core counters (keep memory and cache contents). */
+    void resetCounters();
+
+  private:
+    MachineParams params_;
+    std::unique_ptr<MemArena> arena_;
+    std::unique_ptr<SimAllocator> heap_;
+    std::unique_ptr<MemSystem> mem_;
+    Scheduler sched_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_CPU_MACHINE_HH

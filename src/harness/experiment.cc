@@ -1,0 +1,232 @@
+#include "harness/experiment.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+#include "workloads/bst.hh"
+#include "workloads/btree.hh"
+#include "workloads/hashtable.hh"
+
+namespace hastm {
+
+const char *
+workloadName(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::HashTable: return "hashtable";
+      case WorkloadKind::Bst:       return "bst";
+      case WorkloadKind::Btree:     return "btree";
+      default:                      return "unknown";
+    }
+}
+
+namespace {
+
+/** Type-erased handle over the three data structures. */
+struct DsOps
+{
+    std::function<bool(TmThread &, std::uint64_t)> contains;
+    std::function<bool(TmThread &, std::uint64_t, std::uint64_t)> insert;
+    std::function<bool(TmThread &, std::uint64_t)> remove;
+    std::function<std::uint64_t(TmThread &)> checksum;
+    std::function<std::uint64_t(TmThread &)> size;
+    std::function<bool(TmThread &)> invariant;
+};
+
+void
+gatherResult(Machine &machine, TmSession &session, ExperimentResult &r)
+{
+    r.makespan = machine.maxCoreCycles();
+    r.tm = session.totalStats();
+    for (unsigned c = 0; c < machine.numCores(); ++c) {
+        Core &core = machine.core(c);
+        for (std::size_t p = 0; p < std::size_t(Phase::NumPhases); ++p) {
+            r.phaseCycles[p] += core.phaseCycles(Phase(p));
+            r.phaseInstrs[p] += core.phaseInstrs(Phase(p));
+        }
+        r.instructions += core.instructions();
+        r.loads += core.loads();
+        r.stores += core.stores();
+        r.l1HitLoads += core.l1HitLoads();
+    }
+}
+
+} // namespace
+
+ExperimentResult
+runDataStructure(const ExperimentConfig &cfg)
+{
+    HASTM_ASSERT(cfg.threads >= 1);
+    MachineParams mp = cfg.machine;
+    mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
+    mp.seed = cfg.seed;
+    Machine machine(mp);
+
+    SessionConfig sc;
+    sc.scheme = cfg.scheme;
+    sc.numThreads = cfg.threads;
+    sc.stm = cfg.stm;
+    TmSession session(machine, sc);
+
+    // ---- build + populate (thread 0), warming the caches ----
+    std::unique_ptr<HashTable> ht;
+    std::unique_ptr<Bst> bst;
+    std::unique_ptr<Btree> btree;
+    DsOps ops;
+    machine.run({[&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        switch (cfg.workload) {
+          case WorkloadKind::HashTable:
+            ht = std::make_unique<HashTable>(t, cfg.hashBuckets);
+            ops.contains = [&ht](TmThread &t2, std::uint64_t k) {
+                return ht->containsOp(t2, k);
+            };
+            ops.insert = [&ht](TmThread &t2, std::uint64_t k,
+                               std::uint64_t v) {
+                return ht->insertOp(t2, k, v);
+            };
+            ops.remove = [&ht](TmThread &t2, std::uint64_t k) {
+                return ht->removeOp(t2, k);
+            };
+            ops.checksum = [&ht](TmThread &t2) {
+                return ht->checksumOp(t2);
+            };
+            ops.size = [&ht](TmThread &t2) { return ht->sizeOp(t2); };
+            ops.invariant = [](TmThread &) { return true; };
+            break;
+          case WorkloadKind::Bst:
+            bst = std::make_unique<Bst>(t);
+            ops.contains = [&bst](TmThread &t2, std::uint64_t k) {
+                return bst->containsOp(t2, k);
+            };
+            ops.insert = [&bst](TmThread &t2, std::uint64_t k,
+                                std::uint64_t v) {
+                return bst->insertOp(t2, k, v);
+            };
+            ops.remove = [&bst](TmThread &t2, std::uint64_t k) {
+                return bst->removeOp(t2, k);
+            };
+            ops.checksum = [&bst](TmThread &t2) {
+                return bst->checksumOp(t2);
+            };
+            ops.size = [&bst](TmThread &t2) { return bst->sizeOp(t2); };
+            ops.invariant = [&bst](TmThread &t2) {
+                return bst->checkInvariantOp(t2);
+            };
+            break;
+          case WorkloadKind::Btree:
+            btree = std::make_unique<Btree>(t);
+            ops.contains = [&btree](TmThread &t2, std::uint64_t k) {
+                return btree->containsOp(t2, k);
+            };
+            ops.insert = [&btree](TmThread &t2, std::uint64_t k,
+                                  std::uint64_t v) {
+                return btree->insertOp(t2, k, v);
+            };
+            ops.remove = [&btree](TmThread &t2, std::uint64_t k) {
+                return btree->removeOp(t2, k);
+            };
+            ops.checksum = [&btree](TmThread &t2) {
+                return btree->checksumOp(t2);
+            };
+            ops.size = [&btree](TmThread &t2) {
+                return btree->sizeOp(t2);
+            };
+            ops.invariant = [&btree](TmThread &t2) {
+                return btree->checkInvariantOp(t2);
+            };
+            break;
+        }
+        Rng rng(cfg.seed * 7919 + 1);
+        std::uint64_t inserted = 0;
+        while (inserted < cfg.initialSize) {
+            std::uint64_t key = rng.range(cfg.keyRange);
+            if (ops.insert(t, key, key * 3 + 1))
+                ++inserted;
+        }
+    }});
+
+    machine.resetCounters();
+    session.resetStats();
+
+    // ---- measured phase: fixed total work split across threads ----
+    std::uint64_t per_thread = cfg.totalOps / cfg.threads;
+    std::vector<std::function<void(Core &)>> bodies;
+    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+        bodies.push_back([&, tid](Core &core) {
+            TmThread &t = session.threadFor(core);
+            Rng rng(cfg.seed + 104729ull * (tid + 1));
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                std::uint64_t key = rng.range(cfg.keyRange);
+                std::uint64_t dice = rng.range(100);
+                if (dice < cfg.updatePct) {
+                    // Updates split between inserts and removes so
+                    // the population stays near its initial size.
+                    if (rng.chancePct(50))
+                        ops.insert(t, key, key ^ dice);
+                    else
+                        ops.remove(t, key);
+                } else {
+                    ops.contains(t, key);
+                }
+            }
+        });
+    }
+    machine.run(bodies);
+
+    ExperimentResult result;
+    gatherResult(machine, session, result);
+
+    // ---- post-run verification (not part of the makespan) ----
+    // Runs in quiescence through a sequential reader: whole-structure
+    // walks would blow a bounded HTM's capacity (HyTM would retry
+    // forever), and the measured phase is over anyway.
+    machine.run({[&](Core &core) {
+        SeqThread verifier(core, session.globals());
+        result.checksum = ops.checksum(verifier);
+        result.finalSize = ops.size(verifier);
+        result.invariantOk = ops.invariant(verifier);
+    }});
+    return result;
+}
+
+ExperimentResult
+runMicro(const MicroConfig &cfg)
+{
+    HASTM_ASSERT(cfg.threads >= 1);
+    MachineParams mp = cfg.machine;
+    mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
+    mp.seed = cfg.seed;
+    Machine machine(mp);
+
+    SessionConfig sc;
+    sc.scheme = cfg.scheme;
+    sc.numThreads = cfg.threads;
+    sc.stm = cfg.stm;
+    TmSession session(machine, sc);
+
+    MicroWorkload work(machine, cfg.workingLines, cfg.threads, true);
+
+    // Warm-up transaction per thread, then measure.
+    machine.runOnCores(cfg.threads, [&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        Rng rng(cfg.seed + core.id());
+        work.runTx(t, core.id(), cfg.mix, rng);
+    });
+    machine.resetCounters();
+    session.resetStats();
+
+    machine.runOnCores(cfg.threads, [&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        Rng rng(cfg.seed + 31337ull * (core.id() + 1));
+        for (unsigned i = 0; i < cfg.transactions; ++i)
+            work.runTx(t, core.id(), cfg.mix, rng);
+    });
+
+    ExperimentResult result;
+    gatherResult(machine, session, result);
+    result.checksum = work.rawSum();
+    return result;
+}
+
+} // namespace hastm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment driver shared by every bench and integration test.
+ *
+ * One experiment = one freshly built machine + session, a populate
+ * phase on thread 0, a counter reset (caches stay warm, as in the
+ * paper's setup), and a measured phase where each thread performs its
+ * share of a fixed total operation count with the paper's mix (20 %
+ * updates by default). The makespan is the slowest core's cycle
+ * count over the measured phase.
+ */
+
+#ifndef HASTM_HARNESS_EXPERIMENT_HH
+#define HASTM_HARNESS_EXPERIMENT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/machine.hh"
+#include "workloads/microbench.hh"
+#include "workloads/tm_api.hh"
+
+namespace hastm {
+
+/** Which data structure the experiment drives. */
+enum class WorkloadKind : std::uint8_t { HashTable, Bst, Btree };
+
+const char *workloadName(WorkloadKind k);
+
+/** Full configuration of one experiment run. */
+struct ExperimentConfig
+{
+    WorkloadKind workload = WorkloadKind::Bst;
+    TmScheme scheme = TmScheme::Stm;
+    unsigned threads = 1;
+    std::uint64_t totalOps = 4096;
+    unsigned updatePct = 20;        //!< paper: 20 % of operations update
+    std::uint64_t initialSize = 1024;
+    std::uint64_t keyRange = 8192;
+    std::uint64_t seed = 42;
+    unsigned hashBuckets = 256;
+    MachineParams machine;          //!< mem.numCores overridden by threads
+    StmConfig stm;
+};
+
+/** Measured outcome of one experiment. */
+struct ExperimentResult
+{
+    Cycles makespan = 0;
+    TmStats tm;
+    std::array<Cycles, std::size_t(Phase::NumPhases)> phaseCycles{};
+    std::array<std::uint64_t, std::size_t(Phase::NumPhases)> phaseInstrs{};
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1HitLoads = 0;
+    std::uint64_t checksum = 0;      //!< final structure fingerprint
+    std::uint64_t finalSize = 0;
+    bool invariantOk = true;
+};
+
+/** Run one data-structure experiment. */
+ExperimentResult runDataStructure(const ExperimentConfig &cfg);
+
+/** Configuration for a synthetic-microbenchmark experiment (Fig 15). */
+struct MicroConfig
+{
+    TmScheme scheme = TmScheme::Stm;
+    unsigned threads = 1;
+    unsigned transactions = 256;    //!< per thread
+    MicroParams mix;
+    std::size_t workingLines = 4096;
+    std::uint64_t seed = 42;
+    MachineParams machine;
+    StmConfig stm;
+};
+
+/** Run one synthetic-microbenchmark experiment. */
+ExperimentResult runMicro(const MicroConfig &cfg);
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_EXPERIMENT_HH

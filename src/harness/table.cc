@@ -1,0 +1,73 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace hastm {
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                os << cells[c]
+                   << std::string(width[c] - cells[c].size(), ' ');
+            } else {
+                os << std::string(width[c] - cells[c].size(), ' ')
+                   << cells[c];
+            }
+        }
+        os << "\n";
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmt(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+fmtPct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace hastm

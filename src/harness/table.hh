@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal aligned-column table printer for the bench binaries.
+ */
+
+#ifndef HASTM_HARNESS_TABLE_HH
+#define HASTM_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hastm {
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers)) {}
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Print with a header underline; right-aligns numeric-ish cells. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p prec digits after the point. */
+std::string fmt(double v, int prec = 2);
+
+/** Format an integer. */
+std::string fmt(std::uint64_t v);
+
+/** Format a percentage with one decimal. */
+std::string fmtPct(double fraction);
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_TABLE_HH

@@ -1,0 +1,68 @@
+#include "hastm/mode_policy.hh"
+
+namespace hastm {
+
+void
+ModePolicy::pushEvent(bool bad)
+{
+    events_.push_back(bad);
+    if (bad)
+        ++badCount_;
+    while (events_.size() > window_) {
+        if (events_.front())
+            --badCount_;
+        events_.pop_front();
+    }
+}
+
+double
+ModePolicy::badRatio() const
+{
+    if (events_.empty())
+        return 1.0;  // no history: assume the worst, stay cautious
+    return static_cast<double>(badCount_) /
+           static_cast<double>(events_.size());
+}
+
+bool
+ModePolicy::chooseAggressive() const
+{
+    switch (strategy_) {
+      case ModeStrategy::Never:
+        return false;
+      case ModeStrategy::Naive:
+        // Aggressive unless this is the immediate cautious
+        // re-execution of an aborted attempt.
+        return !retryingAfterAbort_;
+      case ModeStrategy::Adaptive:
+      default:
+        // §6's single-thread rule ("always changes to aggressive mode
+        // after a transaction commits") is subsumed by the windowed
+        // ratio: a clean single-thread history reads 0 and chooses
+        // aggressive after the first commit, while a thrashing one
+        // (marked footprint exceeding the cache) correctly backs off.
+        if (retryingAfterAbort_)
+            return false;
+        return badRatio() < watermark_;
+    }
+}
+
+void
+ModePolicy::onCommit(bool aggressive, bool counter_nonzero)
+{
+    (void)aggressive;
+    everCommitted_ = true;
+    retryingAfterAbort_ = false;
+    pushEvent(counter_nonzero);
+}
+
+void
+ModePolicy::onAbort(bool aggressive, bool spurious)
+{
+    (void)aggressive;
+    (void)spurious;
+    retryingAfterAbort_ = true;
+    pushEvent(true);
+}
+
+} // namespace hastm

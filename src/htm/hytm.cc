@@ -1,0 +1,228 @@
+#include "htm/hytm.hh"
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+namespace {
+/** Entries the simulated record log can hold (2 words each). */
+constexpr std::size_t kRecLogEntries = 256;
+} // namespace
+
+HytmThread::HytmThread(Core &core, StmGlobals &globals)
+    : TmThread(core), g_(globals), htm_(core)
+{
+    recLogArea_ = g_.machine().heap().allocZeroed(kRecLogEntries * 16, 64);
+}
+
+Addr
+HytmThread::recFor(Addr obj, Addr data) const
+{
+    if (g_.cfg().gran == Granularity::Object && obj != kNullAddr)
+        return obj + kTxRecOff;
+    if (g_.cfg().gran == Granularity::Word)
+        return g_.recTable().recordForWord(data);
+    return g_.recTable().recordFor(data);
+}
+
+void
+HytmThread::checkDoomed()
+{
+    if (htm_.doomed())
+        throw TxConflictAbort{};
+}
+
+// ----------------------------------------------------------- barriers
+
+std::uint64_t
+HytmThread::hybridRead(Addr data, Addr rec)
+{
+    // Fig 14 HybridRead: check the record is shared, then load.
+    {
+        Core::PhaseScope scope(core_, Phase::RdBarrier);
+        Core::MetaScope meta(core_);
+        ++stats_.rdBarriers;
+        std::uint64_t recval = htm_.specLoad(rec);
+        core_.execInstrIlp(2);
+        checkDoomed();
+        if (!txrec::isVersion(recval)) {
+            // A software transaction owns the datum: contention
+            // policy aborts the hardware transaction.
+            htm_.txAbortExplicit();
+            throw TxConflictAbort{};
+        }
+    }
+    std::uint64_t v = htm_.specLoad(data);
+    checkDoomed();
+    return v;
+}
+
+void
+HytmThread::hybridWrite(Addr data, Addr rec, std::uint64_t v)
+{
+    {
+        Core::PhaseScope scope(core_, Phase::WrBarrier);
+        Core::MetaScope meta(core_);
+        ++stats_.wrBarriers;
+        std::uint64_t recval = htm_.specLoad(rec);
+        core_.execInstrIlp(2);
+        checkDoomed();
+        if (!txrec::isVersion(recval)) {
+            htm_.txAbortExplicit();
+            throw TxConflictAbort{};
+        }
+        // logWrite(txnrec, txnrecvalue): remember the record so commit
+        // can bump its version and notify software transactions. One
+        // log entry per record.
+        if (recLogged_.insert(rec).second) {
+            if (recLog_.size() < kRecLogEntries) {
+                Addr slot = recLogArea_ + recLog_.size() * 16;
+                htm_.specStore(slot, rec);
+                htm_.specStore(slot + 8, recval);
+                checkDoomed();
+            }
+            recLog_.emplace_back(rec, recval);
+        }
+    }
+    htm_.specStore(data, v);
+    checkDoomed();
+}
+
+std::uint64_t
+HytmThread::readWord(Addr a)
+{
+    HASTM_ASSERT(inTx());
+    return hybridRead(a, recFor(kNullAddr, a));
+}
+
+void
+HytmThread::writeWord(Addr a, std::uint64_t v, bool is_ptr)
+{
+    (void)is_ptr;
+    HASTM_ASSERT(inTx());
+    hybridWrite(a, recFor(kNullAddr, a), v);
+}
+
+std::uint64_t
+HytmThread::readField(Addr obj, unsigned off)
+{
+    HASTM_ASSERT(inTx());
+    Addr data = obj + kObjHeaderBytes + off;
+    return hybridRead(data, recFor(obj, data));
+}
+
+void
+HytmThread::writeField(Addr obj, unsigned off, std::uint64_t v, bool is_ptr)
+{
+    (void)is_ptr;
+    HASTM_ASSERT(inTx());
+    Addr data = obj + kObjHeaderBytes + off;
+    hybridWrite(data, recFor(obj, data), v);
+}
+
+// ----------------------------------------------------------- lifecycle
+
+void
+HytmThread::begin()
+{
+    HASTM_ASSERT(depth_ == 0);
+    Core::PhaseScope scope(core_, Phase::TxBegin);
+    htm_.txBegin();
+    recLog_.clear();
+    recLogged_.clear();
+    txAllocs_.clear();
+    txFrees_.clear();
+    depth_ = 1;
+}
+
+bool
+HytmThread::commit()
+{
+    HASTM_ASSERT(depth_ == 1);
+    if (htm_.doomed()) {
+        rollback();
+        return false;
+    }
+    {
+        Core::PhaseScope scope(core_, Phase::Commit);
+        Core::MetaScope meta(core_);
+        // Bump every written record's version inside the transaction;
+        // the bumps become visible atomically at hardware commit and
+        // tell concurrent software transactions about the updates.
+        for (auto &[rec, ver] : recLog_) {
+            htm_.specStore(rec, txrec::nextVersion(ver));
+            if (htm_.doomed())
+                break;
+        }
+        if (htm_.doomed() || !htm_.txCommit()) {
+            rollback();
+            return false;
+        }
+    }
+    for (Addr obj : txFrees_)
+        g_.machine().heap().free(obj);
+    depth_ = 0;
+    ++stats_.commits;
+    return true;
+}
+
+void
+HytmThread::rollback()
+{
+    Core::PhaseScope scope(core_, Phase::Abort);
+    core_.execInstr(20);
+    ++stats_.htmAborts;
+    if (htm_.active() && !htm_.doomed()) {
+        // Software-initiated rollback (userAbort / retry): the
+        // hardware transaction is still live and its speculative
+        // stores must be discarded explicitly.
+        htm_.txAbortExplicit();
+    }
+    // Otherwise the hardware already restored memory the moment the
+    // transaction was doomed; only software bookkeeping remains.
+    htm_.reset();
+    for (Addr obj : txAllocs_)
+        g_.machine().heap().free(obj);
+    txAllocs_.clear();
+    txFrees_.clear();
+    depth_ = 0;
+}
+
+// ----------------------------------------------------------- allocation
+
+Addr
+HytmThread::txAlloc(std::size_t field_bytes, std::uint32_t ptr_mask)
+{
+    std::size_t total = kObjHeaderBytes + ((field_bytes + 15) & ~15ull);
+    Addr obj = g_.machine().heap().alloc(total, 16);
+    core_.execInstr(25);
+    if (inTx()) {
+        txAllocs_.push_back(obj);
+        htm_.specStore(obj + kTxRecOff, txrec::kInitialVersion);
+        htm_.specStore(obj + kGcMetaOff,
+                       objmeta::make(field_bytes, ptr_mask));
+        for (Addr a = obj + kObjHeaderBytes; a < obj + total; a += 8)
+            htm_.specStore(a, 0);
+        checkDoomed();
+    } else {
+        core_.store<std::uint64_t>(obj + kTxRecOff,
+                                   txrec::kInitialVersion);
+        core_.store<std::uint64_t>(obj + kGcMetaOff,
+                                   objmeta::make(field_bytes, ptr_mask));
+        for (Addr a = obj + kObjHeaderBytes; a < obj + total; a += 8)
+            core_.store<std::uint64_t>(a, 0);
+    }
+    return obj;
+}
+
+void
+HytmThread::txFree(Addr obj)
+{
+    core_.execInstr(8);
+    if (inTx())
+        txFrees_.push_back(obj);
+    else
+        g_.machine().heap().free(obj);
+}
+
+} // namespace hastm

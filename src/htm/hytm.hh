@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hybrid transactional memory (HyTM) comparator (§7.3, Fig 14).
+ *
+ * Transactions execute in hardware; every barrier first checks that
+ * the datum's transaction record is in the shared state (no
+ * conflicting software transaction) and the write barrier logs the
+ * record so the hardware commit can bump its version number,
+ * notifying concurrent software transactions. As in the paper's
+ * evaluation, the comparator runs in its best case: a transaction
+ * that aborts is retried in hardware, never falling back to software.
+ *
+ * Nested atomic blocks are flattened — one of the semantic
+ * shortcomings of HyTM the paper calls out (§2).
+ */
+
+#ifndef HASTM_HTM_HYTM_HH
+#define HASTM_HTM_HYTM_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "htm/htm_machine.hh"
+#include "stm/stm.hh"
+
+namespace hastm {
+
+/** A hybrid-TM thread: hardware execution + record-table barriers. */
+class HytmThread : public TmThread
+{
+  public:
+    HytmThread(Core &core, StmGlobals &globals);
+
+    std::uint64_t readWord(Addr a) override;
+    void writeWord(Addr a, std::uint64_t v, bool is_ptr = false) override;
+    std::uint64_t readField(Addr obj, unsigned off) override;
+    void writeField(Addr obj, unsigned off, std::uint64_t v,
+                    bool is_ptr = false) override;
+    Addr txAlloc(std::size_t field_bytes,
+                 std::uint32_t ptr_mask = 0) override;
+    void txFree(Addr obj) override;
+    bool inTx() const override { return depth_ > 0; }
+
+    HtmMachine &htm() { return htm_; }
+
+  protected:
+    void begin() override;
+    bool commit() override;
+    void rollback() override;
+
+  private:
+    /** Record address per the session's granularity. */
+    Addr recFor(Addr obj, Addr data) const;
+
+    /** Fig 14 HybridRead. */
+    std::uint64_t hybridRead(Addr data, Addr rec);
+
+    /** Fig 14 HybridWrite. */
+    void hybridWrite(Addr data, Addr rec, std::uint64_t v);
+
+    /** Throw out of the transaction if the hardware doomed it. */
+    void checkDoomed();
+
+    StmGlobals &g_;
+    HtmMachine htm_;
+    Addr recLogArea_;   //!< simulated buffer for the record log
+    std::vector<std::pair<Addr, std::uint64_t>> recLog_;
+    std::unordered_set<Addr> recLogged_;
+    std::vector<Addr> txAllocs_;
+    std::vector<Addr> txFrees_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_HTM_HYTM_HH

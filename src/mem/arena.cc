@@ -1,0 +1,12 @@
+#include "mem/arena.hh"
+
+namespace hastm {
+
+MemArena::MemArena(std::size_t bytes) : size_(bytes)
+{
+    HASTM_ASSERT(bytes >= 4096);
+    data_ = std::make_unique<std::uint8_t[]>(bytes);
+    std::memset(data_.get(), 0, bytes);
+}
+
+} // namespace hastm

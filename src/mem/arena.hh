@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The simulated physical address space.
+ *
+ * Everything the simulated program touches — transaction records,
+ * descriptors, logs, and the application data structures themselves —
+ * lives in this arena and is addressed with simulated Addr values.
+ * The arena is the single source of truth for data; the cache models
+ * in mem/cache.hh are tags-only (exact, because the simulator is
+ * single-host-threaded and coherence is applied at access time).
+ */
+
+#ifndef HASTM_MEM_ARENA_HH
+#define HASTM_MEM_ARENA_HH
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace hastm {
+
+/** Flat byte-addressable simulated memory. */
+class MemArena
+{
+  public:
+    /** @param bytes Size of the simulated physical memory. */
+    explicit MemArena(std::size_t bytes);
+
+    MemArena(const MemArena &) = delete;
+    MemArena &operator=(const MemArena &) = delete;
+
+    /** Read a trivially-copyable T at simulated address @p a. */
+    template <typename T>
+    T
+    read(Addr a) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        checkRange(a, sizeof(T));
+        T v;
+        std::memcpy(&v, data_.get() + a, sizeof(T));
+        return v;
+    }
+
+    /** Write a trivially-copyable T at simulated address @p a. */
+    template <typename T>
+    void
+    write(Addr a, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        checkRange(a, sizeof(T));
+        std::memcpy(data_.get() + a, &v, sizeof(T));
+    }
+
+    /** Raw host pointer for bulk operations (GC copying, memset). */
+    std::uint8_t *
+    hostPtr(Addr a, std::size_t len)
+    {
+        checkRange(a, len);
+        return data_.get() + a;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    void
+    checkRange(Addr a, std::size_t len) const
+    {
+        if (a == kNullAddr || a + len > size_)
+            panic("arena access out of range: addr %#llx len %zu",
+                  static_cast<unsigned long long>(a), len);
+    }
+
+    std::unique_ptr<std::uint8_t[]> data_;
+    std::size_t size_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_MEM_ARENA_HH

@@ -1,0 +1,94 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+Cache::Cache(std::string name, const CacheParams &params)
+    : name_(std::move(name)), params_(params)
+{
+    HASTM_ASSERT(params_.lineSize > 0 &&
+                 (params_.lineSize & (params_.lineSize - 1)) == 0);
+    HASTM_ASSERT(params_.subBlock > 0 &&
+                 params_.lineSize % params_.subBlock == 0);
+    HASTM_ASSERT(params_.subBlocksPerLine() <= 8);
+    HASTM_ASSERT(params_.numSets() > 0);
+    HASTM_ASSERT((params_.numSets() & (params_.numSets() - 1)) == 0);
+    lines_.resize(static_cast<std::size_t>(params_.numSets()) *
+                  params_.assoc);
+}
+
+std::uint32_t
+Cache::setIndex(Addr a) const
+{
+    return static_cast<std::uint32_t>(
+        (a / params_.lineSize) & (params_.numSets() - 1));
+}
+
+CacheLine *
+Cache::findLine(Addr a)
+{
+    Addr la = lineAddr(a);
+    CacheLine *set = &lines_[std::size_t(setIndex(a)) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (set[w].valid() && set[w].tag == la)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::findLine(Addr a) const
+{
+    return const_cast<Cache *>(this)->findLine(a);
+}
+
+CacheLine *
+Cache::victimFor(Addr a)
+{
+    CacheLine *set = &lines_[std::size_t(setIndex(a)) * params_.assoc];
+    CacheLine *victim = &set[0];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (!set[w].valid())
+            return &set[w];
+        if (set[w].lruStamp < victim->lruStamp)
+            victim = &set[w];
+    }
+    return victim;
+}
+
+void
+Cache::fill(CacheLine &frame, Addr a, MesiState state)
+{
+    frame.tag = lineAddr(a);
+    frame.state = state;
+    frame.clearMeta();
+    touch(frame);
+}
+
+std::uint8_t
+Cache::subBlockMask(Addr addr, unsigned len) const
+{
+    Addr la = lineAddr(addr);
+    unsigned first = static_cast<unsigned>((addr - la) / params_.subBlock);
+    Addr last_byte = addr + (len ? len : 1) - 1;
+    HASTM_ASSERT(lineAddr(last_byte) == la);
+    unsigned last = static_cast<unsigned>((last_byte - la) /
+                                          params_.subBlock);
+    std::uint8_t mask = 0;
+    for (unsigned i = first; i <= last; ++i)
+        mask |= static_cast<std::uint8_t>(1u << i);
+    return mask;
+}
+
+unsigned
+Cache::validLines() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines_)
+        if (line.valid())
+            ++n;
+    return n;
+}
+
+} // namespace hastm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Set-associative cache model with per-thread mark bits.
+ *
+ * The cache is tags-only: data always lives in the MemArena. Each
+ * line carries, per SMT thread, one mark bit per 16-byte sub-block
+ * (four bits for a 64-byte line — the paper's configuration, §3.1),
+ * plus speculative read/write bits used by the bounded HTM machine.
+ */
+
+#ifndef HASTM_MEM_CACHE_HH
+#define HASTM_MEM_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hastm {
+
+/** MESI coherence states. */
+enum class MesiState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** Maximum SMT threads per core supported by the mark-bit storage. */
+constexpr unsigned kMaxSmt = 2;
+
+/**
+ * Independent mark-bit filters per hardware thread (§3: "one could
+ * support multiple filters concurrently with independent mark bits to
+ * enable additional software uses"). Filter 0 drives the HASTM read
+ * barriers; filter 1 is used by the write-barrier / undo-log
+ * filtering extension (§5's "additional mark bits").
+ */
+constexpr unsigned kNumFilters = 2;
+
+/** Geometry and policy parameters for one cache level. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineSize = 64;
+    std::uint32_t subBlock = 16;  //!< mark-bit granularity (bytes)
+
+    std::uint32_t numSets() const { return sizeBytes / (assoc * lineSize); }
+    std::uint32_t subBlocksPerLine() const { return lineSize / subBlock; }
+};
+
+/** One cache line's tag-side state. */
+struct CacheLine
+{
+    Addr tag = 0;                 //!< line-aligned address
+    MesiState state = MesiState::Invalid;
+    std::uint64_t lruStamp = 0;
+    bool prefetched = false;      //!< brought in by the prefetcher
+
+    /**
+     * Mark-bit mask per (SMT thread, filter); bit i covers
+     * sub-block i.
+     */
+    std::array<std::array<std::uint8_t, kNumFilters>, kMaxSmt> markBits{};
+
+    /** HTM speculative-read / speculative-write bits. */
+    bool specRead = false;
+    bool specWrite = false;
+
+    bool valid() const { return state != MesiState::Invalid; }
+
+    bool
+    anyMark() const
+    {
+        for (const auto &per_smt : markBits)
+            for (auto m : per_smt)
+                if (m)
+                    return true;
+        return false;
+    }
+
+    bool anySpec() const { return specRead || specWrite; }
+
+    /** Clear all transient metadata (on fill or invalidate). */
+    void
+    clearMeta()
+    {
+        for (auto &per_smt : markBits)
+            per_smt.fill(0);
+        specRead = specWrite = false;
+        prefetched = false;
+    }
+};
+
+/**
+ * A single cache level. Lookup, LRU victim selection, and the
+ * metadata bookkeeping live here; coherence policy lives in MemSystem.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+    const std::string &name() const { return name_; }
+
+    /** Line-align an address. */
+    Addr
+    lineAddr(Addr a) const
+    {
+        return a & ~static_cast<Addr>(params_.lineSize - 1);
+    }
+
+    /** Find the line holding @p a; nullptr on miss. */
+    CacheLine *findLine(Addr a);
+    const CacheLine *findLine(Addr a) const;
+
+    /**
+     * Choose a victim frame in @p a's set: an invalid frame if one
+     * exists, else the LRU-oldest. Never returns nullptr.
+     */
+    CacheLine *victimFor(Addr a);
+
+    /** Touch a line's LRU stamp. */
+    void touch(CacheLine &line) { line.lruStamp = ++lruClock_; }
+
+    /**
+     * Install @p a into @p frame (which the caller obtained from
+     * victimFor and already handled the eviction of). Metadata is
+     * cleared: a newly filled line has no marks and no spec bits.
+     */
+    void fill(CacheLine &frame, Addr a, MesiState state);
+
+    /** Iterate all valid lines (used by resetMarkAll / clearSpecAll). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &line : lines_)
+            if (line.valid())
+                fn(line);
+    }
+
+    /** Sub-block mask covering [addr, addr+len) within addr's line. */
+    std::uint8_t subBlockMask(Addr addr, unsigned len) const;
+
+    /** Number of valid lines (debug/tests). */
+    unsigned validLines() const;
+
+  private:
+    std::uint32_t setIndex(Addr a) const;
+
+    std::string name_;
+    CacheParams params_;
+    std::vector<CacheLine> lines_;   //!< sets * assoc, set-major
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace hastm
+
+#endif // HASTM_MEM_CACHE_HH

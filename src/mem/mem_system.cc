@@ -1,0 +1,394 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+MemSystem::MemSystem(MemArena &arena, const MemParams &params)
+    : arena_(arena), params_(params), stats_("mem")
+{
+    HASTM_ASSERT(params_.numCores >= 1);
+    HASTM_ASSERT(params_.numSmt >= 1 && params_.numSmt <= kMaxSmt);
+    HASTM_ASSERT(params_.l1.lineSize == params_.l2.lineSize);
+
+    l2_ = std::make_unique<Cache>("l2", params_.l2);
+    l1Hits_.resize(params_.numCores);
+    l1Misses_.resize(params_.numCores);
+    l2Hits_.resize(params_.numCores);
+    l2Misses_.resize(params_.numCores);
+    markDiscards_.resize(params_.numCores);
+    specConflicts_.resize(params_.numCores);
+    specCapacity_.resize(params_.numCores);
+    listeners_.resize(params_.numCores, nullptr);
+    for (unsigned c = 0; c < params_.numCores; ++c) {
+        l1s_.push_back(std::make_unique<Cache>(
+            "l1." + std::to_string(c), params_.l1));
+        std::string p = "c" + std::to_string(c) + ".";
+        stats_.add(p + "l1_hits", &l1Hits_[c]);
+        stats_.add(p + "l1_misses", &l1Misses_[c]);
+        stats_.add(p + "l2_hits", &l2Hits_[c]);
+        stats_.add(p + "l2_misses", &l2Misses_[c]);
+        stats_.add(p + "mark_discards", &markDiscards_[c]);
+        stats_.add(p + "spec_conflicts", &specConflicts_[c]);
+        stats_.add(p + "spec_capacity", &specCapacity_[c]);
+    }
+    stats_.add("prefetches", &prefetches_);
+    stats_.add("back_invalidations", &backInvals_);
+    stats_.add("upgrades", &upgrades_);
+    stats_.add("dirty_forwards", &dirtyForwards_);
+}
+
+void
+MemSystem::setListener(CoreId core, MemListener *listener)
+{
+    HASTM_ASSERT(core < params_.numCores);
+    listeners_[core] = listener;
+}
+
+void
+MemSystem::invalidateL1Line(CoreId core, CacheLine &line, SpecLoss why)
+{
+    if (!line.valid())
+        return;
+    MemListener *l = listeners_[core];
+    for (SmtId t = 0; t < params_.numSmt; ++t) {
+        for (unsigned f = 0; f < kNumFilters; ++f) {
+            if (line.markBits[t][f]) {
+                markDiscards_[core].inc();
+                if (l)
+                    l->marksDiscarded(t, f, 1);
+            }
+        }
+    }
+    if (line.anySpec()) {
+        if (why == SpecLoss::Conflict)
+            specConflicts_[core].inc();
+        else
+            specCapacity_[core].inc();
+        if (l)
+            l->specLost(why);
+    }
+    line.state = MesiState::Invalid;
+    line.clearMeta();
+}
+
+void
+MemSystem::evictL1Line(CoreId core, CacheLine &line)
+{
+    // Tags-only model: a Modified victim's data is already in the
+    // arena, so "writeback" needs no data movement.
+    invalidateL1Line(core, line, SpecLoss::Capacity);
+}
+
+bool
+MemSystem::l2Fill(Addr la, AccessResult &res)
+{
+    if (CacheLine *line = l2_->findLine(la)) {
+        l2_->touch(*line);
+        res.l2Hit = true;
+        return true;
+    }
+    // Miss: fetch from memory, install, enforce inclusion on a victim.
+    CacheLine *victim = l2_->victimFor(la);
+    if (victim->valid()) {
+        Addr victim_la = victim->tag;
+        for (CoreId c = 0; c < params_.numCores; ++c) {
+            if (CacheLine *l1line = l1s_[c]->findLine(victim_la)) {
+                backInvals_.inc();
+                invalidateL1Line(c, *l1line, SpecLoss::Capacity);
+            }
+        }
+    }
+    l2_->fill(*victim, la, MesiState::Shared);
+    return false;
+}
+
+void
+MemSystem::l1Fill(CoreId core, Addr la, MesiState state, bool prefetched)
+{
+    Cache &l1 = *l1s_[core];
+    CacheLine *victim = l1.victimFor(la);
+    if (victim->valid())
+        evictL1Line(core, *victim);
+    l1.fill(*victim, la, state);
+    victim->prefetched = prefetched;
+}
+
+void
+MemSystem::prefetch(CoreId core, Addr next_la, bool exclusive)
+{
+    if (next_la + params_.l1.lineSize > arena_.size())
+        return;
+    Cache &l1 = *l1s_[core];
+    if (l1.findLine(next_la))
+        return;
+    // Prefetch fills displace lines in the L1 and in the inclusive L2
+    // — the "destructive interference" of §7.4. A store-stream
+    // (exclusive) prefetch moreover steals ownership, invalidating
+    // remote copies and discarding their marks.
+    prefetches_.inc();
+    AccessResult dummy;
+    l2Fill(next_la, dummy);
+    bool shared_elsewhere = false;
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        if (c == core)
+            continue;
+        if (CacheLine *line = l1s_[c]->findLine(next_la)) {
+            if (exclusive) {
+                invalidateL1Line(c, *line, SpecLoss::Conflict);
+            } else {
+                shared_elsewhere = true;
+                if (line->state == MesiState::Modified ||
+                    line->state == MesiState::Exclusive) {
+                    line->state = MesiState::Shared;
+                }
+            }
+        }
+    }
+    MesiState fill_state = exclusive
+        ? MesiState::Exclusive
+        : (shared_elsewhere ? MesiState::Shared : MesiState::Exclusive);
+    l1Fill(core, next_la, fill_state, true);
+}
+
+void
+MemSystem::accessLine(CoreId core, SmtId smt, Addr addr, unsigned len,
+                      bool is_write, AccessResult &res)
+{
+    Cache &l1 = *l1s_[core];
+    Addr la = l1.lineAddr(addr);
+    CacheLine *line = l1.findLine(la);
+
+    if (line) {
+        // ------------------------------------------------- L1 hit
+        l1Hits_[core].inc();
+        res.l1Hit = true;
+        l1.touch(*line);
+        if (!is_write) {
+            res.latency += params_.l1HitLat;
+            return;
+        }
+        if (line->state == MesiState::Shared) {
+            // Ownership upgrade: invalidate every other copy.
+            upgrades_.inc();
+            res.latency += params_.upgradeLat;
+            for (CoreId c = 0; c < params_.numCores; ++c) {
+                if (c == core)
+                    continue;
+                if (CacheLine *other = l1s_[c]->findLine(la))
+                    invalidateL1Line(c, *other, SpecLoss::Conflict);
+            }
+        }
+        line->state = MesiState::Modified;
+        res.latency += params_.storeHitLat;
+        // An SMT sibling's marks on this line are invalidated by our
+        // store (§3.1); our own thread's marks persist.
+        for (SmtId t = 0; t < params_.numSmt; ++t) {
+            if (t == smt)
+                continue;
+            for (unsigned f = 0; f < kNumFilters; ++f) {
+                if (line->markBits[t][f]) {
+                    line->markBits[t][f] = 0;
+                    markDiscards_[core].inc();
+                    if (listeners_[core])
+                        listeners_[core]->marksDiscarded(t, f, 1);
+                }
+            }
+        }
+        return;
+    }
+
+    // ------------------------------------------------- L1 miss
+    l1Misses_[core].inc();
+
+    // Snoop remote L1s. A remote speculatively-written line must abort
+    // the remote hardware transaction before we can observe the data
+    // (its rollback happens synchronously inside invalidateL1Line via
+    // the listener). A write also conflicts with remote spec reads.
+    bool shared_elsewhere = false;
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        if (c == core)
+            continue;
+        CacheLine *remote = l1s_[c]->findLine(la);
+        if (!remote)
+            continue;
+        if (remote->state == MesiState::Modified ||
+            remote->state == MesiState::Exclusive) {
+            dirtyForwards_.inc();
+            res.latency += params_.dirtyForwardLat;
+        }
+        if (is_write || remote->specWrite) {
+            invalidateL1Line(c, *remote, SpecLoss::Conflict);
+        } else {
+            remote->state = MesiState::Shared;
+            shared_elsewhere = true;
+        }
+    }
+
+    bool l2hit = l2Fill(la, res);
+    if (l2hit) {
+        l2Hits_[core].inc();
+        res.latency += params_.l2HitLat;
+    } else {
+        l2Misses_[core].inc();
+        res.latency += params_.memLat;
+    }
+
+    MesiState fill_state = is_write
+        ? MesiState::Modified
+        : (shared_elsewhere ? MesiState::Shared : MesiState::Exclusive);
+    l1Fill(core, la, fill_state, false);
+    res.latency += is_write ? params_.storeHitLat : params_.l1HitLat;
+
+    if (params_.prefetchNextLine) {
+        for (unsigned d = 1; d <= params_.prefetchDegree; ++d) {
+            prefetch(core, la + Addr(d) * params_.l1.lineSize,
+                     is_write && params_.prefetchExclusiveOnWrite);
+        }
+    }
+
+    (void)smt;
+    (void)len;
+}
+
+AccessResult
+MemSystem::access(CoreId core, SmtId smt, Addr addr, unsigned size,
+                  bool is_write)
+{
+    HASTM_ASSERT(core < params_.numCores);
+    HASTM_ASSERT(size > 0);
+    AccessResult res;
+    Cache &l1 = *l1s_[core];
+    Addr cur = addr;
+    unsigned remaining = size;
+    while (remaining > 0) {
+        Addr la = l1.lineAddr(cur);
+        Addr line_end = la + params_.l1.lineSize;
+        unsigned chunk = static_cast<unsigned>(
+            std::min<Addr>(remaining, line_end - cur));
+        accessLine(core, smt, cur, chunk, is_write, res);
+        cur += chunk;
+        remaining -= chunk;
+    }
+    return res;
+}
+
+void
+MemSystem::setMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
+                    unsigned filter)
+{
+    HASTM_ASSERT(filter < kNumFilters);
+    Cache &l1 = *l1s_[core];
+    Addr cur = addr;
+    unsigned remaining = len;
+    while (remaining > 0) {
+        Addr la = l1.lineAddr(cur);
+        Addr line_end = la + params_.l1.lineSize;
+        unsigned chunk = static_cast<unsigned>(
+            std::min<Addr>(remaining, line_end - cur));
+        if (CacheLine *line = l1.findLine(la))
+            line->markBits[smt][filter] |= l1.subBlockMask(cur, chunk);
+        // If the line is absent the mark is simply not set; the
+        // instruction's load component already reported the discard
+        // accounting through the normal miss path.
+        cur += chunk;
+        remaining -= chunk;
+    }
+}
+
+void
+MemSystem::resetMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
+                      unsigned filter)
+{
+    HASTM_ASSERT(filter < kNumFilters);
+    Cache &l1 = *l1s_[core];
+    Addr cur = addr;
+    unsigned remaining = len;
+    while (remaining > 0) {
+        Addr la = l1.lineAddr(cur);
+        Addr line_end = la + params_.l1.lineSize;
+        unsigned chunk = static_cast<unsigned>(
+            std::min<Addr>(remaining, line_end - cur));
+        if (CacheLine *line = l1.findLine(la))
+            line->markBits[smt][filter] &=
+                static_cast<std::uint8_t>(~l1.subBlockMask(cur, chunk));
+        cur += chunk;
+        remaining -= chunk;
+    }
+}
+
+bool
+MemSystem::testMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
+                     unsigned filter) const
+{
+    HASTM_ASSERT(filter < kNumFilters);
+    const Cache &l1 = *l1s_[core];
+    Addr cur = addr;
+    unsigned remaining = len;
+    while (remaining > 0) {
+        Addr la = l1.lineAddr(cur);
+        Addr line_end = la + params_.l1.lineSize;
+        unsigned chunk = static_cast<unsigned>(
+            std::min<Addr>(remaining, line_end - cur));
+        const CacheLine *line = l1.findLine(la);
+        if (!line)
+            return false;
+        std::uint8_t mask = l1.subBlockMask(cur, chunk);
+        if ((line->markBits[smt][filter] & mask) != mask)
+            return false;
+        cur += chunk;
+        remaining -= chunk;
+    }
+    return true;
+}
+
+void
+MemSystem::resetMarkAll(CoreId core, SmtId smt, unsigned filter)
+{
+    HASTM_ASSERT(filter < kNumFilters);
+    l1s_[core]->forEachLine([smt, filter](CacheLine &line) {
+        line.markBits[smt][filter] = 0;
+    });
+}
+
+bool
+MemSystem::setSpec(CoreId core, Addr addr, unsigned len, bool is_write)
+{
+    Cache &l1 = *l1s_[core];
+    bool all_present = true;
+    Addr cur = addr;
+    unsigned remaining = len;
+    while (remaining > 0) {
+        Addr la = l1.lineAddr(cur);
+        Addr line_end = la + params_.l1.lineSize;
+        unsigned chunk = static_cast<unsigned>(
+            std::min<Addr>(remaining, line_end - cur));
+        if (CacheLine *line = l1.findLine(la)) {
+            if (is_write)
+                line->specWrite = true;
+            else
+                line->specRead = true;
+        } else {
+            // The line was displaced between the access and the tag
+            // attempt (e.g. by the prefetcher); the HTM machine must
+            // treat this as a capacity loss to stay sound.
+            all_present = false;
+        }
+        cur += chunk;
+        remaining -= chunk;
+    }
+    return all_present;
+}
+
+void
+MemSystem::clearSpecAll(CoreId core)
+{
+    l1s_[core]->forEachLine([](CacheLine &line) {
+        line.specRead = line.specWrite = false;
+    });
+}
+
+} // namespace hastm

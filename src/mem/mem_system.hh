@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Multi-core coherent memory hierarchy.
+ *
+ * Private per-core L1 data caches, one shared inclusive L2, and main
+ * memory (the MemArena). Coherence is MESI with functional-immediate
+ * semantics: a store's invalidations take effect at the instant the
+ * store executes, which is exact under the deterministic single-host-
+ * thread scheduler.
+ *
+ * The hierarchy is where the paper's hardware mechanisms live:
+ *  - per-thread mark bits on L1 sub-blocks (§3.1, Fig 1), whose
+ *    discard events (snoop invalidation, eviction, inclusive-L2
+ *    back-invalidation) are reported to the owning core so it can
+ *    bump its mark counter;
+ *  - speculative read/write bits used by the bounded HTM machine,
+ *    whose loss events (conflict or capacity) abort hardware
+ *    transactions.
+ */
+
+#ifndef HASTM_MEM_MEM_SYSTEM_HH
+#define HASTM_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/arena.hh"
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hastm {
+
+/** Why a speculative (HTM) line was lost. */
+enum class SpecLoss : std::uint8_t {
+    Conflict,   //!< remote access touched a speculative line
+    Capacity,   //!< eviction / back-invalidation displaced it
+};
+
+/**
+ * Per-core callback interface. cpu::Core implements this to maintain
+ * the architected mark counter; the HTM machine implements the
+ * speculative-loss part to abort hardware transactions synchronously
+ * (rolling back functionally-applied speculative stores before the
+ * conflicting access proceeds).
+ */
+class MemListener
+{
+  public:
+    virtual ~MemListener() = default;
+
+    /**
+     * @p count marked lines of SMT thread @p smt, filter @p filter
+     * were discarded.
+     */
+    virtual void marksDiscarded(SmtId smt, unsigned filter,
+                                unsigned count) = 0;
+
+    /** A speculative line was lost; must roll back the HW txn now. */
+    virtual void specLost(SpecLoss why) = 0;
+};
+
+/** Latency and structural parameters of the hierarchy. */
+struct MemParams
+{
+    unsigned numCores = 4;
+    unsigned numSmt = 1;           //!< SMT threads per core (<= kMaxSmt)
+    CacheParams l1{32 * 1024, 8, 64, 16};
+    CacheParams l2{1024 * 1024, 16, 64, 16};
+    Cycles l1HitLat = 3;
+    Cycles l2HitLat = 14;
+    Cycles memLat = 120;
+    Cycles storeHitLat = 1;        //!< store queue absorbs hit stores
+    Cycles upgradeLat = 18;        //!< S->M ownership upgrade
+    Cycles dirtyForwardLat = 30;   //!< cache-to-cache M forward
+    bool prefetchNextLine = true;  //!< next-line prefetch on L1 miss
+    /**
+     * Store-stream prefetches fetch the next line with ownership
+     * (read-for-exclusive), invalidating remote copies — one of the
+     * §7.4 mechanisms by which "prefetches and speculative accesses
+     * from one core kick out marked cache lines from another core".
+     */
+    bool prefetchExclusiveOnWrite = true;
+    unsigned prefetchDegree = 1;   //!< next lines fetched per miss
+};
+
+/** Result of one memory access. */
+struct AccessResult
+{
+    Cycles latency = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+};
+
+/** The full coherent hierarchy. */
+class MemSystem
+{
+  public:
+    MemSystem(MemArena &arena, const MemParams &params);
+
+    /** Register the listener for @p core (Core or HTM machine proxy). */
+    void setListener(CoreId core, MemListener *listener);
+
+    /**
+     * Perform a data access of @p size bytes at @p addr by (core,smt).
+     * Handles line-spanning accesses. Coherence actions (remote
+     * invalidations, mark discards, HTM aborts) happen before return.
+     */
+    AccessResult access(CoreId core, SmtId smt, Addr addr, unsigned size,
+                        bool is_write);
+
+    // ---- mark-bit operations (used by cpu::MarkIsa) ----
+
+    /** OR the sub-block mask covering [addr,addr+len) into the marks. */
+    void setMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
+                  unsigned filter = 0);
+
+    /** Clear the mark bits covering [addr,addr+len). */
+    void resetMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
+                    unsigned filter = 0);
+
+    /**
+     * AND of the mark bits covering [addr,addr+len); false when any
+     * covered line is absent (its marks were discarded with it).
+     */
+    bool testMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
+                   unsigned filter = 0) const;
+
+    /** Clear every mark bit of (core,smt,filter) in its L1. */
+    void resetMarkAll(CoreId core, SmtId smt, unsigned filter = 0);
+
+    // ---- HTM speculative-bit operations (used by htm::HtmMachine) ----
+
+    /**
+     * Tag the lines covering [addr,addr+len) as speculatively
+     * accessed.
+     * @return false if any covered line was already displaced (the
+     *         caller must treat the transaction as capacity-aborted).
+     */
+    bool setSpec(CoreId core, Addr addr, unsigned len, bool is_write);
+
+    /** Drop all speculative tags of @p core (commit or abort). */
+    void clearSpecAll(CoreId core);
+
+    // ---- introspection ----
+
+    MemArena &arena() { return arena_; }
+    const MemParams &params() const { return params_; }
+    Cache &l1(CoreId core) { return *l1s_[core]; }
+    Cache &l2() { return *l2_; }
+    StatGroup &stats() { return stats_; }
+
+    std::uint64_t l1Hits(CoreId c) const { return l1Hits_[c].value(); }
+    std::uint64_t l1Misses(CoreId c) const { return l1Misses_[c].value(); }
+
+  private:
+    /** Invalidate @p line in @p core's L1, reporting mark/spec losses. */
+    void invalidateL1Line(CoreId core, CacheLine &line, SpecLoss why);
+
+    /** Evict (same reporting, Capacity reason). */
+    void evictL1Line(CoreId core, CacheLine &line);
+
+    /** Ensure @p la is present in the L2, evicting inclusively. */
+    bool l2Fill(Addr la, AccessResult &res);
+
+    /** Fill @p la into @p core's L1 with @p state, evicting a victim. */
+    void l1Fill(CoreId core, Addr la, MesiState state, bool prefetched);
+
+    /** One-line access (addr..addr+len within a single line). */
+    void accessLine(CoreId core, SmtId smt, Addr addr, unsigned len,
+                    bool is_write, AccessResult &res);
+
+    /** Issue a next-line prefetch after a demand miss. */
+    void prefetch(CoreId core, Addr next_la, bool exclusive);
+
+    MemArena &arena_;
+    MemParams params_;
+    std::unique_ptr<Cache> l2_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<MemListener *> listeners_;
+
+    StatGroup stats_;
+    std::vector<Counter> l1Hits_, l1Misses_, l2Hits_, l2Misses_;
+    std::vector<Counter> markDiscards_, specConflicts_, specCapacity_;
+    Counter prefetches_, backInvals_, upgrades_, dirtyForwards_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for simulator bugs (aborts); fatal() is for user error
+ * (clean exit); warn()/inform() report conditions without stopping.
+ */
+
+#ifndef HASTM_SIM_LOGGING_HH
+#define HASTM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hastm {
+
+/** Print a formatted message and abort(); use for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+
+/**
+ * Assertion macro that stays on in release builds; all simulator
+ * invariants use this rather than <cassert>.
+ */
+#define HASTM_ASSERT(cond)                                              \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::hastm::panic("assertion '%s' failed at %s:%d",            \
+                           #cond, __FILE__, __LINE__);                  \
+        }                                                               \
+    } while (0)
+
+} // namespace hastm
+
+#endif // HASTM_SIM_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Every stochastic decision in the simulator draws from an explicitly
+ * seeded Rng so whole experiments replay bit-identically.
+ */
+
+#ifndef HASTM_SIM_RNG_HH
+#define HASTM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace hastm {
+
+/** xoshiro256** by Blackman & Vigna; small, fast, high quality. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 seeding to fill the state from a single word.
+        std::uint64_t x = seed;
+        for (auto &w : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    range(std::uint64_t bound)
+    {
+        // Lemire-style multiply-shift reduction; tiny bias is fine for
+        // workload generation and keeps the draw at one next() call.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Bernoulli draw: true with probability pct/100. */
+    bool chancePct(std::uint32_t pct) { return range(100) < pct; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace hastm
+
+#endif // HASTM_SIM_RNG_HH

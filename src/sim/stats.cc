@@ -1,0 +1,45 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+void
+StatGroup::add(const std::string &name, Counter *c)
+{
+    HASTM_ASSERT(c != nullptr);
+    auto [it, inserted] = counters_.emplace(name, c);
+    (void)it;
+    if (!inserted)
+        panic("duplicate stat '%s' in group '%s'",
+              name.c_str(), name_.c_str());
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name_ << "." << name << " " << c->value() << "\n";
+}
+
+} // namespace hastm

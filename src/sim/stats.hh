@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package.
+ *
+ * Counters register themselves with a StatGroup; groups can be dumped
+ * as "name value" lines or queried programmatically by benches.
+ */
+
+#ifndef HASTM_SIM_STATS_HH
+#define HASTM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hastm {
+
+/** A monotonically growing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters. Ownership of the counters stays with
+ * the registering object; the group only keeps name -> pointer links.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register @p c under @p name; the counter must outlive the group. */
+    void add(const std::string &name, Counter *c);
+
+    /** Look up a counter's current value; 0 if absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if a counter with @p name was registered. */
+    bool has(const std::string &name) const;
+
+    /** Reset every registered counter. */
+    void resetAll();
+
+    /** Dump "group.name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter *> counters_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_SIM_STATS_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental simulator-wide typedefs.
+ */
+
+#ifndef HASTM_SIM_TYPES_HH
+#define HASTM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace hastm {
+
+/** A simulated physical address (byte offset into the memory arena). */
+using Addr = std::uint64_t;
+
+/** Simulated time, measured in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifies a simulated core. */
+using CoreId = std::uint32_t;
+
+/** Identifies a hardware thread within a core (SMT). */
+using SmtId = std::uint32_t;
+
+/** Identifies a simulated software thread (fiber). */
+using ThreadId = std::uint32_t;
+
+/** Sentinel for "no address". */
+constexpr Addr kNullAddr = 0;
+
+} // namespace hastm
+
+#endif // HASTM_SIM_TYPES_HH

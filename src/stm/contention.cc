@@ -1,0 +1,75 @@
+#include "stm/contention.hh"
+
+#include <algorithm>
+
+#include "cpu/core.hh"
+#include "stm/tm_iface.hh"
+#include "stm/tx_record.hh"
+
+namespace hastm {
+
+const char *
+cmPolicyName(CmPolicy p)
+{
+    switch (p) {
+      case CmPolicy::Polite:     return "polite";
+      case CmPolicy::Aggressive: return "aggressive";
+      case CmPolicy::Karma:      return "karma";
+      default:                   return "unknown";
+    }
+}
+
+std::uint64_t
+ContentionManager::handleContention(Addr rec, std::uint64_t investment)
+{
+    Core::PhaseScope scope(core_, Phase::Contention);
+    ++conflicts_;
+    if (params_.diagnostics)
+        ++profile_[rec];
+
+    unsigned budget;
+    switch (params_.policy) {
+      case CmPolicy::Aggressive:
+        budget = 0;
+        break;
+      case CmPolicy::Karma:
+        // Wait one extra round per 16 logged entries, capped.
+        budget = params_.maxSpins +
+                 static_cast<unsigned>(std::min<std::uint64_t>(
+                     investment / 16, 8));
+        break;
+      case CmPolicy::Polite:
+      default:
+        budget = params_.maxSpins;
+        break;
+    }
+
+    Cycles wait = params_.backoffBase + 7 * (core_.id() + 1);
+    for (unsigned attempt = 0; attempt <= budget; ++attempt) {
+        std::uint64_t v = core_.load<std::uint64_t>(rec);
+        core_.execInstrIlp(2);
+        if (txrec::isVersion(v))
+            return v;
+        if (attempt == budget)
+            break;
+        core_.stall(wait);
+        wait *= 2;
+    }
+    ++selfAborts_;
+    throw TxConflictAbort{};
+}
+
+std::vector<std::pair<Addr, std::uint64_t>>
+ContentionManager::hottest(unsigned n) const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> v(profile_.begin(),
+                                                  profile_.end());
+    std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+        return a.second > b.second;
+    });
+    if (v.size() > n)
+        v.resize(n);
+    return v;
+}
+
+} // namespace hastm

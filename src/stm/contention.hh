@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Contention management (§2 "Flexible contention management", §4).
+ *
+ * When a barrier finds a transaction record owned by another
+ * transaction, handleContention() decides whether to wait (and how
+ * long) or to abort the current transaction. No single policy suits
+ * all workloads [27], so the policy is pluggable; all policies are
+ * deadlock-free because waiting is bounded.
+ */
+
+#ifndef HASTM_STM_CONTENTION_HH
+#define HASTM_STM_CONTENTION_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hastm {
+
+class Core;
+
+/** Available contention policies. */
+enum class CmPolicy : std::uint8_t {
+    Polite,      //!< bounded exponential backoff, then self-abort
+    Aggressive,  //!< abort self immediately on conflict
+    Karma,       //!< wait proportionally to own investment, then abort
+};
+
+const char *cmPolicyName(CmPolicy p);
+
+/** Contention-manager knobs. */
+struct CmParams
+{
+    CmPolicy policy = CmPolicy::Polite;
+    unsigned maxSpins = 8;        //!< backoff rounds before giving up
+    Cycles backoffBase = 64;      //!< first backoff (doubles per round)
+    /**
+     * Per-record conflict profiling (§2: "accurate contention
+     * diagnostics greatly enhance transactional programming"; the STM
+     * can provide them "since it logs all transactional activity in
+     * the application space"). Host-side bookkeeping; no simulated
+     * cost, standing in for a sampling diagnostics build.
+     */
+    bool diagnostics = false;
+};
+
+/** Per-thread contention manager. */
+class ContentionManager
+{
+  public:
+    ContentionManager(Core &core, const CmParams &params)
+        : core_(core), params_(params) {}
+
+    /**
+     * Resolve a conflict on @p rec, whose current (owned) value is
+     * known to be a descriptor pointer. Spins per policy until the
+     * record returns to the shared state.
+     *
+     * @param investment Entries already logged by this transaction;
+     *        Karma waits longer the more it stands to lose.
+     * @return the record's version once available.
+     * @throws TxConflictAbort when the policy gives up (self-abort).
+     */
+    std::uint64_t handleContention(Addr rec, std::uint64_t investment);
+
+    std::uint64_t conflicts() const { return conflicts_; }
+    std::uint64_t selfAborts() const { return selfAborts_; }
+
+    /**
+     * Conflict counts per transaction-record address (object mode:
+     * the object's address — directly meaningful to the programmer,
+     * unlike an HTM's physical cache-line conflicts). Empty unless
+     * CmParams::diagnostics is set.
+     */
+    const std::unordered_map<Addr, std::uint64_t> &
+    conflictProfile() const
+    {
+        return profile_;
+    }
+
+    /** The @p n most-conflicted records, hottest first. */
+    std::vector<std::pair<Addr, std::uint64_t>> hottest(unsigned n) const;
+
+  private:
+    Core &core_;
+    CmParams params_;
+    std::uint64_t conflicts_ = 0;
+    std::uint64_t selfAborts_ = 0;
+    std::unordered_map<Addr, std::uint64_t> profile_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_STM_CONTENTION_HH

@@ -1,0 +1,60 @@
+#include "stm/descriptor.hh"
+
+#include "cpu/core.hh"
+#include "mem/alloc.hh"
+
+namespace hastm {
+
+Descriptor::Descriptor(Core &core, SimAllocator &heap, unsigned undo_words)
+    : core_(core), heap_(heap),
+      addr_(heap.allocZeroed(desc::kSize, 64)),
+      readSet_(core, heap, addr_ + desc::kRdCursorOff, 2),
+      writeSet_(core, heap, addr_ + desc::kWrCursorOff, 2),
+      undoLog_(core, heap, addr_ + desc::kUndoCursorOff, undo_words)
+{
+}
+
+Descriptor::~Descriptor()
+{
+    heap_.free(addr_);
+}
+
+Savepoint
+Descriptor::capture() const
+{
+    Savepoint sp;
+    sp.rdPos = readSet_.pos();
+    sp.wrPos = writeSet_.pos();
+    sp.undoPos = undoLog_.pos();
+    sp.txAllocCount = txAllocs.size();
+    sp.txFreeCount = txFrees.size();
+    return sp;
+}
+
+void
+Descriptor::setStatus(std::uint64_t s)
+{
+    core_.store<std::uint64_t>(addr_ + desc::kStatusOff, s);
+}
+
+void
+Descriptor::setAggressive(bool aggressive)
+{
+    aggressiveShadow_ = aggressive;
+    core_.store<std::uint64_t>(addr_ + desc::kModeOff,
+                               aggressive ? desc::kModeAggressive : 0);
+}
+
+void
+Descriptor::resetForTxn()
+{
+    readSet_.reset();
+    writeSet_.reset();
+    undoLog_.reset();
+    ownedVersions.clear();
+    txAllocs.clear();
+    txFrees.clear();
+    savepoints.clear();
+}
+
+} // namespace hastm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Transaction descriptors (§4).
+ *
+ * The descriptor is a 64-byte-aligned block in simulated memory; its
+ * address is the ownership token CAS'd into transaction records. The
+ * log cursors live inside it, as the inlined barrier fast paths
+ * assume (mov ecx, [txndesc + rdsetlog]). A host-side shadow keeps
+ * the pieces a real runtime would also keep privately (chunk chains,
+ * savepoints, the acquired-version map).
+ */
+
+#ifndef HASTM_STM_DESCRIPTOR_HH
+#define HASTM_STM_DESCRIPTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stm/tx_log.hh"
+#include "sim/types.hh"
+
+namespace hastm {
+
+class Core;
+class SimAllocator;
+
+namespace desc {
+
+constexpr unsigned kStatusOff = 0;
+constexpr unsigned kModeOff = 8;         //!< bit 0: aggressive (§6)
+constexpr unsigned kRdCursorOff = 16;
+constexpr unsigned kWrCursorOff = 24;
+constexpr unsigned kUndoCursorOff = 32;
+constexpr unsigned kSize = 64;
+
+constexpr std::uint64_t kStatusIdle = 0;
+constexpr std::uint64_t kStatusActive = 1;
+constexpr std::uint64_t kStatusCommitted = 2;
+constexpr std::uint64_t kStatusAborted = 3;
+
+constexpr std::uint64_t kModeAggressive = 1;
+
+} // namespace desc
+
+/** Savepoint for closed nesting with partial rollback (§2, §5). */
+struct Savepoint
+{
+    LogPos rdPos;
+    LogPos wrPos;
+    LogPos undoPos;
+    std::size_t txAllocCount;   //!< length of the tx-alloc list
+    std::size_t txFreeCount;    //!< length of the deferred-free list
+};
+
+/**
+ * A transaction descriptor: the simulated-memory block plus its host
+ * shadow (logs, savepoints, allocation trackers).
+ */
+class Descriptor
+{
+  public:
+    /**
+     * @param undo_words Words per undo entry: 3 for the base STM's
+     *        word-grain entries, 4 for the write-filtering
+     *        extension's 16-byte chunks.
+     */
+    Descriptor(Core &core, SimAllocator &heap, unsigned undo_words = 3);
+    ~Descriptor();
+    Descriptor(const Descriptor &) = delete;
+    Descriptor &operator=(const Descriptor &) = delete;
+
+    /** Simulated address (the ownership token). */
+    Addr addr() const { return addr_; }
+
+    TxLog &readSet() { return readSet_; }
+    TxLog &writeSet() { return writeSet_; }
+    TxLog &undoLog() { return undoLog_; }
+    const TxLog &readSet() const { return readSet_; }
+    const TxLog &writeSet() const { return writeSet_; }
+    const TxLog &undoLog() const { return undoLog_; }
+
+    /**
+     * Versions at which currently owned records were acquired; used
+     * by read validation when a read-set record turns out to be owned
+     * by this very transaction.
+     */
+    std::unordered_map<Addr, std::uint64_t> ownedVersions;
+
+    /** Objects allocated inside the live transaction (freed on abort). */
+    std::vector<Addr> txAllocs;
+
+    /** Objects freed inside the live transaction (freed at commit). */
+    std::vector<Addr> txFrees;
+
+    /** Nesting savepoints, innermost last. */
+    std::vector<Savepoint> savepoints;
+
+    /** Capture a savepoint at the current log positions. */
+    Savepoint capture() const;
+
+    /** Timed status/mode accesses (descriptor-resident fields). */
+    void setStatus(std::uint64_t s);
+    void setAggressive(bool aggressive);
+    bool aggressive() const { return aggressiveShadow_; }
+
+    /** Clear all transactional state for a fresh top-level txn. */
+    void resetForTxn();
+
+  private:
+    Core &core_;
+    SimAllocator &heap_;
+    Addr addr_;
+    TxLog readSet_;
+    TxLog writeSet_;
+    TxLog undoLog_;
+    bool aggressiveShadow_ = false;
+};
+
+} // namespace hastm
+
+#endif // HASTM_STM_DESCRIPTOR_HH

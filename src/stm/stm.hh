@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The base software transactional memory runtime (§4).
+ *
+ * Eager version management (in-place updates + undo log), strict
+ * two-phase locking for writes, optimistic versioned reads with
+ * periodic and commit-time validation, closed nesting with partial
+ * rollback, retry/orElse condition synchronisation, and pluggable
+ * contention management. Conflict detection runs at object or
+ * cache-line granularity.
+ *
+ * Every runtime structure (records, descriptor, logs) lives in
+ * simulated memory and every runtime step charges simulated cycles,
+ * so the barrier overheads measured by the benches are the overheads
+ * HASTM attacks.
+ */
+
+#ifndef HASTM_STM_STM_HH
+#define HASTM_STM_STM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "stm/contention.hh"
+#include "stm/descriptor.hh"
+#include "stm/tm_iface.hh"
+#include "stm/tx_record.hh"
+
+namespace hastm {
+
+/** Runtime-wide STM configuration. */
+struct StmConfig
+{
+    Granularity gran = Granularity::CacheLine;
+    unsigned validateEvery = 64;     //!< barriers per periodic validation
+    CmParams cm;
+    bool clearMarksAtEnd = true;     //!< §7: no inter-atomic reuse
+    bool filterReads = true;         //!< false => HASTM-NoReuse ablation
+    /**
+     * Write-filtering extension (§5: "an implementation could also
+     * filter STM write barrier and undo logging operations using
+     * additional mark bits"): mark-bit filter 1 caches "record
+     * already acquired" and "16-byte chunk already undo-logged".
+     * Cache-line granularity only (the 16-byte undo chunks carry no
+     * per-word GC metadata).
+     */
+    bool filterWrites = false;
+    unsigned policyWindow = 32;      //!< mode-policy sliding window
+    double aggressiveWatermark = 0.10;
+};
+
+/**
+ * State shared by all threads of one STM instance: the machine, the
+ * global record table (cache-line granularity), and the config.
+ */
+class StmGlobals
+{
+  public:
+    StmGlobals(Machine &machine, const StmConfig &cfg)
+        : machine_(machine), cfg_(cfg),
+          recTable_(machine.arena(), machine.heap())
+    {
+    }
+
+    Machine &machine() { return machine_; }
+    const StmConfig &cfg() const { return cfg_; }
+    TxRecordTable &recTable() { return recTable_; }
+
+  private:
+    Machine &machine_;
+    StmConfig cfg_;
+    TxRecordTable recTable_;
+};
+
+/**
+ * One thread's software-transactional runtime. HastmThread derives
+ * from this and overrides the barrier / validation hot paths with the
+ * mark-bit-accelerated versions.
+ */
+class StmThread : public TmThread
+{
+  public:
+    StmThread(Core &core, StmGlobals &globals);
+    ~StmThread() override;
+
+    // ---- TmThread data interface ----
+    std::uint64_t readWord(Addr a) override;
+    void writeWord(Addr a, std::uint64_t v, bool is_ptr = false) override;
+    std::uint64_t readField(Addr obj, unsigned off) override;
+    void writeField(Addr obj, unsigned off, std::uint64_t v,
+                    bool is_ptr = false) override;
+    Addr txAlloc(std::size_t field_bytes,
+                 std::uint32_t ptr_mask = 0) override;
+    void txFree(Addr obj) override;
+    void validateNow() override;
+    bool inTx() const override { return depth_ > 0; }
+
+    Descriptor &descriptor() { return desc_; }
+    StmGlobals &globals() { return g_; }
+
+    /** Contention manager (conflict stats + §2 diagnostics). */
+    const ContentionManager &contention() const { return cm_; }
+
+    // ---- GC integration (§2, §5) ----
+
+    /**
+     * Called by the collector after it moved the object at @p from to
+     * @p to; rewrites every reference this transaction's metadata
+     * holds (read/write-set record addresses in object mode, undo-log
+     * target addresses, logged object-reference values, the
+     * acquired-version map, and the tx-alloc/free lists). Runs at GC
+     * time, untimed except for the Gc-phase cycles the collector
+     * charges in bulk.
+     */
+    void gcRelocate(Addr from, Addr to, std::size_t total_bytes);
+
+    /**
+     * Bulk log fix-up: @p relocated maps every (possibly interior)
+     * old address to its new location; one pass over all metadata.
+     */
+    void gcFixup(const std::function<Addr(Addr)> &relocated);
+
+    /** True if the thread is inside a (suspended) transaction. */
+    bool gcSuspendedInTx() const { return depth_ > 0; }
+
+  protected:
+    // ---- TmThread scheme hooks ----
+    void begin() override;
+    bool commit() override;
+    void rollback() override;
+    void rollbackForRetry() override;
+    void waitForChange(unsigned attempt) override;
+    bool nestedAtomic(const std::function<void()> &fn) override;
+
+    // ---- pieces HastmThread overrides ----
+
+    /** Full read path: barrier + data load (Figs 3/4). */
+    virtual std::uint64_t readShared(Addr data, Addr rec);
+
+    /** Write barrier: acquire + write-set logging (Fig 3). */
+    virtual void writeBarrier(Addr data, Addr rec);
+
+    /** After the data store (HASTM marks lines here). */
+    virtual void postWrite(Addr data, Addr rec);
+
+    /**
+     * Validate the read set; throws TxConflictAbort when stale
+     * (Fig 2; overridden with the mark-counter version of Fig 6).
+     */
+    virtual void validate(bool at_commit);
+
+    /** Top-level begin extras (HASTM: mode policy + counter reset). */
+    virtual void beginTop() {}
+
+    /** After a successful top-level commit. */
+    virtual void commitHook() {}
+
+    /** After a top-level rollback. */
+    virtual void abortHook() {}
+
+    // ---- shared helpers ----
+
+    /** Record address for a raw-word datum / an object field. */
+    Addr recForWord(Addr data);
+    Addr recForField(Addr obj, Addr data);
+
+    /** Charge the record-address computation (cache-line mode only). */
+    void chargeRecCompute();
+
+    /** Timed TLS descriptor load charged per runtime entry point. */
+    void chargeTls();
+
+    /** Append to the read set (Fig 4 logging tail). */
+    void logRead(Addr rec, std::uint64_t version);
+
+    /** Acquire @p rec via CAS loop + write-set logging (Fig 3). */
+    void acquireRecord(Addr rec);
+
+    /** Undo-log the old value of @p data (eager versioning). */
+    virtual void undoAppend(Addr data, bool is_ptr);
+
+    /** Full write path shared by writeWord/writeField. */
+    void writeShared(Addr data, Addr rec, std::uint64_t v, bool is_ptr);
+
+    /**
+     * Walk the read set comparing versions; @p remark re-marks each
+     * record line (loadsetmark) so mark-counter validation stays
+     * sound after a mid-transaction full validation.
+     */
+    void fullValidation(bool remark);
+
+    /** Release all owned records; bump versions when @p bump. */
+    void releaseOwned(bool bump);
+
+    /** Undo and release everything since @p sp (nested abort). */
+    void partialRollback(const Savepoint &sp);
+
+    /** Count barriers and run the periodic validation (§4). */
+    void maybeValidate();
+
+    /** Abort-if-stale guard against zombie-computed addresses. */
+    void guardAddr(Addr data, unsigned size);
+
+    /** Logged entries, for Karma contention decisions. */
+    std::uint64_t investment() const;
+
+    /** Restore one undo entry (sized store). */
+    void undoRestore(Addr entry);
+
+    StmGlobals &g_;
+    Descriptor desc_;
+    ContentionManager cm_;
+    Addr tlsAddr_;
+    unsigned sinceValidate_ = 0;
+
+    /** Snapshot of (rec, version) pairs for retry() waiting. */
+    std::vector<std::pair<Addr, std::uint64_t>> retryWatch_;
+
+    /** True while rolling back for a retry() (HASTM keeps marks). */
+    bool retryRollback_ = false;
+};
+
+} // namespace hastm
+
+#endif // HASTM_STM_STM_HH

@@ -1,0 +1,131 @@
+#include "stm/tm_iface.hh"
+
+#include "cpu/core.hh"
+#include "sim/logging.hh"
+
+namespace hastm {
+
+const char *
+tmSchemeName(TmScheme s)
+{
+    switch (s) {
+      case TmScheme::Sequential:    return "seq";
+      case TmScheme::Lock:          return "lock";
+      case TmScheme::Stm:           return "stm";
+      case TmScheme::Hastm:         return "hastm";
+      case TmScheme::HastmCautious: return "hastm-cautious";
+      case TmScheme::HastmNoReuse:  return "hastm-noreuse";
+      case TmScheme::HastmNaive:    return "naive-aggressive";
+      case TmScheme::Hytm:          return "hytm";
+      default:                      return "unknown";
+    }
+}
+
+const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::CacheLine: return "cacheline";
+      case Granularity::Word:      return "word";
+      case Granularity::Object:    return "object";
+      default:                     return "unknown";
+    }
+}
+
+bool
+TmThread::atomic(const std::function<void()> &fn)
+{
+    if (depth_ > 0)
+        return nestedAtomic(fn);
+
+    unsigned attempt = 0;
+    unsigned retry_attempt = 0;
+    for (;;) {
+        begin();
+        try {
+            fn();
+            if (commit())
+                return true;
+            // Commit-time conflict: state already rolled back by the
+            // scheme's commit(); back off and re-execute.
+            ++stats_.aborts;
+            onConflict(attempt++);
+        } catch (const TxConflictAbort &) {
+            rollback();
+            ++stats_.aborts;
+            onConflict(attempt++);
+        } catch (const TxUserAbort &) {
+            rollback();
+            ++stats_.userAborts;
+            return false;
+        } catch (const TxRetryRequest &) {
+            rollbackForRetry();
+            ++stats_.retries;
+            waitForChange(retry_attempt++);
+        }
+    }
+}
+
+bool
+TmThread::atomicOrElse(const std::function<void()> &first,
+                       const std::function<void()> &second)
+{
+    // orElse composition [11]: the first alternative runs as a nested
+    // transaction; a retry() inside it is caught here after the
+    // nested effects have been rolled back (STM schemes) and control
+    // falls through to the second alternative. If the second also
+    // retries, the request propagates to the atomic() driver, which
+    // waits for a read-set change and re-executes the whole block.
+    return atomic([&] {
+        try {
+            nestedAtomic(first);
+            return;
+        } catch (const TxRetryRequest &) {
+            // fall through to the second alternative
+        }
+        second();
+    });
+}
+
+void
+TmThread::retry()
+{
+    HASTM_ASSERT(inTx());
+    throw TxRetryRequest{};
+}
+
+void
+TmThread::userAbort()
+{
+    HASTM_ASSERT(inTx());
+    throw TxUserAbort{};
+}
+
+void
+TmThread::onConflict(unsigned attempt)
+{
+    // Capped exponential backoff, jittered by core id to break
+    // symmetric livelock.
+    unsigned shift = attempt < 10 ? attempt : 10;
+    Cycles wait = (Cycles(32) << shift) + 13 * (core_.id() + 1);
+    core_.stall(wait);
+}
+
+void
+TmThread::waitForChange(unsigned attempt)
+{
+    // Default (schemes without read-set monitoring): plain backoff.
+    unsigned shift = attempt < 12 ? attempt : 12;
+    core_.stall((Cycles(128) << shift) + 17 * (core_.id() + 1));
+}
+
+bool
+TmThread::nestedAtomic(const std::function<void()> &fn)
+{
+    // Flattening: run in the parent's context; any abort exception
+    // propagates and restarts the outermost transaction.
+    fn();
+    return true;
+}
+
+} // namespace hastm

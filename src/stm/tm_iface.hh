@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The scheme-independent transactional-memory interface.
+ *
+ * Workloads are written once against TmThread and run unchanged under
+ * every concurrency-control scheme the paper evaluates: sequential,
+ * coarse lock, base STM, HASTM (and its ablations), HyTM, and the
+ * naive always-aggressive policy of §7.4.
+ *
+ * Objects are 16-byte-header entities ([transaction record][gc meta]
+ * followed by 8-byte fields); readField/writeField resolve the datum's
+ * transaction record per the configured conflict-detection
+ * granularity (§4): the header record in object mode, the global
+ * hashed table in cache-line mode.
+ */
+
+#ifndef HASTM_STM_TM_IFACE_HH
+#define HASTM_STM_TM_IFACE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace hastm {
+
+class Core;
+
+/** Conflict-detection granularity (§4). */
+enum class Granularity : std::uint8_t {
+    CacheLine,  //!< hashed global record table, bits 6..17
+    Word,       //!< hashed table keyed by 8-byte word (fewer false
+                //!< conflicts, more records touched; §4's "cache line
+                //!< or word granularity" for unmanaged environments)
+    Object,     //!< record embedded in the object header
+};
+
+const char *granularityName(Granularity g);
+
+/** Concurrency-control schemes the harness can instantiate. */
+enum class TmScheme : std::uint8_t {
+    Sequential,     //!< no synchronisation (1 thread only)
+    Lock,           //!< one coarse lock per session
+    Stm,            //!< base STM (§4)
+    Hastm,          //!< HASTM, cautious+aggressive policy (§5, §6)
+    HastmCautious,  //!< HASTM pinned to cautious mode (Fig 17)
+    HastmNoReuse,   //!< HASTM without read-barrier filtering (Fig 17)
+    HastmNaive,     //!< always aggressive first, cautious on abort (§7.4)
+    Hytm,           //!< hybrid TM, best-case all-hardware (Fig 14)
+};
+
+const char *tmSchemeName(TmScheme s);
+
+/** Object layout constants. */
+constexpr unsigned kObjHeaderBytes = 16;  //!< [txrec 8][gc meta 8]
+constexpr unsigned kTxRecOff = 0;
+constexpr unsigned kGcMetaOff = 8;
+
+/**
+ * Encoding of the per-object GC metadata word: field-area size in
+ * bytes (low 24 bits) and a pointer map (bit 24+i set when 8-byte
+ * field slot i holds an object reference). Bit 63 flags a forwarded
+ * object during collection. This is the log/object metadata the
+ * paper requires for precise GC (§2, §4).
+ */
+namespace objmeta {
+
+constexpr std::uint64_t kForwarded = 1ull << 63;
+
+/** Every 8-byte field slot holds an object reference (wide arrays). */
+constexpr std::uint64_t kAllPtrFields = 1ull << 62;
+
+inline std::uint64_t
+make(std::size_t field_bytes, std::uint32_t ptr_mask)
+{
+    return (field_bytes & 0xffffff) |
+           (static_cast<std::uint64_t>(ptr_mask) << 24);
+}
+
+inline std::uint64_t
+makeAllPtrs(std::size_t field_bytes)
+{
+    return (field_bytes & 0xffffff) | kAllPtrFields;
+}
+
+inline bool allPtrs(std::uint64_t m) { return (m & kAllPtrFields) != 0; }
+
+inline std::size_t size(std::uint64_t m) { return m & 0xffffff; }
+
+inline std::uint32_t
+ptrMask(std::uint64_t m)
+{
+    return static_cast<std::uint32_t>((m >> 24) & 0xffffffff);
+}
+
+inline bool forwarded(std::uint64_t m) { return (m & kForwarded) != 0; }
+
+} // namespace objmeta
+
+/** Thrown when a transaction must abort due to a conflict. */
+struct TxConflictAbort {};
+
+/** Thrown by retry(): roll back and wait for the read set to change. */
+struct TxRetryRequest {};
+
+/** Thrown by userAbort(): roll back and leave the atomic block. */
+struct TxUserAbort {};
+
+/** Per-thread outcome counters every scheme maintains. */
+struct TmStats
+{
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;          //!< conflict aborts (all levels)
+    std::uint64_t nestedCommits = 0;
+    std::uint64_t nestedAborts = 0;
+    std::uint64_t retries = 0;         //!< retry() waits
+    std::uint64_t userAborts = 0;
+    std::uint64_t fastValidations = 0; //!< mark-counter short-circuits
+    std::uint64_t fullValidations = 0;
+    std::uint64_t rdFastHits = 0;      //!< HASTM 2-instruction fast path
+    std::uint64_t rdBarriers = 0;
+    std::uint64_t wrBarriers = 0;
+    std::uint64_t wrFastHits = 0;      //!< write-filter fast path
+    std::uint64_t undoElided = 0;      //!< undo appends skipped
+    std::uint64_t aggressiveCommits = 0;
+    std::uint64_t aggressiveAborts = 0; //!< spurious (counter != 0)
+    std::uint64_t htmAborts = 0;        //!< hardware conflicts/capacity
+};
+
+/**
+ * One thread's view of the TM runtime. All methods must be called
+ * from the simulated thread bound to this object's core.
+ */
+class TmThread
+{
+  public:
+    explicit TmThread(Core &core) : core_(core) {}
+    virtual ~TmThread() = default;
+    TmThread(const TmThread &) = delete;
+    TmThread &operator=(const TmThread &) = delete;
+
+    /**
+     * Run @p fn atomically, re-executing on conflicts until it
+     * commits (or leaves via userAbort()).
+     * @return true if committed, false if user-aborted.
+     */
+    bool atomic(const std::function<void()> &fn);
+
+    /**
+     * Composable alternative: run @p first; if it calls retry(), roll
+     * it back and run @p second instead; if both retry, wait for a
+     * change and re-execute (the retry-orElse of [11], §5).
+     */
+    bool atomicOrElse(const std::function<void()> &first,
+                      const std::function<void()> &second);
+
+    // ---- data access inside a transaction ----
+
+    /** Read a raw 8-byte word (cache-line granularity record). */
+    virtual std::uint64_t readWord(Addr a) = 0;
+
+    /**
+     * Write a raw 8-byte word. @p is_ptr tags the undo-log entry as
+     * holding an object reference so a moving GC can fix it up.
+     */
+    virtual void writeWord(Addr a, std::uint64_t v, bool is_ptr = false) = 0;
+
+    /** Read field at byte offset @p off of the object at @p obj. */
+    virtual std::uint64_t readField(Addr obj, unsigned off) = 0;
+
+    /** Write field at byte offset @p off of the object at @p obj. */
+    virtual void writeField(Addr obj, unsigned off, std::uint64_t v,
+                            bool is_ptr = false) = 0;
+
+    /**
+     * Block until some previously read location may have changed,
+     * then re-execute the atomic block (condition synchronisation).
+     */
+    [[noreturn]] void retry();
+
+    /** Roll back and exit the atomic block without retrying. */
+    [[noreturn]] void userAbort();
+
+    /**
+     * Allocate a 16-byte-header object with @p field_bytes of field
+     * storage; automatically released if the transaction aborts.
+     * @p ptr_mask marks which 8-byte field slots hold object refs.
+     */
+    virtual Addr txAlloc(std::size_t field_bytes,
+                         std::uint32_t ptr_mask = 0) = 0;
+
+    /** Free an object; deferred until commit (abort cancels it). */
+    virtual void txFree(Addr obj) = 0;
+
+    /**
+     * Validate the transaction's reads immediately; aborts (throws)
+     * if stale. Workloads call this from defensive traversal bounds.
+     */
+    virtual void validateNow() {}
+
+    /** True while executing inside an atomic block. */
+    virtual bool inTx() const = 0;
+
+    Core &core() { return core_; }
+    const TmStats &stats() const { return stats_; }
+
+    /** Zero the outcome counters (harness: after the populate phase). */
+    void resetStats() { stats_ = TmStats{}; }
+
+  protected:
+    // ---- scheme hooks driven by the atomic() loop ----
+
+    /** Start a (top-level or nested) transaction. */
+    virtual void begin() = 0;
+
+    /** Try to commit; false means conflict (roll back + re-execute). */
+    virtual bool commit() = 0;
+
+    /** Roll back after a conflict / retry / user abort. */
+    virtual void rollback() = 0;
+
+    /** Backoff between re-executions. */
+    virtual void onConflict(unsigned attempt);
+
+    /**
+     * Roll back after a retry(); schemes that can watch their read
+     * set override this to preserve a snapshot for waitForChange().
+     */
+    virtual void rollbackForRetry() { rollback(); }
+
+    /**
+     * retry() support: wait until a previously read location may have
+     * changed. Called after rollback-for-retry; default is a bounded
+     * exponential backoff.
+     */
+    virtual void waitForChange(unsigned attempt);
+
+    /**
+     * Nested atomic support. Default is flattening (subsumption):
+     * the nested block simply runs in the parent's context — what
+     * HyTM and the lock baseline do. The STM overrides this with
+     * true closed nesting and partial rollback.
+     */
+    virtual bool nestedAtomic(const std::function<void()> &fn);
+
+    /** Depth of dynamically nested atomic blocks (0 = not in tx). */
+    unsigned depth_ = 0;
+
+    Core &core_;
+    TmStats stats_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_STM_TM_IFACE_HH

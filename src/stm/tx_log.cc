@@ -1,0 +1,135 @@
+#include "stm/tx_log.hh"
+
+#include "cpu/core.hh"
+#include "mem/alloc.hh"
+#include "sim/logging.hh"
+
+namespace hastm {
+
+TxLog::TxLog(Core &core, SimAllocator &heap, Addr cursor_addr,
+             unsigned entry_words)
+    : core_(core), heap_(heap), cursorAddr_(cursor_addr),
+      entryBytes_(entry_words * 8)
+{
+    HASTM_ASSERT(entry_words >= 2 && entry_words <= 4);
+    chunks_.push_back(heap_.alloc(kChunkBytes, kChunkBytes));
+    // Initialise the descriptor-resident cursor (setup, untimed).
+    core_.mem().arena().write<std::uint64_t>(cursorAddr_, chunks_[0]);
+}
+
+TxLog::~TxLog()
+{
+    for (Addr c : chunks_)
+        heap_.free(c);
+}
+
+Addr
+TxLog::chunkLimit(std::uint32_t chunk) const
+{
+    return chunks_[chunk] + chunkCapacity() * entryBytes_;
+}
+
+void
+TxLog::grow()
+{
+    // Overflow slow path: either advance to an already-allocated
+    // chunk or allocate a fresh one. A real runtime calls into the
+    // allocator here; charge a representative instruction batch.
+    ++curChunk_;
+    if (curChunk_ >= chunks_.size()) {
+        chunks_.push_back(heap_.alloc(kChunkBytes, kChunkBytes));
+        core_.execInstr(40);
+    } else {
+        core_.execInstr(8);
+    }
+    core_.store<std::uint64_t>(cursorAddr_, chunks_[curChunk_]);
+}
+
+void
+TxLog::append(const std::uint64_t *words)
+{
+    // Fast path, mirroring the listings: load cursor, boundary test,
+    // bump-and-store cursor, store the entry words.
+    Addr cursor = core_.load<std::uint64_t>(cursorAddr_);
+    core_.execInstrIlp(2);  // test #overflowmask; jz overflow
+    if (cursor >= chunkLimit(curChunk_)) {
+        grow();
+        cursor = core_.mem().arena().read<std::uint64_t>(cursorAddr_);
+    }
+    core_.store<std::uint64_t>(cursorAddr_, cursor + entryBytes_);
+    const unsigned words_n = entryBytes_ / 8;
+    for (unsigned i = 0; i < words_n; ++i)
+        core_.store<std::uint64_t>(cursor + 8ull * i, words[i]);
+    ++entries_;
+}
+
+LogPos
+TxLog::pos() const
+{
+    LogPos p;
+    p.chunk = curChunk_;
+    p.cursor = core_.mem().arena().read<std::uint64_t>(cursorAddr_);
+    p.entries = entries_;
+    return p;
+}
+
+void
+TxLog::truncate(const LogPos &p)
+{
+    HASTM_ASSERT(p.entries <= entries_);
+    curChunk_ = p.chunk;
+    core_.store<std::uint64_t>(cursorAddr_, p.cursor);
+    entries_ = p.entries;
+}
+
+void
+TxLog::reset()
+{
+    curChunk_ = 0;
+    core_.store<std::uint64_t>(cursorAddr_, chunks_[0]);
+    entries_ = 0;
+}
+
+void
+TxLog::forEach(const LogPos &from,
+               const std::function<void(Addr)> &fn) const
+{
+    std::uint64_t remaining = entries_ - from.entries;
+    std::uint32_t chunk = from.chunk;
+    Addr cursor = from.cursor;
+    while (remaining > 0) {
+        if (cursor >= chunkLimit(chunk)) {
+            ++chunk;
+            HASTM_ASSERT(chunk < chunks_.size());
+            cursor = chunks_[chunk];
+        }
+        fn(cursor);
+        cursor += entryBytes_;
+        --remaining;
+    }
+}
+
+void
+TxLog::forEachAll(const std::function<void(Addr)> &fn) const
+{
+    LogPos start;
+    start.chunk = 0;
+    start.cursor = chunks_[0];
+    start.entries = 0;
+    forEach(start, fn);
+}
+
+void
+TxLog::forEachReverse(const LogPos &from,
+                      const std::function<void(Addr)> &fn) const
+{
+    // Collect entry addresses host-side, then visit newest-first. The
+    // timed loads happen inside @p fn.
+    std::vector<Addr> addrs;
+    addrs.reserve(entries_ - from.entries);
+    forEach(from, [&](Addr a) { addrs.push_back(a); });
+    for (auto it = addrs.rbegin(); it != addrs.rend(); ++it)
+        fn(*it);
+}
+
+} // namespace hastm

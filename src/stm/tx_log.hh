@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Chunked transaction logs living in simulated memory (§4).
+ *
+ * The read set, write set, and undo log are each a TxLog: a chain of
+ * 4 KiB chunks in simulated memory with the append cursor held in the
+ * transaction descriptor, exactly as the inlined fast paths of
+ * Figs 4/5/7/8/9 assume (load cursor, boundary test, bump, two or
+ * three entry stores). Appends therefore cost simulated memory
+ * accesses and occupy simulated cache lines — this *is* the logging
+ * overhead HASTM filters out.
+ *
+ * Undo-log entries carry a metadata word (entry size and an
+ * object-reference flag) so a moving garbage collector can inspect
+ * and fix up buffered state, the language-integration requirement of
+ * §2.
+ */
+
+#ifndef HASTM_STM_TX_LOG_HH
+#define HASTM_STM_TX_LOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hastm {
+
+class Core;
+class SimAllocator;
+
+/** A position inside a TxLog, used for nested-transaction savepoints. */
+struct LogPos
+{
+    std::uint32_t chunk = 0;   //!< index into the chunk chain
+    Addr cursor = kNullAddr;   //!< next free entry address
+    std::uint64_t entries = 0; //!< entry count at this position
+
+    bool operator==(const LogPos &) const = default;
+};
+
+/**
+ * One chunked log. Entries are fixed-size (2 or 3 words). The append
+ * fast path charges the same simulated accesses as the paper's
+ * listings; growing onto a new chunk is the "overflow" slow path.
+ */
+class TxLog
+{
+  public:
+    /**
+     * @param core        Core whose accesses time the log operations.
+     * @param heap        Simulated allocator for the chunks.
+     * @param cursor_addr Descriptor field holding the append cursor.
+     * @param entry_words Words per entry (2 for read/write set, 3 for
+     *                    word-grain undo, 4 for the 16-byte-chunk undo
+     *                    of the write-filtering extension).
+     */
+    TxLog(Core &core, SimAllocator &heap, Addr cursor_addr,
+          unsigned entry_words);
+
+    ~TxLog();
+    TxLog(const TxLog &) = delete;
+    TxLog &operator=(const TxLog &) = delete;
+
+    /** Append one entry (timed: cursor load/store + entry stores). */
+    void append(const std::uint64_t *words);
+
+    /** Two-word convenience (read/write sets). */
+    void
+    append2(std::uint64_t w0, std::uint64_t w1)
+    {
+        std::uint64_t w[2] = {w0, w1};
+        append(w);
+    }
+
+    /** Three-word convenience (undo log). */
+    void
+    append3(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2)
+    {
+        std::uint64_t w[3] = {w0, w1, w2};
+        append(w);
+    }
+
+    /** Four-word convenience (16-byte-chunk undo entries). */
+    void
+    append4(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2,
+            std::uint64_t w3)
+    {
+        std::uint64_t w[4] = {w0, w1, w2, w3};
+        append(w);
+    }
+
+    /** Current position (for savepoints). */
+    LogPos pos() const;
+
+    /** Roll the cursor back to @p p (nested-transaction abort). */
+    void truncate(const LogPos &p);
+
+    /** Empty the log for a fresh transaction (cursor to chunk 0). */
+    void reset();
+
+    std::uint64_t entries() const { return entries_; }
+    bool empty() const { return entries_ == 0; }
+
+    /**
+     * Visit entries [from, current) in append order. @p fn receives
+     * the simulated address of each entry and may perform timed loads
+     * through the core. Untimed traversal bookkeeping is host-side.
+     */
+    void forEach(const LogPos &from,
+                 const std::function<void(Addr)> &fn) const;
+
+    /** Visit all entries in append order. */
+    void forEachAll(const std::function<void(Addr)> &fn) const;
+
+    /** Visit entries [from, current) in reverse order (rollback). */
+    void forEachReverse(const LogPos &from,
+                        const std::function<void(Addr)> &fn) const;
+
+    unsigned entryBytes() const { return entryBytes_; }
+
+    /** Chunk base addresses (the GC scans logs through this). */
+    const std::vector<Addr> &chunks() const { return chunks_; }
+
+  private:
+    static constexpr std::size_t kChunkBytes = 4096;
+
+    /** Entries that fit in one chunk. */
+    std::size_t chunkCapacity() const { return kChunkBytes / entryBytes_; }
+
+    Addr chunkLimit(std::uint32_t chunk) const;
+
+    /** Allocate / advance to the next chunk (the overflow slow path). */
+    void grow();
+
+    Core &core_;
+    SimAllocator &heap_;
+    Addr cursorAddr_;
+    unsigned entryBytes_;
+    std::vector<Addr> chunks_;
+    std::uint32_t curChunk_ = 0;
+    std::uint64_t entries_ = 0;
+};
+
+/** Undo-log entry metadata word layout. */
+namespace undometa {
+
+/** Access size in bytes lives in the low byte. */
+inline std::uint64_t
+make(unsigned size, bool is_obj_ref)
+{
+    return static_cast<std::uint64_t>(size & 0xff) |
+           (is_obj_ref ? 0x100 : 0);
+}
+
+inline unsigned size(std::uint64_t meta) { return meta & 0xff; }
+inline bool isObjRef(std::uint64_t meta) { return (meta & 0x100) != 0; }
+
+} // namespace undometa
+
+} // namespace hastm
+
+#endif // HASTM_STM_TX_LOG_HH

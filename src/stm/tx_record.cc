@@ -1,0 +1,19 @@
+#include "stm/tx_record.hh"
+
+#include "mem/alloc.hh"
+#include "mem/arena.hh"
+
+namespace hastm {
+
+TxRecordTable::TxRecordTable(MemArena &arena, SimAllocator &heap)
+{
+    base_ = heap.allocZeroed(txrec::kTableBytes, 64);
+    // Initialise every record slot to the first shared version. This
+    // is setup, not simulated execution, so it writes the arena
+    // directly. Only every 64th word is a live record (one per line);
+    // initialising the padding words too is harmless.
+    for (Addr off = 0; off < txrec::kTableBytes; off += 64)
+        arena.write<std::uint64_t>(base_ + off, txrec::kInitialVersion);
+}
+
+} // namespace hastm

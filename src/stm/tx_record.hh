@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Transaction records (§4).
+ *
+ * A transaction record is a pointer-sized word associated with each
+ * datum accessed inside a transaction. It is either
+ *  - shared:    an odd-valued version number, or
+ *  - exclusive: the (word-aligned, hence even) simulated address of
+ *               the owning transaction's descriptor.
+ *
+ * Two mappings from datum to record are supported (§4):
+ *  - object granularity: every object embeds a record in its header;
+ *  - cache-line granularity: the datum's address bits 6..17 offset
+ *    into a global, 256 KiB table of line-aligned records:
+ *        rec = TxRecTableBase + (addr & 0x3ffc0)
+ */
+
+#ifndef HASTM_STM_TX_RECORD_HH
+#define HASTM_STM_TX_RECORD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hastm {
+
+class MemArena;
+class SimAllocator;
+
+namespace txrec {
+
+/** Version numbers are odd; descriptors are 64-byte aligned. */
+constexpr std::uint64_t kInitialVersion = 1;
+
+/** True when @p v encodes a version number (record is shared). */
+inline bool
+isVersion(std::uint64_t v)
+{
+    return (v & 1) != 0;
+}
+
+/** The version that follows @p v after a committed release. */
+inline std::uint64_t
+nextVersion(std::uint64_t v)
+{
+    return v + 2;
+}
+
+/** Mask extracting address bits 6..17 (the paper's 0x3ffc0). */
+constexpr Addr kTableMask = 0x3ffc0;
+
+/** Table span implied by the mask: 4096 records, 64 bytes apart. */
+constexpr std::size_t kTableBytes = kTableMask + 64;
+
+} // namespace txrec
+
+/**
+ * The global transaction-record table used for cache-line granularity
+ * conflict detection. Each record occupies its own cache line to
+ * prevent ping-ponging (§4).
+ */
+class TxRecordTable
+{
+  public:
+    /** Allocate and initialise the table (all records shared, v1). */
+    TxRecordTable(MemArena &arena, SimAllocator &heap);
+
+    /** Record address for datum address @p data (line granularity). */
+    Addr
+    recordFor(Addr data) const
+    {
+        return base_ + (data & txrec::kTableMask);
+    }
+
+    /**
+     * Record address keyed by the 8-byte word instead of the cache
+     * line: two words on one line map to different records, removing
+     * line-level false conflicts at the price of touching more
+     * records per transaction. Records stay line-aligned to avoid
+     * ping-ponging; the hash mixes the word index so neighbouring
+     * words do not collide into neighbouring records.
+     */
+    Addr
+    recordForWord(Addr data) const
+    {
+        Addr word = data >> 3;
+        Addr h = word * 0x9e3779b97f4a7c15ull;
+        return base_ + ((h >> 20 << 6) & txrec::kTableMask);
+    }
+
+    Addr base() const { return base_; }
+
+  private:
+    Addr base_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_STM_TX_RECORD_HH

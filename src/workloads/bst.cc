@@ -1,0 +1,239 @@
+#include "workloads/bst.hh"
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "gc/collector.hh"
+#include "workloads/ds_util.hh"
+
+namespace hastm {
+
+Bst::Bst(TmThread &t)
+{
+    rootHolder_ = t.txAlloc(8, 0b1);
+}
+
+std::uint64_t
+Bst::get(TmThread &t, std::uint64_t key, bool &found)
+{
+    std::uint64_t steps = 0;
+    Addr node = t.readField(rootHolder_, 0);
+    while (node != kNullAddr) {
+        guardSteps(t, steps);
+        std::uint64_t k = t.readField(node, kKey);
+        t.core().execInstrIlp(12);
+        if (k == key) {
+            found = true;
+            return t.readField(node, kVal);
+        }
+        node = t.readField(node, childOff(key < k));
+    }
+    found = false;
+    return 0;
+}
+
+bool
+Bst::contains(TmThread &t, std::uint64_t key)
+{
+    bool found;
+    get(t, key, found);
+    return found;
+}
+
+bool
+Bst::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
+{
+    std::uint64_t steps = 0;
+    Addr parent = rootHolder_;
+    unsigned slot = 0;
+    Addr node = t.readField(rootHolder_, 0);
+    while (node != kNullAddr) {
+        guardSteps(t, steps);
+        std::uint64_t k = t.readField(node, kKey);
+        t.core().execInstrIlp(12);
+        if (k == key) {
+            t.writeField(node, kVal, value);
+            return false;
+        }
+        parent = node;
+        slot = childOff(key < k);
+        node = t.readField(node, slot);
+    }
+    Addr fresh = t.txAlloc(32, kNodePtrMask);
+    t.writeField(fresh, kKey, key);
+    t.writeField(fresh, kVal, value);
+    t.writeField(parent, slot, fresh, true);
+    return true;
+}
+
+bool
+Bst::remove(TmThread &t, std::uint64_t key)
+{
+    std::uint64_t steps = 0;
+    Addr parent = rootHolder_;
+    unsigned slot = 0;
+    Addr node = t.readField(rootHolder_, 0);
+    while (node != kNullAddr) {
+        guardSteps(t, steps);
+        std::uint64_t k = t.readField(node, kKey);
+        t.core().execInstrIlp(12);
+        if (k == key)
+            break;
+        parent = node;
+        slot = childOff(key < k);
+        node = t.readField(node, slot);
+    }
+    if (node == kNullAddr)
+        return false;
+
+    Addr left = t.readField(node, kLeft);
+    Addr right = t.readField(node, kRight);
+    if (left == kNullAddr || right == kNullAddr) {
+        // Zero or one child: splice the child into the parent slot.
+        Addr child = left != kNullAddr ? left : right;
+        t.writeField(parent, slot, child, true);
+    } else {
+        // Two children: replace with the in-order successor (leftmost
+        // node of the right subtree), then splice the successor out.
+        Addr succ_parent = node;
+        unsigned succ_slot = kRight;
+        Addr succ = right;
+        for (;;) {
+            guardSteps(t, steps);
+            Addr next = t.readField(succ, kLeft);
+            if (next == kNullAddr)
+                break;
+            succ_parent = succ;
+            succ_slot = kLeft;
+            succ = next;
+        }
+        t.writeField(node, kKey, t.readField(succ, kKey));
+        t.writeField(node, kVal, t.readField(succ, kVal));
+        t.writeField(succ_parent, succ_slot,
+                     t.readField(succ, kRight), true);
+        node = succ;  // the successor node is the one released
+    }
+    t.txFree(node);
+    return true;
+}
+
+bool
+Bst::containsOp(TmThread &t, std::uint64_t key)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = contains(t, key); });
+    return result;
+}
+
+bool
+Bst::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = insert(t, key, value); });
+    return result;
+}
+
+bool
+Bst::removeOp(TmThread &t, std::uint64_t key)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = remove(t, key); });
+    return result;
+}
+
+std::uint64_t
+Bst::sizeOp(TmThread &t)
+{
+    std::uint64_t count = 0;
+    t.atomic([&] {
+        count = 0;
+        std::uint64_t steps = 0;
+        std::vector<Addr> stack;
+        Addr root = t.readField(rootHolder_, 0);
+        if (root != kNullAddr)
+            stack.push_back(root);
+        while (!stack.empty()) {
+            guardSteps(t, steps);
+            Addr node = stack.back();
+            stack.pop_back();
+            ++count;
+            for (unsigned off : {kLeft, kRight}) {
+                Addr child = t.readField(node, off);
+                if (child != kNullAddr)
+                    stack.push_back(child);
+            }
+        }
+    });
+    return count;
+}
+
+std::uint64_t
+Bst::checksumOp(TmThread &t)
+{
+    std::uint64_t sum = 0;
+    t.atomic([&] {
+        sum = 0;
+        std::uint64_t steps = 0;
+        std::vector<Addr> stack;
+        Addr root = t.readField(rootHolder_, 0);
+        if (root != kNullAddr)
+            stack.push_back(root);
+        while (!stack.empty()) {
+            guardSteps(t, steps);
+            Addr node = stack.back();
+            stack.pop_back();
+            sum += t.readField(node, kKey) * 0x9e3779b97f4a7c15ull +
+                   t.readField(node, kVal);
+            for (unsigned off : {kLeft, kRight}) {
+                Addr child = t.readField(node, off);
+                if (child != kNullAddr)
+                    stack.push_back(child);
+            }
+        }
+    });
+    return sum;
+}
+
+bool
+Bst::checkInvariantOp(TmThread &t)
+{
+    bool ok = true;
+    t.atomic([&] {
+        ok = true;
+        std::uint64_t steps = 0;
+        // (node, lower, upper) bounds, exclusive.
+        struct Frame { Addr node; std::uint64_t lo, hi; bool has_lo, has_hi; };
+        std::vector<Frame> stack;
+        Addr root = t.readField(rootHolder_, 0);
+        if (root != kNullAddr)
+            stack.push_back({root, 0, 0, false, false});
+        while (!stack.empty() && ok) {
+            guardSteps(t, steps);
+            Frame f = stack.back();
+            stack.pop_back();
+            std::uint64_t k = t.readField(f.node, kKey);
+            if ((f.has_lo && k <= f.lo) || (f.has_hi && k >= f.hi)) {
+                ok = false;
+                break;
+            }
+            Addr left = t.readField(f.node, kLeft);
+            Addr right = t.readField(f.node, kRight);
+            if (left != kNullAddr)
+                stack.push_back({left, f.lo, k, f.has_lo, true});
+            if (right != kNullAddr)
+                stack.push_back({right, k, f.hi, true, f.has_hi});
+        }
+    });
+    return ok;
+}
+
+void
+Bst::registerRoots(Collector &gc)
+{
+    gc.addRoot(&rootHolder_);
+}
+
+} // namespace hastm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Transactional binary search tree (§7 workloads).
+ *
+ * Unbalanced internal BST with the standard successor-splice delete.
+ * Every operation is one coarse atomic section. The lock baseline
+ * from the paper serialises on a single lock "to handle tree
+ * rotations", so under TmScheme::Lock the same code degenerates to
+ * fully serial execution (Fig 18) while the TM schemes conflict only
+ * on overlapping paths — the figure's "advantage of transactions over
+ * locks".
+ *
+ * Moderate cache reuse (~38 % in the paper): upper tree levels are
+ * revisited by every operation.
+ */
+
+#ifndef HASTM_WORKLOADS_BST_HH
+#define HASTM_WORKLOADS_BST_HH
+
+#include <cstdint>
+
+#include "stm/tm_iface.hh"
+
+namespace hastm {
+
+class Collector;
+
+/** Ordered map from uint64 keys to uint64 values. */
+class Bst
+{
+  public:
+    explicit Bst(TmThread &t);
+
+    bool containsOp(TmThread &t, std::uint64_t key);
+    bool insertOp(TmThread &t, std::uint64_t key, std::uint64_t value);
+    bool removeOp(TmThread &t, std::uint64_t key);
+
+    // Raw bodies (inside an atomic block).
+    bool contains(TmThread &t, std::uint64_t key);
+    bool insert(TmThread &t, std::uint64_t key, std::uint64_t value);
+    bool remove(TmThread &t, std::uint64_t key);
+    std::uint64_t get(TmThread &t, std::uint64_t key, bool &found);
+
+    std::uint64_t sizeOp(TmThread &t);
+    std::uint64_t checksumOp(TmThread &t);
+
+    /** Verify the BST ordering invariant in one transaction. */
+    bool checkInvariantOp(TmThread &t);
+
+    /** Register the root holder as a GC root. */
+    void registerRoots(Collector &gc);
+
+  private:
+    // Node fields.
+    static constexpr unsigned kKey = 0;
+    static constexpr unsigned kVal = 8;
+    static constexpr unsigned kLeft = 16;
+    static constexpr unsigned kRight = 24;
+    static constexpr std::uint32_t kNodePtrMask = 0b1100;
+
+    /** Child offset selected by comparison result. */
+    static unsigned childOff(bool go_left) { return go_left ? kLeft : kRight; }
+
+    Addr rootHolder_;   //!< one-field object holding the root pointer
+};
+
+} // namespace hastm
+
+#endif // HASTM_WORKLOADS_BST_HH

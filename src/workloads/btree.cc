@@ -1,0 +1,339 @@
+#include "workloads/btree.hh"
+
+#include "cpu/core.hh"
+#include "gc/collector.hh"
+#include "workloads/ds_util.hh"
+
+namespace hastm {
+
+Btree::Btree(TmThread &t)
+{
+    rootHolder_ = t.txAlloc(8, 0b1);
+    t.atomic([&] {
+        Addr root = allocNode(t, true);
+        t.writeField(rootHolder_, 0, root, true);
+    });
+}
+
+Addr
+Btree::allocNode(TmThread &t, bool leaf)
+{
+    Addr node = t.txAlloc(kFieldBytes,
+                          leaf ? kLeafPtrMask : kInternalPtrMask);
+    t.writeField(node, kIsLeaf, leaf ? 1 : 0);
+    t.writeField(node, kNKeys, 0);
+    return node;
+}
+
+unsigned
+Btree::findSlot(TmThread &t, Addr node, unsigned nkeys, std::uint64_t key)
+{
+    // Linear scan over the contiguous key array — the spatial
+    // locality the Btree workload is known for.
+    unsigned i = 0;
+    while (i < nkeys && t.readField(node, keyOff(i)) < key) {
+        t.core().execInstrIlp(6);
+        ++i;
+    }
+    return i;
+}
+
+void
+Btree::splitChild(TmThread &t, Addr parent, unsigned idx)
+{
+    Addr child = t.readField(parent, childOff(idx));
+    bool leaf = t.readField(child, kIsLeaf) != 0;
+    Addr sibling = allocNode(t, leaf);
+
+    std::uint64_t promote;
+    unsigned left_keys, right_keys;
+    if (leaf) {
+        // B+tree leaf split: upper half moves, first right key is
+        // copied up as the separator.
+        left_keys = kMaxKeys / 2;
+        right_keys = kMaxKeys - left_keys;
+        for (unsigned i = 0; i < right_keys; ++i) {
+            t.writeField(sibling, keyOff(i),
+                         t.readField(child, keyOff(left_keys + i)));
+            t.writeField(sibling, valOff(i),
+                         t.readField(child, valOff(left_keys + i)));
+        }
+        promote = t.readField(sibling, keyOff(0));
+        t.writeField(sibling, kNextLeaf,
+                     t.readField(child, kNextLeaf), true);
+        t.writeField(child, kNextLeaf, sibling, true);
+    } else {
+        // Internal split: middle key moves up.
+        left_keys = kMaxKeys / 2;
+        right_keys = kMaxKeys - left_keys - 1;
+        promote = t.readField(child, keyOff(left_keys));
+        for (unsigned i = 0; i < right_keys; ++i) {
+            t.writeField(sibling, keyOff(i),
+                         t.readField(child, keyOff(left_keys + 1 + i)));
+        }
+        for (unsigned i = 0; i <= right_keys; ++i) {
+            t.writeField(sibling, childOff(i),
+                         t.readField(child, childOff(left_keys + 1 + i)),
+                         true);
+        }
+    }
+    t.writeField(child, kNKeys, left_keys);
+    t.writeField(sibling, kNKeys, right_keys);
+
+    // Shift the parent's keys/children right of idx and link in the
+    // promoted separator + new sibling.
+    unsigned pn = static_cast<unsigned>(t.readField(parent, kNKeys));
+    for (unsigned i = pn; i > idx; --i) {
+        t.writeField(parent, keyOff(i), t.readField(parent, keyOff(i - 1)));
+        t.writeField(parent, childOff(i + 1),
+                     t.readField(parent, childOff(i)), true);
+    }
+    t.writeField(parent, keyOff(idx), promote);
+    t.writeField(parent, childOff(idx + 1), sibling, true);
+    t.writeField(parent, kNKeys, pn + 1);
+}
+
+std::uint64_t
+Btree::get(TmThread &t, std::uint64_t key, bool &found)
+{
+    std::uint64_t steps = 0;
+    Addr node = t.readField(rootHolder_, 0);
+    for (;;) {
+        guardSteps(t, steps);
+        t.core().execInstrIlp(10);  // per-level dispatch overhead
+        unsigned nkeys = static_cast<unsigned>(t.readField(node, kNKeys));
+        if (nkeys > kMaxKeys) {
+            // Zombie read: force the abort rather than indexing junk.
+            t.validateNow();
+            panic("btree node with %u keys and a valid read set", nkeys);
+        }
+        unsigned slot = findSlot(t, node, nkeys, key);
+        if (t.readField(node, kIsLeaf) != 0) {
+            if (slot < nkeys && t.readField(node, keyOff(slot)) == key) {
+                found = true;
+                return t.readField(node, valOff(slot));
+            }
+            found = false;
+            return 0;
+        }
+        // Equal separators route right in this B+tree.
+        if (slot < nkeys && t.readField(node, keyOff(slot)) == key)
+            ++slot;
+        node = t.readField(node, childOff(slot));
+        if (node == kNullAddr) {
+            t.validateNow();
+            panic("btree null child with a valid read set");
+        }
+    }
+}
+
+bool
+Btree::contains(TmThread &t, std::uint64_t key)
+{
+    bool found;
+    get(t, key, found);
+    return found;
+}
+
+bool
+Btree::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
+{
+    std::uint64_t steps = 0;
+    Addr root = t.readField(rootHolder_, 0);
+    if (t.readField(root, kNKeys) == kMaxKeys) {
+        Addr new_root = allocNode(t, false);
+        t.writeField(new_root, childOff(0), root, true);
+        splitChild(t, new_root, 0);
+        t.writeField(rootHolder_, 0, new_root, true);
+        root = new_root;
+    }
+    Addr node = root;
+    for (;;) {
+        guardSteps(t, steps);
+        t.core().execInstrIlp(10);  // per-level dispatch overhead
+        unsigned nkeys = static_cast<unsigned>(t.readField(node, kNKeys));
+        if (nkeys > kMaxKeys) {
+            t.validateNow();
+            panic("btree node with %u keys and a valid read set", nkeys);
+        }
+        unsigned slot = findSlot(t, node, nkeys, key);
+        if (t.readField(node, kIsLeaf) != 0) {
+            if (slot < nkeys && t.readField(node, keyOff(slot)) == key) {
+                t.writeField(node, valOff(slot), value);
+                return false;
+            }
+            for (unsigned i = nkeys; i > slot; --i) {
+                t.writeField(node, keyOff(i),
+                             t.readField(node, keyOff(i - 1)));
+                t.writeField(node, valOff(i),
+                             t.readField(node, valOff(i - 1)));
+            }
+            t.writeField(node, keyOff(slot), key);
+            t.writeField(node, valOff(slot), value);
+            t.writeField(node, kNKeys, nkeys + 1);
+            return true;
+        }
+        if (slot < nkeys && t.readField(node, keyOff(slot)) == key)
+            ++slot;
+        Addr child = t.readField(node, childOff(slot));
+        if (t.readField(child, kNKeys) == kMaxKeys) {
+            splitChild(t, node, slot);
+            // The promoted separator may redirect us.
+            if (key >= t.readField(node, keyOff(slot)))
+                ++slot;
+            child = t.readField(node, childOff(slot));
+        }
+        node = child;
+    }
+}
+
+bool
+Btree::remove(TmThread &t, std::uint64_t key)
+{
+    // Lazy delete: remove from the leaf, never rebalance. Separators
+    // remain valid upper/lower bounds for routing.
+    std::uint64_t steps = 0;
+    Addr node = t.readField(rootHolder_, 0);
+    for (;;) {
+        guardSteps(t, steps);
+        t.core().execInstrIlp(10);  // per-level dispatch overhead
+        unsigned nkeys = static_cast<unsigned>(t.readField(node, kNKeys));
+        if (nkeys > kMaxKeys) {
+            t.validateNow();
+            panic("btree node with %u keys and a valid read set", nkeys);
+        }
+        unsigned slot = findSlot(t, node, nkeys, key);
+        if (t.readField(node, kIsLeaf) != 0) {
+            if (slot >= nkeys || t.readField(node, keyOff(slot)) != key)
+                return false;
+            for (unsigned i = slot; i + 1 < nkeys; ++i) {
+                t.writeField(node, keyOff(i),
+                             t.readField(node, keyOff(i + 1)));
+                t.writeField(node, valOff(i),
+                             t.readField(node, valOff(i + 1)));
+            }
+            t.writeField(node, kNKeys, nkeys - 1);
+            return true;
+        }
+        if (slot < nkeys && t.readField(node, keyOff(slot)) == key)
+            ++slot;
+        node = t.readField(node, childOff(slot));
+        if (node == kNullAddr) {
+            t.validateNow();
+            panic("btree null child with a valid read set");
+        }
+    }
+}
+
+Addr
+Btree::firstLeaf(TmThread &t)
+{
+    std::uint64_t steps = 0;
+    Addr node = t.readField(rootHolder_, 0);
+    while (t.readField(node, kIsLeaf) == 0) {
+        guardSteps(t, steps);
+        node = t.readField(node, childOff(0));
+    }
+    return node;
+}
+
+bool
+Btree::containsOp(TmThread &t, std::uint64_t key)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = contains(t, key); });
+    return result;
+}
+
+bool
+Btree::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = insert(t, key, value); });
+    return result;
+}
+
+bool
+Btree::removeOp(TmThread &t, std::uint64_t key)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = remove(t, key); });
+    return result;
+}
+
+std::uint64_t
+Btree::sizeOp(TmThread &t)
+{
+    std::uint64_t count = 0;
+    t.atomic([&] {
+        count = 0;
+        std::uint64_t steps = 0;
+        for (Addr leaf = firstLeaf(t); leaf != kNullAddr;
+             leaf = t.readField(leaf, kNextLeaf)) {
+            guardSteps(t, steps);
+            count += t.readField(leaf, kNKeys);
+        }
+    });
+    return count;
+}
+
+std::uint64_t
+Btree::checksumOp(TmThread &t)
+{
+    std::uint64_t sum = 0;
+    t.atomic([&] {
+        sum = 0;
+        std::uint64_t steps = 0;
+        for (Addr leaf = firstLeaf(t); leaf != kNullAddr;
+             leaf = t.readField(leaf, kNextLeaf)) {
+            guardSteps(t, steps);
+            unsigned nkeys =
+                static_cast<unsigned>(t.readField(leaf, kNKeys));
+            for (unsigned i = 0; i < nkeys && i < kMaxKeys; ++i) {
+                sum += t.readField(leaf, keyOff(i)) *
+                           0x9e3779b97f4a7c15ull +
+                       t.readField(leaf, valOff(i));
+            }
+        }
+    });
+    return sum;
+}
+
+bool
+Btree::checkInvariantOp(TmThread &t)
+{
+    bool ok = true;
+    t.atomic([&] {
+        ok = true;
+        std::uint64_t steps = 0;
+        bool have_prev = false;
+        std::uint64_t prev = 0;
+        for (Addr leaf = firstLeaf(t); leaf != kNullAddr && ok;
+             leaf = t.readField(leaf, kNextLeaf)) {
+            guardSteps(t, steps);
+            unsigned nkeys =
+                static_cast<unsigned>(t.readField(leaf, kNKeys));
+            for (unsigned i = 0; i < nkeys && i < kMaxKeys; ++i) {
+                std::uint64_t k = t.readField(leaf, keyOff(i));
+                if (have_prev && k <= prev) {
+                    ok = false;
+                    break;
+                }
+                prev = k;
+                have_prev = true;
+            }
+        }
+    });
+    return ok;
+}
+
+void
+Btree::registerRoots(Collector &gc)
+{
+    gc.addRoot(&rootHolder_);
+}
+
+} // namespace hastm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared helpers for the transactional data structures.
+ */
+
+#ifndef HASTM_WORKLOADS_DS_UTIL_HH
+#define HASTM_WORKLOADS_DS_UTIL_HH
+
+#include "sim/logging.hh"
+#include "stm/tm_iface.hh"
+
+namespace hastm {
+
+/**
+ * Defensive traversal bound. A doomed transaction (stale reads under
+ * optimistic concurrency) can chase a cycle of stale pointers; every
+ * loop in the data structures counts its steps through this, which
+ * forces a validation (and thus an abort of the zombie) periodically
+ * and turns a genuinely corrupt structure into a loud failure.
+ */
+inline void
+guardSteps(TmThread &t, std::uint64_t &steps)
+{
+    if ((++steps & 1023) == 0)
+        t.validateNow();
+    if (steps > (1ull << 20))
+        panic("data structure traversal exceeded 2^20 steps with a "
+              "valid read set: structural corruption");
+}
+
+} // namespace hastm
+
+#endif // HASTM_WORKLOADS_DS_UTIL_HH

@@ -1,0 +1,171 @@
+#include "workloads/hashtable.hh"
+
+#include "cpu/core.hh"
+#include "gc/collector.hh"
+#include "workloads/ds_util.hh"
+
+namespace hastm {
+
+HashTable::HashTable(TmThread &t, unsigned num_buckets)
+    : numBuckets_(num_buckets)
+{
+    HASTM_ASSERT(num_buckets >= 1);
+    buckets_.reserve(num_buckets);
+    for (unsigned i = 0; i < num_buckets; ++i)
+        buckets_.push_back(t.txAlloc(8, 0b1));
+}
+
+Addr
+HashTable::bucketFor(TmThread &t, std::uint64_t key) const
+{
+    // Multiplicative hash + directory index (address arithmetic).
+    t.core().execInstrIlp(20);
+    return buckets_[(key * 0x9e3779b97f4a7c15ull) % numBuckets_];
+}
+
+bool
+HashTable::contains(TmThread &t, std::uint64_t key)
+{
+    bool found;
+    get(t, key, found);
+    return found;
+}
+
+std::uint64_t
+HashTable::get(TmThread &t, std::uint64_t key, bool &found)
+{
+    Addr bucket = bucketFor(t, key);
+    std::uint64_t steps = 0;
+    Addr node = t.readField(bucket, kHead);
+    while (node != kNullAddr) {
+        guardSteps(t, steps);
+        t.core().execInstrIlp(6);  // per-node compare/loop overhead
+        if (t.readField(node, kKey) == key) {
+            found = true;
+            return t.readField(node, kVal);
+        }
+        node = t.readField(node, kNext);
+    }
+    found = false;
+    return 0;
+}
+
+bool
+HashTable::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
+{
+    Addr bucket = bucketFor(t, key);
+    std::uint64_t steps = 0;
+    Addr head = t.readField(bucket, kHead);
+    for (Addr node = head; node != kNullAddr;
+         node = t.readField(node, kNext)) {
+        guardSteps(t, steps);
+        if (t.readField(node, kKey) == key) {
+            t.writeField(node, kVal, value);
+            return false;  // updated in place
+        }
+    }
+    Addr node = t.txAlloc(24, kNodePtrMask);
+    t.writeField(node, kKey, key);
+    t.writeField(node, kVal, value);
+    t.writeField(node, kNext, head, true);
+    t.writeField(bucket, kHead, node, true);
+    return true;
+}
+
+bool
+HashTable::remove(TmThread &t, std::uint64_t key)
+{
+    Addr bucket = bucketFor(t, key);
+    std::uint64_t steps = 0;
+    Addr prev = kNullAddr;
+    Addr node = t.readField(bucket, kHead);
+    while (node != kNullAddr) {
+        guardSteps(t, steps);
+        Addr next = t.readField(node, kNext);
+        if (t.readField(node, kKey) == key) {
+            if (prev == kNullAddr)
+                t.writeField(bucket, kHead, next, true);
+            else
+                t.writeField(prev, kNext, next, true);
+            t.txFree(node);
+            return true;
+        }
+        prev = node;
+        node = next;
+    }
+    return false;
+}
+
+bool
+HashTable::containsOp(TmThread &t, std::uint64_t key)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = contains(t, key); });
+    return result;
+}
+
+bool
+HashTable::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = insert(t, key, value); });
+    return result;
+}
+
+bool
+HashTable::removeOp(TmThread &t, std::uint64_t key)
+{
+    t.core().execInstrIlp(60);  // call/marshalling prologue
+    bool result = false;
+    t.atomic([&] { result = remove(t, key); });
+    return result;
+}
+
+std::uint64_t
+HashTable::sizeOp(TmThread &t)
+{
+    std::uint64_t count = 0;
+    t.atomic([&] {
+        count = 0;
+        std::uint64_t steps = 0;
+        for (Addr bucket : buckets_) {
+            for (Addr node = t.readField(bucket, kHead);
+                 node != kNullAddr; node = t.readField(node, kNext)) {
+                guardSteps(t, steps);
+                ++count;
+            }
+        }
+    });
+    return count;
+}
+
+std::uint64_t
+HashTable::checksumOp(TmThread &t)
+{
+    std::uint64_t sum = 0;
+    t.atomic([&] {
+        sum = 0;
+        std::uint64_t steps = 0;
+        for (Addr bucket : buckets_) {
+            for (Addr node = t.readField(bucket, kHead);
+                 node != kNullAddr; node = t.readField(node, kNext)) {
+                guardSteps(t, steps);
+                std::uint64_t key = t.readField(node, kKey);
+                std::uint64_t val = t.readField(node, kVal);
+                sum += key * 0x9e3779b97f4a7c15ull + val;
+            }
+        }
+    });
+    return sum;
+}
+
+void
+HashTable::registerRoots(Collector &gc)
+{
+    for (Addr &bucket : buckets_)
+        gc.addRoot(&bucket);
+}
+
+} // namespace hastm

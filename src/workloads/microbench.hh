@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic critical-section microbenchmark (§7.3, Fig 15).
+ *
+ * Emulates the memory characteristics of the Java/pthreads critical
+ * regions of Fig 13: a configurable load fraction (60-90 %) and cache
+ * reuse rate (40-60 % in the paper's sweep; "miss" labels there are
+ * 100 − reuse). Fresh accesses draw from a working set much larger
+ * than the L1, so non-reused accesses genuinely miss.
+ */
+
+#ifndef HASTM_WORKLOADS_MICROBENCH_HH
+#define HASTM_WORKLOADS_MICROBENCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stm/tm_iface.hh"
+
+namespace hastm {
+
+class Machine;
+
+/** Access-mix parameters for one synthetic critical section. */
+struct MicroParams
+{
+    unsigned accessesPerTx = 64;
+    unsigned loadPct = 80;        //!< loads as % of accesses
+    unsigned loadReusePct = 50;   //!< loads hitting an already-touched line
+    unsigned storeReusePct = 40;  //!< kept constant in the paper
+};
+
+/** A shared array of raw cache lines plus the transaction generator. */
+class MicroWorkload
+{
+  public:
+    /**
+     * Allocate @p lines 64-byte lines of raw shared data.
+     * @param disjoint_per_thread when true, each thread gets its own
+     *        region (single-thread comparisons; no data conflicts).
+     */
+    MicroWorkload(Machine &machine, std::size_t lines,
+                  unsigned num_threads = 1, bool disjoint_per_thread = true);
+    ~MicroWorkload();
+    MicroWorkload(const MicroWorkload &) = delete;
+    MicroWorkload &operator=(const MicroWorkload &) = delete;
+
+    /** Run one transaction with the given access mix. */
+    void runTx(TmThread &t, unsigned thread, const MicroParams &p,
+               Rng &rng);
+
+    /** Sum of every word (single-threaded, raw reads; for checks). */
+    std::uint64_t rawSum() const;
+
+  private:
+    Addr lineBase(unsigned thread, std::uint64_t line) const;
+
+    Machine &machine_;
+    std::size_t lines_;
+    unsigned numThreads_;
+    bool disjoint_;
+    Addr base_;
+    std::size_t regionBytes_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_WORKLOADS_MICROBENCH_HH

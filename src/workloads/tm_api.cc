@@ -1,0 +1,212 @@
+#include "workloads/tm_api.hh"
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+// --------------------------------------------------------------- Seq
+
+std::uint64_t
+SeqThread::readWord(Addr a)
+{
+    return core_.load<std::uint64_t>(a);
+}
+
+void
+SeqThread::writeWord(Addr a, std::uint64_t v, bool is_ptr)
+{
+    (void)is_ptr;
+    core_.store<std::uint64_t>(a, v);
+}
+
+std::uint64_t
+SeqThread::readField(Addr obj, unsigned off)
+{
+    return core_.load<std::uint64_t>(obj + kObjHeaderBytes + off);
+}
+
+void
+SeqThread::writeField(Addr obj, unsigned off, std::uint64_t v, bool is_ptr)
+{
+    (void)is_ptr;
+    core_.store<std::uint64_t>(obj + kObjHeaderBytes + off, v);
+}
+
+Addr
+SeqThread::txAlloc(std::size_t field_bytes, std::uint32_t ptr_mask)
+{
+    std::size_t total = kObjHeaderBytes + ((field_bytes + 15) & ~15ull);
+    Addr obj = g_.machine().heap().alloc(total, 16);
+    core_.execInstr(25);
+    core_.store<std::uint64_t>(obj + kTxRecOff, txrec::kInitialVersion);
+    core_.store<std::uint64_t>(obj + kGcMetaOff,
+                               objmeta::make(field_bytes, ptr_mask));
+    for (Addr a = obj + kObjHeaderBytes; a < obj + total; a += 8)
+        core_.store<std::uint64_t>(a, 0);
+    return obj;
+}
+
+void
+SeqThread::txFree(Addr obj)
+{
+    core_.execInstr(8);
+    g_.machine().heap().free(obj);
+}
+
+bool
+SeqThread::commit()
+{
+    depth_ = 0;
+    ++stats_.commits;
+    return true;
+}
+
+// --------------------------------------------------------------- Lock
+
+void
+LockThread::acquire()
+{
+    Core::PhaseScope scope(core_, Phase::Lock);
+    Cycles backoff = 32;
+    for (;;) {
+        // Test-and-test-and-set: spin on the cached value, CAS only
+        // when the lock looks free.
+        std::uint64_t v = core_.load<std::uint64_t>(lockAddr_);
+        core_.execInstrIlp(2);
+        if (v == 0) {
+            std::uint64_t old = core_.cas<std::uint64_t>(lockAddr_, 0, 1);
+            if (old == 0)
+                return;
+        }
+        core_.stall(backoff + 5 * (core_.id() + 1));
+        if (backoff < 4096)
+            backoff *= 2;
+    }
+}
+
+void
+LockThread::release()
+{
+    Core::PhaseScope scope(core_, Phase::Lock);
+    core_.store<std::uint64_t>(lockAddr_, 0);
+    core_.execInstr(1);
+}
+
+void
+LockThread::begin()
+{
+    HASTM_ASSERT(depth_ == 0);
+    acquire();
+    depth_ = 1;
+}
+
+bool
+LockThread::commit()
+{
+    release();
+    depth_ = 0;
+    ++stats_.commits;
+    return true;
+}
+
+void
+LockThread::rollback()
+{
+    // Only reachable via userAbort(); the lock still protects us, so
+    // there is nothing to undo — but effects are NOT rolled back.
+    // This is precisely the composability gap of lock-based code the
+    // paper motivates TM with.
+    release();
+    depth_ = 0;
+}
+
+// ------------------------------------------------------------- Session
+
+TmSession::TmSession(Machine &machine, const SessionConfig &cfg)
+    : machine_(machine), cfg_(cfg)
+{
+    HASTM_ASSERT(cfg_.numThreads >= 1);
+    HASTM_ASSERT(cfg_.numThreads <= machine.numCores());
+    if (cfg_.scheme == TmScheme::Sequential)
+        HASTM_ASSERT(cfg_.numThreads == 1);
+
+    globals_ = std::make_unique<StmGlobals>(machine_, cfg_.stm);
+    if (cfg_.scheme == TmScheme::Lock)
+        lockAddr_ = machine_.heap().allocZeroed(64, 64);
+
+    for (unsigned i = 0; i < cfg_.numThreads; ++i) {
+        Core &core = machine_.core(i);
+        switch (cfg_.scheme) {
+          case TmScheme::Sequential:
+            threads_.push_back(
+                std::make_unique<SeqThread>(core, *globals_));
+            break;
+          case TmScheme::Lock:
+            threads_.push_back(std::make_unique<LockThread>(
+                core, *globals_, lockAddr_));
+            break;
+          case TmScheme::Stm:
+            threads_.push_back(
+                std::make_unique<StmThread>(core, *globals_));
+            break;
+          case TmScheme::Hastm:
+            threads_.push_back(std::make_unique<HastmThread>(
+                core, *globals_, HastmVariant::Normal, cfg_.numThreads));
+            break;
+          case TmScheme::HastmCautious:
+            threads_.push_back(std::make_unique<HastmThread>(
+                core, *globals_, HastmVariant::Cautious,
+                cfg_.numThreads));
+            break;
+          case TmScheme::HastmNoReuse:
+            threads_.push_back(std::make_unique<HastmThread>(
+                core, *globals_, HastmVariant::NoReuse, cfg_.numThreads));
+            break;
+          case TmScheme::HastmNaive:
+            threads_.push_back(std::make_unique<HastmThread>(
+                core, *globals_, HastmVariant::Naive, cfg_.numThreads));
+            break;
+          case TmScheme::Hytm:
+            threads_.push_back(
+                std::make_unique<HytmThread>(core, *globals_));
+            break;
+          default:
+            panic("unknown TM scheme");
+        }
+    }
+}
+
+void
+TmSession::resetStats()
+{
+    for (auto &t : threads_)
+        t->resetStats();
+}
+
+TmStats
+TmSession::totalStats() const
+{
+    TmStats total;
+    for (const auto &t : threads_) {
+        const TmStats &s = t->stats();
+        total.commits += s.commits;
+        total.aborts += s.aborts;
+        total.nestedCommits += s.nestedCommits;
+        total.nestedAborts += s.nestedAborts;
+        total.retries += s.retries;
+        total.userAborts += s.userAborts;
+        total.fastValidations += s.fastValidations;
+        total.fullValidations += s.fullValidations;
+        total.rdFastHits += s.rdFastHits;
+        total.rdBarriers += s.rdBarriers;
+        total.wrBarriers += s.wrBarriers;
+        total.wrFastHits += s.wrFastHits;
+        total.undoElided += s.undoElided;
+        total.aggressiveCommits += s.aggressiveCommits;
+        total.aggressiveAborts += s.aggressiveAborts;
+        total.htmAborts += s.htmAborts;
+    }
+    return total;
+}
+
+} // namespace hastm

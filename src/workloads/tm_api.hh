@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Session factory and the non-transactional baseline threads.
+ *
+ * A TmSession owns one TmThread per core, all running the same
+ * concurrency-control scheme, over one Machine. Workloads are
+ * scheme-agnostic: they receive a TmThread and use atomic() +
+ * readField/writeField.
+ */
+
+#ifndef HASTM_WORKLOADS_TM_API_HH
+#define HASTM_WORKLOADS_TM_API_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "hastm/hastm.hh"
+#include "htm/hytm.hh"
+#include "stm/stm.hh"
+
+namespace hastm {
+
+/** Session-wide configuration. */
+struct SessionConfig
+{
+    TmScheme scheme = TmScheme::Stm;
+    unsigned numThreads = 1;
+    StmConfig stm;   //!< granularity, validation period, CM, marks
+};
+
+/**
+ * Sequential baseline: no synchronisation at all. Only valid with a
+ * single thread; this is the paper's "fastest single thread execution
+ * time" reference (§7.3).
+ */
+class SeqThread : public TmThread
+{
+  public:
+    SeqThread(Core &core, StmGlobals &globals)
+        : TmThread(core), g_(globals) {}
+
+    std::uint64_t readWord(Addr a) override;
+    void writeWord(Addr a, std::uint64_t v, bool is_ptr = false) override;
+    std::uint64_t readField(Addr obj, unsigned off) override;
+    void writeField(Addr obj, unsigned off, std::uint64_t v,
+                    bool is_ptr = false) override;
+    Addr txAlloc(std::size_t field_bytes,
+                 std::uint32_t ptr_mask = 0) override;
+    void txFree(Addr obj) override;
+    bool inTx() const override { return depth_ > 0; }
+
+  protected:
+    void begin() override { depth_ = 1; }
+    bool commit() override;
+    void rollback() override { depth_ = 0; }
+
+    StmGlobals &g_;
+};
+
+/**
+ * Coarse-grained lock baseline: one test-and-test-and-set spinlock
+ * per session guards every atomic block (the dashed lines of Fig 11).
+ */
+class LockThread : public SeqThread
+{
+  public:
+    LockThread(Core &core, StmGlobals &globals, Addr lock_addr)
+        : SeqThread(core, globals), lockAddr_(lock_addr) {}
+
+  protected:
+    void begin() override;
+    bool commit() override;
+    void rollback() override;
+
+  private:
+    void acquire();
+    void release();
+
+    Addr lockAddr_;
+};
+
+/** A machine + a scheme + one TM thread per core. */
+class TmSession
+{
+  public:
+    TmSession(Machine &machine, const SessionConfig &cfg);
+
+    TmThread &thread(unsigned i) { return *threads_[i]; }
+    TmThread &threadFor(Core &core) { return *threads_[core.id()]; }
+    unsigned numThreads() const { return cfg_.numThreads; }
+    TmScheme scheme() const { return cfg_.scheme; }
+    Granularity gran() const { return cfg_.stm.gran; }
+    Machine &machine() { return machine_; }
+    StmGlobals &globals() { return *globals_; }
+
+    /** Sum of all threads' outcome counters. */
+    TmStats totalStats() const;
+
+    /** Zero every thread's outcome counters. */
+    void resetStats();
+
+  private:
+    Machine &machine_;
+    SessionConfig cfg_;
+    std::unique_ptr<StmGlobals> globals_;
+    Addr lockAddr_ = kNullAddr;
+    std::vector<std::unique_ptr<TmThread>> threads_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_WORKLOADS_TM_API_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Critical-section trace workloads and the Fig 13 analysis pipeline.
+ *
+ * The paper characterises twelve Java Grande / DaCapo / pthreads
+ * applications (moldyn ... bp-vision) by the load fraction and cache
+ * reuse inside their critical sections. Those applications are not
+ * available here, so each is substituted by a synthetic trace
+ * generator calibrated to the bar heights of Fig 13 (documented in
+ * DESIGN.md). The *analysis* half — measuring load fraction and
+ * per-critical-section line reuse from a trace — is implemented
+ * independently of the generators, so the bench reports measured
+ * values, not the calibration inputs.
+ */
+
+#ifndef HASTM_WORKLOADS_TRACES_HH
+#define HASTM_WORKLOADS_TRACES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace hastm {
+
+/** One memory reference inside a critical section. */
+struct TraceRef
+{
+    bool isLoad;
+    std::uint64_t line;   //!< cache-line id
+};
+
+/** A critical section's reference stream. */
+using CriticalSection = std::vector<TraceRef>;
+
+/** Calibration for one named workload. */
+struct TraceProfile
+{
+    std::string name;
+    unsigned loadPct;        //!< target load fraction (%)
+    unsigned loadReusePct;   //!< target load reuse (%)
+    unsigned storeReusePct;  //!< target store reuse (%)
+    unsigned meanRefs;       //!< mean references per critical section
+    unsigned workingLines;   //!< lines the section draws from
+};
+
+/** The twelve Fig 13 workload profiles, in figure order. */
+const std::vector<TraceProfile> &fig13Profiles();
+
+/** Generate one critical section from a profile. */
+CriticalSection generateCriticalSection(const TraceProfile &p, Rng &rng);
+
+/** Measured Fig 13 metrics. */
+struct TraceStats
+{
+    double loadFraction = 0;   //!< loads / all refs
+    double loadReuse = 0;      //!< loads hitting a line a prior load hit
+    double storeReuse = 0;     //!< stores hitting a line a prior store hit
+};
+
+/**
+ * Analyse @p sections exactly as Fig 13 defines: reuse is counted
+ * against lines already touched by a prior access of the same kind
+ * *within the same critical section*.
+ */
+TraceStats analyzeTrace(const std::vector<CriticalSection> &sections);
+
+} // namespace hastm
+
+#endif // HASTM_WORKLOADS_TRACES_HH

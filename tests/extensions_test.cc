@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the remaining §2/§4 capabilities: word-granularity
+ * conflict detection (no line-level false conflicts), contention
+ * diagnostics (the profile names the hot record), and a parameterised
+ * correctness sweep over scheme x granularity x validation period
+ * (property: money conservation under concurrent transfers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/tm_api.hh"
+
+namespace hastm {
+namespace {
+
+struct Env
+{
+    Env(TmScheme scheme, unsigned threads, StmConfig stm)
+    {
+        MachineParams mp;
+        mp.mem.numCores = std::max(2u, threads);
+        mp.arenaBytes = 16 * 1024 * 1024;
+        machine = std::make_unique<Machine>(mp);
+        SessionConfig sc;
+        sc.scheme = scheme;
+        sc.numThreads = threads;
+        sc.stm = stm;
+        session = std::make_unique<TmSession>(*machine, sc);
+    }
+
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<TmSession> session;
+};
+
+// ------------------------------------------------- word granularity
+
+TEST(WordGranularity, DistinctWordsOnOneLineMapToDistinctRecords)
+{
+    MachineParams mp;
+    mp.mem.numCores = 1;
+    mp.arenaBytes = 8 * 1024 * 1024;
+    Machine m(mp);
+    StmConfig cfg;
+    StmGlobals g(m, cfg);
+    // Every word of one line shares the line-granularity record but
+    // the word-keyed mapping spreads them (pigeonholes can collide,
+    // but not ALL eight onto one record).
+    Addr base = 4096;
+    std::set<Addr> line_recs, word_recs;
+    for (unsigned i = 0; i < 8; ++i) {
+        line_recs.insert(g.recTable().recordFor(base + 8 * i));
+        word_recs.insert(g.recTable().recordForWord(base + 8 * i));
+    }
+    EXPECT_EQ(line_recs.size(), 1u);
+    EXPECT_GT(word_recs.size(), 4u);
+    // Records stay cache-line aligned (no ping-ponging, §4).
+    for (Addr r : word_recs)
+        EXPECT_EQ(r % 64, 0u);
+}
+
+TEST(WordGranularity, EliminatesFalseSharingConflicts)
+{
+    // Two threads hammer DIFFERENT words of the SAME cache line.
+    // Line granularity must serialise them through contention; word
+    // granularity must let both proceed conflict-free.
+    auto run = [](Granularity gran) {
+        StmConfig stm;
+        stm.gran = gran;
+        Env env(TmScheme::Stm, 2, stm);
+        Addr line = env.machine->heap().allocZeroed(64, 64);
+        env.machine->runOnCores(2, [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            Addr word = line + 8 * core.id();
+            for (int i = 0; i < 60; ++i) {
+                t.atomic([&] {
+                    std::uint64_t v = t.readWord(word);
+                    core.execInstr(25);
+                    t.writeWord(word, v + 1);
+                });
+            }
+        });
+        // Both counters must be exact regardless of granularity.
+        EXPECT_EQ(env.machine->arena().read<std::uint64_t>(line), 60u);
+        EXPECT_EQ(env.machine->arena().read<std::uint64_t>(line + 8),
+                  60u);
+        auto &t0 = static_cast<StmThread &>(env.session->thread(0));
+        auto &t1 = static_cast<StmThread &>(env.session->thread(1));
+        return t0.contention().conflicts() +
+               t1.contention().conflicts() +
+               env.session->totalStats().aborts;
+    };
+    std::uint64_t line_friction = run(Granularity::CacheLine);
+    std::uint64_t word_friction = run(Granularity::Word);
+    EXPECT_GT(line_friction, 0u);   // false sharing really conflicts
+    EXPECT_EQ(word_friction, 0u);   // word keying removes it entirely
+}
+
+TEST(WordGranularity, HastmStillAcceleratesAndStaysCorrect)
+{
+    StmConfig stm;
+    stm.gran = Granularity::Word;
+    Env env(TmScheme::Hastm, 2, stm);
+    Addr obj = 0;
+    env.machine->run({[&](Core &core) {
+        obj = env.session->threadFor(core).txAlloc(16);
+    }});
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (int i = 0; i < 80; ++i) {
+            t.atomic([&] {
+                std::uint64_t v = t.readField(obj, 0);
+                t.readField(obj, 0);  // repeated: filterable
+                core.execInstr(10);
+                t.writeField(obj, 0, v + 1);
+            });
+        }
+    });
+    std::uint64_t v = 0;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        t.atomic([&] { v = t.readField(obj, 0); });
+    }});
+    EXPECT_EQ(v, 160u);
+    EXPECT_GE(env.session->totalStats().rdFastHits, 80u);
+}
+
+// --------------------------------------------------- diagnostics
+
+TEST(Diagnostics, ProfileNamesTheHotRecord)
+{
+    StmConfig stm;
+    stm.gran = Granularity::Object;
+    stm.cm.diagnostics = true;
+    Env env(TmScheme::Stm, 2, stm);
+    std::vector<Addr> objs(4);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (auto &o : objs)
+            o = t.txAlloc(16);
+    }});
+    // objs[2] is the hot spot; the others see occasional traffic.
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Rng rng(core.id() + 5);
+        for (int i = 0; i < 150; ++i) {
+            Addr o = rng.chancePct(85) ? objs[2]
+                                       : objs[rng.range(4)];
+            t.atomic([&] {
+                std::uint64_t v = t.readField(o, 0);
+                core.execInstr(30);
+                t.writeField(o, 0, v + 1);
+            });
+        }
+    });
+    // The per-thread profiles must identify objs[2]'s record (its
+    // object address — §2: application-space diagnostics) as hottest.
+    std::uint64_t hot_total = 0, all_total = 0;
+    for (unsigned i = 0; i < 2; ++i) {
+        auto &t = static_cast<StmThread &>(env.session->thread(i));
+        for (auto &[rec, n] : t.contention().conflictProfile()) {
+            all_total += n;
+            if (rec == objs[2] + kTxRecOff)
+                hot_total += n;
+        }
+        auto top = t.contention().hottest(1);
+        if (!top.empty())
+            EXPECT_EQ(top[0].first, objs[2] + kTxRecOff);
+    }
+    EXPECT_GT(all_total, 0u);
+    EXPECT_GT(hot_total * 2, all_total);  // the hot spot dominates
+}
+
+TEST(Diagnostics, OffByDefaultAndCostsNothing)
+{
+    StmConfig stm;
+    Env env(TmScheme::Stm, 2, stm);
+    Addr obj = 0;
+    env.machine->run({[&](Core &core) {
+        obj = env.session->threadFor(core).txAlloc(16);
+    }});
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (int i = 0; i < 30; ++i) {
+            t.atomic([&] {
+                t.writeField(obj, 0, t.readField(obj, 0) + 1);
+            });
+        }
+    });
+    auto &t0 = static_cast<StmThread &>(env.session->thread(0));
+    EXPECT_TRUE(t0.contention().conflictProfile().empty());
+}
+
+// ------------------------------------- property sweep (conservation)
+
+struct SweepCase
+{
+    TmScheme scheme;
+    Granularity gran;
+    unsigned validateEvery;
+};
+
+class ConservationSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(ConservationSweep, MoneyConserved)
+{
+    const SweepCase &c = GetParam();
+    StmConfig stm;
+    stm.gran = c.gran;
+    stm.validateEvery = c.validateEvery;
+    constexpr unsigned kAccounts = 6;
+    constexpr std::uint64_t kInitial = 500;
+    Env env(c.scheme, 3, stm);
+    std::vector<Addr> accounts(kAccounts);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (auto &a : accounts) {
+            a = t.txAlloc(16);
+            t.atomic([&] { t.writeField(a, 0, kInitial); });
+        }
+    }});
+    env.machine->runOnCores(3, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Rng rng(core.id() * 13 + 1);
+        for (int i = 0; i < 80; ++i) {
+            Addr from = accounts[rng.range(kAccounts)];
+            Addr to = accounts[rng.range(kAccounts)];
+            std::uint64_t amount = rng.range(40);
+            t.atomic([&] {
+                std::uint64_t f = t.readField(from, 0);
+                if (f >= amount && from != to) {
+                    t.writeField(from, 0, f - amount);
+                    t.writeField(to, 0, t.readField(to, 0) + amount);
+                }
+            });
+        }
+    });
+    std::uint64_t total = 0;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        t.atomic([&] {
+            total = 0;
+            for (Addr a : accounts)
+                total += t.readField(a, 0);
+        });
+    }});
+    EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    for (TmScheme s : {TmScheme::Stm, TmScheme::Hastm,
+                       TmScheme::HastmNaive, TmScheme::Hytm}) {
+        for (Granularity g : {Granularity::CacheLine, Granularity::Word,
+                              Granularity::Object}) {
+            for (unsigned period : {0u, 4u, 64u})
+                cases.push_back({s, g, period});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ConservationSweep, ::testing::ValuesIn(sweepCases()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        std::string name = tmSchemeName(info.param.scheme);
+        for (auto &ch : name)
+            if (ch == '-')
+                ch = '_';
+        name += std::string("_") + granularityName(info.param.gran);
+        name += "_v" + std::to_string(info.param.validateEvery);
+        return name;
+    });
+
+} // namespace
+} // namespace hastm

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Integration tests: the experiment harness end-to-end, determinism
+ * of whole experiments, cross-scheme equivalence of single-threaded
+ * results, and the qualitative relationships the paper's evaluation
+ * rests on (STM single-thread overhead, HASTM acceleration, scaling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace hastm {
+namespace {
+
+ExperimentConfig
+baseConfig(WorkloadKind wl, TmScheme scheme, unsigned threads)
+{
+    ExperimentConfig cfg;
+    cfg.workload = wl;
+    cfg.scheme = scheme;
+    cfg.threads = threads;
+    cfg.totalOps = 1200;
+    cfg.initialSize = 512;
+    cfg.keyRange = 2048;
+    cfg.machine.arenaBytes = 32 * 1024 * 1024;
+    return cfg;
+}
+
+TEST(Harness, ProducesSaneResult)
+{
+    ExperimentResult r =
+        runDataStructure(baseConfig(WorkloadKind::Bst, TmScheme::Stm, 2));
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GE(r.tm.commits, 1200u);  // measured ops + verification
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.loads, 0u);
+    EXPECT_TRUE(r.invariantOk);
+    EXPECT_GT(r.finalSize, 0u);
+    // Phase cycles decompose the run: their sum equals total cycles
+    // across cores, so no cycle goes unattributed.
+    Cycles phase_sum = 0;
+    for (auto c : r.phaseCycles)
+        phase_sum += c;
+    EXPECT_GT(phase_sum, r.makespan / 2);
+}
+
+TEST(Harness, ExperimentsAreDeterministic)
+{
+    auto cfg = baseConfig(WorkloadKind::Btree, TmScheme::Hastm, 4);
+    ExperimentResult a = runDataStructure(cfg);
+    ExperimentResult b = runDataStructure(cfg);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.tm.aborts, b.tm.aborts);
+}
+
+TEST(Harness, SingleThreadFinalStateIdenticalAcrossSchemes)
+{
+    // With one thread the operation sequence is fixed, so every
+    // correct scheme must produce the same final structure.
+    for (WorkloadKind wl : {WorkloadKind::HashTable, WorkloadKind::Bst,
+                            WorkloadKind::Btree}) {
+        ExperimentResult ref =
+            runDataStructure(baseConfig(wl, TmScheme::Sequential, 1));
+        for (TmScheme s : {TmScheme::Lock, TmScheme::Stm,
+                           TmScheme::Hastm, TmScheme::HastmCautious,
+                           TmScheme::HastmNoReuse, TmScheme::HastmNaive,
+                           TmScheme::Hytm}) {
+            ExperimentResult r = runDataStructure(baseConfig(wl, s, 1));
+            EXPECT_EQ(r.checksum, ref.checksum)
+                << workloadName(wl) << " under " << tmSchemeName(s);
+            EXPECT_EQ(r.finalSize, ref.finalSize)
+                << workloadName(wl) << " under " << tmSchemeName(s);
+            EXPECT_TRUE(r.invariantOk);
+        }
+    }
+}
+
+TEST(Harness, MultiThreadInvariantsHoldAcrossSchemes)
+{
+    for (WorkloadKind wl : {WorkloadKind::HashTable, WorkloadKind::Bst,
+                            WorkloadKind::Btree}) {
+        for (TmScheme s : {TmScheme::Lock, TmScheme::Stm,
+                           TmScheme::Hastm, TmScheme::HastmNaive}) {
+            ExperimentResult r = runDataStructure(baseConfig(wl, s, 4));
+            EXPECT_TRUE(r.invariantOk)
+                << workloadName(wl) << " under " << tmSchemeName(s);
+            EXPECT_GE(r.tm.commits, 1200u);
+        }
+    }
+}
+
+// ---- the paper's qualitative relationships (guard rails for the
+// ---- benches; loose tolerances, single seed, small runs) ----
+
+TEST(PaperShape, StmHasSingleThreadOverheadOverLock)
+{
+    // Fig 11 / §7.1: STM suffers single-thread overhead vs locks.
+    for (WorkloadKind wl : {WorkloadKind::Bst, WorkloadKind::Btree}) {
+        ExperimentResult lock =
+            runDataStructure(baseConfig(wl, TmScheme::Lock, 1));
+        ExperimentResult stm =
+            runDataStructure(baseConfig(wl, TmScheme::Stm, 1));
+        EXPECT_GT(stm.makespan, lock.makespan * 1.2)
+            << workloadName(wl);
+    }
+}
+
+TEST(PaperShape, HastmCutsStmSingleThreadOverhead)
+{
+    // Fig 16: HASTM significantly cuts the STM overhead.
+    for (WorkloadKind wl : {WorkloadKind::Bst, WorkloadKind::Btree}) {
+        ExperimentResult seq =
+            runDataStructure(baseConfig(wl, TmScheme::Sequential, 1));
+        ExperimentResult stm =
+            runDataStructure(baseConfig(wl, TmScheme::Stm, 1));
+        ExperimentResult hastm =
+            runDataStructure(baseConfig(wl, TmScheme::Hastm, 1));
+        EXPECT_LT(hastm.makespan, stm.makespan) << workloadName(wl);
+        EXPECT_GT(hastm.makespan, seq.makespan) << workloadName(wl);
+    }
+}
+
+TEST(PaperShape, ReadBarrierAndValidationDominateStmOverhead)
+{
+    // Fig 12: the read barrier + validation are the prime targets.
+    ExperimentResult r =
+        runDataStructure(baseConfig(WorkloadKind::Bst, TmScheme::Stm, 1));
+    Cycles rd = r.phaseCycles[std::size_t(Phase::RdBarrier)] +
+                r.phaseCycles[std::size_t(Phase::Validate)];
+    Cycles wr = r.phaseCycles[std::size_t(Phase::WrBarrier)] +
+                r.phaseCycles[std::size_t(Phase::Commit)];
+    EXPECT_GT(rd, wr);
+}
+
+TEST(PaperShape, HastmFiltersMostRepeatedReads)
+{
+    // Btree has high intra-transaction reuse; most read barriers must
+    // hit the 2-instruction fast path.
+    ExperimentResult r = runDataStructure(
+        baseConfig(WorkloadKind::Btree, TmScheme::Hastm, 1));
+    EXPECT_GT(r.tm.rdFastHits, r.tm.rdBarriers / 4);
+}
+
+TEST(PaperShape, StmScalesOnHashtable)
+{
+    // Fig 20: low-contention hashtable scales with cores.
+    ExperimentConfig cfg =
+        baseConfig(WorkloadKind::HashTable, TmScheme::Stm, 1);
+    cfg.totalOps = 2000;
+    ExperimentResult one = runDataStructure(cfg);
+    cfg.threads = 4;
+    ExperimentResult four = runDataStructure(cfg);
+    EXPECT_LT(four.makespan, one.makespan * 0.6);
+}
+
+TEST(PaperShape, LockDoesNotScaleOnBst)
+{
+    // Fig 18: the coarse lock serialises the BST entirely.
+    ExperimentConfig cfg = baseConfig(WorkloadKind::Bst, TmScheme::Lock, 1);
+    cfg.totalOps = 2000;
+    ExperimentResult one = runDataStructure(cfg);
+    cfg.threads = 4;
+    ExperimentResult four = runDataStructure(cfg);
+    EXPECT_GT(four.makespan, one.makespan * 0.85);
+}
+
+TEST(PaperShape, MicroHarnessRunsAllSchemes)
+{
+    MicroConfig cfg;
+    cfg.transactions = 32;
+    cfg.machine.arenaBytes = 16 * 1024 * 1024;
+    for (TmScheme s : {TmScheme::Stm, TmScheme::Hastm,
+                       TmScheme::HastmCautious, TmScheme::Hytm}) {
+        cfg.scheme = s;
+        ExperimentResult r = runMicro(cfg);
+        EXPECT_GE(r.tm.commits, 32u) << tmSchemeName(s);
+        EXPECT_GT(r.makespan, 0u);
+    }
+}
+
+} // namespace
+} // namespace hastm

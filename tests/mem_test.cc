@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: arena, allocator, cache
+ * geometry, MESI coherence, mark-bit discard events, inclusive-L2
+ * back-invalidation, and the prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/alloc.hh"
+#include "mem/arena.hh"
+#include "mem/cache.hh"
+#include "mem/mem_system.hh"
+
+namespace hastm {
+namespace {
+
+// ------------------------------------------------------------- arena
+
+TEST(Arena, ReadWriteRoundTrip)
+{
+    MemArena arena(1 << 16);
+    arena.write<std::uint64_t>(128, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(arena.read<std::uint64_t>(128), 0xdeadbeefcafebabeull);
+    arena.write<std::uint8_t>(128, 0x11);
+    EXPECT_EQ(arena.read<std::uint64_t>(128), 0xdeadbeefcafeba11ull);
+}
+
+TEST(ArenaDeathTest, OutOfRangePanics)
+{
+    MemArena arena(4096);
+    EXPECT_DEATH(arena.read<std::uint64_t>(4095), "out of range");
+    EXPECT_DEATH(arena.read<std::uint32_t>(0), "out of range");
+}
+
+// ---------------------------------------------------------- allocator
+
+TEST(Allocator, AllocatesAlignedDisjointBlocks)
+{
+    MemArena arena(1 << 20);
+    SimAllocator heap(arena, 64, (1 << 20) - 64);
+    Addr a = heap.alloc(100, 16);
+    Addr b = heap.alloc(100, 64);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_TRUE(a + 100 <= b || b + 100 <= a);
+    EXPECT_EQ(heap.allocatedBytes(), 200u);
+    EXPECT_EQ(heap.liveBlocks(), 2u);
+}
+
+TEST(Allocator, FreeAndCoalesceAllowsReuse)
+{
+    MemArena arena(1 << 16);
+    SimAllocator heap(arena, 64, (1 << 16) - 64);
+    // Fill most of the heap with three blocks, free them all, then a
+    // block bigger than any single fragment must still fit.
+    std::size_t third = ((1 << 16) - 64) / 3 - 32;
+    Addr a = heap.alloc(third);
+    Addr b = heap.alloc(third);
+    Addr c = heap.alloc(third);
+    heap.free(b);
+    heap.free(a);
+    heap.free(c);
+    EXPECT_EQ(heap.allocatedBytes(), 0u);
+    Addr big = heap.alloc(3 * third);
+    EXPECT_NE(big, kNullAddr);
+}
+
+TEST(AllocatorDeathTest, DoubleFreePanics)
+{
+    MemArena arena(1 << 16);
+    SimAllocator heap(arena, 64, (1 << 16) - 64);
+    Addr a = heap.alloc(64);
+    heap.free(a);
+    EXPECT_DEATH(heap.free(a), "unallocated");
+}
+
+TEST(Allocator, ZeroedAllocation)
+{
+    MemArena arena(1 << 16);
+    SimAllocator heap(arena, 64, (1 << 16) - 64);
+    Addr a = heap.alloc(64);
+    arena.write<std::uint64_t>(a, ~0ull);
+    heap.free(a);
+    Addr b = heap.allocZeroed(64);
+    EXPECT_EQ(arena.read<std::uint64_t>(b), 0u);
+}
+
+// ------------------------------------------------------------- cache
+
+TEST(Cache, SubBlockMask)
+{
+    Cache cache("c", CacheParams{32 * 1024, 8, 64, 16});
+    EXPECT_EQ(cache.subBlockMask(0, 8), 0b0001);
+    EXPECT_EQ(cache.subBlockMask(16, 16), 0b0010);
+    EXPECT_EQ(cache.subBlockMask(8, 16), 0b0011);
+    EXPECT_EQ(cache.subBlockMask(0, 64), 0b1111);
+    EXPECT_EQ(cache.subBlockMask(48, 8), 0b1000);
+}
+
+TEST(Cache, LruVictimSelection)
+{
+    // Tiny cache: 2 sets, 2 ways, so three same-set lines force an
+    // eviction of the least recently touched.
+    Cache cache("c", CacheParams{256, 2, 64, 16});
+    Addr set0_a = 0, set0_b = 128, set0_c = 256;
+    cache.fill(*cache.victimFor(set0_a), set0_a, MesiState::Shared);
+    cache.fill(*cache.victimFor(set0_b), set0_b, MesiState::Shared);
+    cache.touch(*cache.findLine(set0_a));  // b is now LRU
+    CacheLine *victim = cache.victimFor(set0_c);
+    EXPECT_EQ(victim->tag, set0_b);
+}
+
+// -------------------------------------------------- coherent hierarchy
+
+struct TestEnv
+{
+    explicit TestEnv(MemParams p = makeParams())
+        : arena(1 << 22), mem(arena, p)
+    {
+    }
+
+    static MemParams
+    makeParams()
+    {
+        MemParams p;
+        p.numCores = 4;
+        p.prefetchNextLine = false;  // deterministic expectations
+        return p;
+    }
+
+    MemArena arena;
+    MemSystem mem;
+};
+
+/** Counts listener events for one core. */
+struct RecordingListener : MemListener
+{
+    unsigned markEvents = 0;
+    unsigned specConflicts = 0;
+    unsigned specCapacity = 0;
+
+    void
+    marksDiscarded(SmtId, unsigned, unsigned count) override
+    {
+        markEvents += count;
+    }
+
+    void
+    specLost(SpecLoss why) override
+    {
+        if (why == SpecLoss::Conflict)
+            ++specConflicts;
+        else
+            ++specCapacity;
+    }
+};
+
+TEST(MemSystem, HitAfterMissAndLatencies)
+{
+    TestEnv env;
+    auto miss = env.mem.access(0, 0, 4096, 8, false);
+    EXPECT_FALSE(miss.l1Hit);
+    EXPECT_GE(miss.latency, env.mem.params().memLat);
+    auto hit = env.mem.access(0, 0, 4096, 8, false);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(hit.latency, env.mem.params().l1HitLat);
+}
+
+TEST(MemSystem, L2HitAfterRemoteFill)
+{
+    TestEnv env;
+    env.mem.access(0, 0, 4096, 8, false);   // memory -> L2 -> L1(0)
+    auto r = env.mem.access(1, 0, 8192, 8, false);
+    EXPECT_FALSE(r.l2Hit);
+    auto r2 = env.mem.access(2, 0, 4096, 8, false);
+    EXPECT_TRUE(r2.l2Hit);  // filled by core 0's miss
+}
+
+TEST(MemSystem, WriteInvalidatesRemoteCopies)
+{
+    TestEnv env;
+    env.mem.access(0, 0, 4096, 8, false);
+    env.mem.access(1, 0, 4096, 8, false);
+    EXPECT_NE(env.mem.l1(0).findLine(4096), nullptr);
+    env.mem.access(2, 0, 4096, 8, true);
+    EXPECT_EQ(env.mem.l1(0).findLine(4096), nullptr);
+    EXPECT_EQ(env.mem.l1(1).findLine(4096), nullptr);
+    EXPECT_EQ(env.mem.l1(2).findLine(4096)->state, MesiState::Modified);
+}
+
+TEST(MemSystem, UpgradeFromSharedInvalidatesPeers)
+{
+    TestEnv env;
+    env.mem.access(0, 0, 4096, 8, false);
+    env.mem.access(1, 0, 4096, 8, false);
+    // Core 0 still holds the line (Shared); writing upgrades it.
+    auto r = env.mem.access(0, 0, 4096, 8, true);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(env.mem.l1(0).findLine(4096)->state, MesiState::Modified);
+    EXPECT_EQ(env.mem.l1(1).findLine(4096), nullptr);
+}
+
+TEST(MemSystem, MarkBitsSetTestReset)
+{
+    TestEnv env;
+    env.mem.access(0, 0, 4096, 8, false);
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 4096, 8));
+    env.mem.setMarks(0, 0, 4096, 8);
+    EXPECT_TRUE(env.mem.testMarks(0, 0, 4096, 8));
+    // Only the covered sub-block is marked.
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 4096 + 16, 8));
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 4096, 64));
+    env.mem.resetMarks(0, 0, 4096, 8);
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 4096, 8));
+}
+
+TEST(MemSystem, RemoteStoreDiscardsMarksAndNotifies)
+{
+    TestEnv env;
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 0, 4096, 8, false);
+    env.mem.setMarks(0, 0, 4096, 8);
+    env.mem.access(1, 0, 4096, 8, true);  // remote store
+    EXPECT_EQ(listener.markEvents, 1u);
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 4096, 8));
+}
+
+TEST(MemSystem, RemoteReadKeepsMarks)
+{
+    TestEnv env;
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 0, 4096, 8, false);
+    env.mem.setMarks(0, 0, 4096, 8);
+    env.mem.access(1, 0, 4096, 8, false);  // remote read: downgrade only
+    EXPECT_EQ(listener.markEvents, 0u);
+    EXPECT_TRUE(env.mem.testMarks(0, 0, 4096, 8));
+}
+
+TEST(MemSystem, CapacityEvictionDiscardsMarks)
+{
+    MemParams p = TestEnv::makeParams();
+    p.l1 = CacheParams{1024, 1, 64, 16};  // 16 sets, direct mapped
+    p.l2 = CacheParams{1 << 20, 16, 64, 16};
+    TestEnv env(p);
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 0, 4096, 8, false);
+    env.mem.setMarks(0, 0, 4096, 8);
+    // Same set (stride = 1024 bytes in a 16-set cache): evicts.
+    env.mem.access(0, 0, 4096 + 1024, 8, false);
+    EXPECT_EQ(listener.markEvents, 1u);
+}
+
+TEST(MemSystem, InclusiveL2BackInvalidation)
+{
+    MemParams p = TestEnv::makeParams();
+    p.l1 = CacheParams{32 * 1024, 8, 64, 16};
+    p.l2 = CacheParams{4096, 1, 64, 16};  // tiny direct-mapped L2
+    TestEnv env(p);
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 0, 8192, 8, false);
+    env.mem.setMarks(0, 0, 8192, 8);
+    // Another core pulls a line mapping to the same L2 set; the L2
+    // victim back-invalidates core 0's copy (inclusion), killing the
+    // mark even though core 0's L1 had plenty of room — the Fig 19
+    // destructive-interference mechanism.
+    env.mem.access(1, 0, 8192 + 4096, 8, false);
+    EXPECT_EQ(listener.markEvents, 1u);
+    EXPECT_EQ(env.mem.l1(0).findLine(8192), nullptr);
+}
+
+TEST(MemSystem, ResetMarkAllClearsEverything)
+{
+    TestEnv env;
+    env.mem.access(0, 0, 4096, 8, false);
+    env.mem.access(0, 0, 8192, 8, false);
+    env.mem.setMarks(0, 0, 4096, 8);
+    env.mem.setMarks(0, 0, 8192, 8);
+    env.mem.resetMarkAll(0, 0);
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 4096, 8));
+    EXPECT_FALSE(env.mem.testMarks(0, 0, 8192, 8));
+}
+
+TEST(MemSystem, SmtStoreInvalidatesSiblingMarks)
+{
+    MemParams p = TestEnv::makeParams();
+    p.numSmt = 2;
+    TestEnv env(p);
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 1, 4096, 8, false);
+    env.mem.setMarks(0, 1, 4096, 8);
+    // SMT thread 0 of the same core stores to the line: thread 1's
+    // marks are invalidated (§3.1) but the line stays present.
+    env.mem.access(0, 0, 4096, 8, true);
+    EXPECT_EQ(listener.markEvents, 1u);
+    EXPECT_FALSE(env.mem.testMarks(0, 1, 4096, 8));
+    EXPECT_NE(env.mem.l1(0).findLine(4096), nullptr);
+}
+
+TEST(MemSystem, SpecLinesAbortOnRemoteConflict)
+{
+    TestEnv env;
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 0, 4096, 8, false);
+    EXPECT_TRUE(env.mem.setSpec(0, 4096, 8, false));
+    // Remote read of a spec-read line: no conflict.
+    env.mem.access(1, 0, 4096, 8, false);
+    EXPECT_EQ(listener.specConflicts, 0u);
+    // Remote write: conflict.
+    env.mem.access(2, 0, 4096, 8, true);
+    EXPECT_EQ(listener.specConflicts, 1u);
+}
+
+TEST(MemSystem, SpecWriteLineAbortsOnRemoteRead)
+{
+    TestEnv env;
+    RecordingListener listener;
+    env.mem.setListener(0, &listener);
+    env.mem.access(0, 0, 4096, 8, true);
+    EXPECT_TRUE(env.mem.setSpec(0, 4096, 8, true));
+    env.mem.access(1, 0, 4096, 8, false);  // remote read observes it
+    EXPECT_EQ(listener.specConflicts, 1u);
+}
+
+TEST(MemSystem, PrefetchPullsNextLine)
+{
+    MemParams p = TestEnv::makeParams();
+    p.prefetchNextLine = true;
+    TestEnv env(p);
+    env.mem.access(0, 0, 4096, 8, false);
+    EXPECT_NE(env.mem.l1(0).findLine(4096 + 64), nullptr);
+    EXPECT_GE(env.mem.stats().get("prefetches"), 1u);
+}
+
+TEST(MemSystem, LineSpanningAccessTouchesBothLines)
+{
+    TestEnv env;
+    env.mem.access(0, 0, 4096 + 60, 8, false);  // spans 4096 and 4160
+    EXPECT_NE(env.mem.l1(0).findLine(4096), nullptr);
+    EXPECT_NE(env.mem.l1(0).findLine(4160), nullptr);
+}
+
+} // namespace
+} // namespace hastm

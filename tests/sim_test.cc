@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: fibers, scheduler, RNG,
+ * stats, logging plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fiber.hh"
+#include "sim/rng.hh"
+#include "sim/scheduler.hh"
+#include "sim/stats.hh"
+
+namespace hastm {
+namespace {
+
+TEST(Fiber, PingPongSwitching)
+{
+    Fiber main_fiber;
+    std::vector<int> order;
+    Fiber *child_ptr = nullptr;
+    Fiber child([&] {
+        order.push_back(1);
+        child_ptr->switchTo(main_fiber);
+        order.push_back(3);
+        child_ptr->switchTo(main_fiber);
+        // Never reached again.
+        for (;;)
+            child_ptr->switchTo(main_fiber);
+    });
+    child_ptr = &child;
+    order.push_back(0);
+    main_fiber.switchTo(child);
+    order.push_back(2);
+    main_fiber.switchTo(child);
+    order.push_back(4);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Fiber, DeepStackUsage)
+{
+    Fiber main_fiber;
+    Fiber *child_ptr = nullptr;
+    std::uint64_t result = 0;
+    // Recurse enough to use a lot of the 512 KiB fiber stack.
+    std::function<std::uint64_t(int)> rec = [&](int n) -> std::uint64_t {
+        volatile char pad[256] = {};
+        pad[0] = static_cast<char>(n);
+        return n == 0 ? std::uint64_t(pad[0]) : rec(n - 1) + 1;
+    };
+    Fiber child([&] {
+        result = rec(1000);
+        child_ptr->switchTo(main_fiber);
+        for (;;)
+            child_ptr->switchTo(main_fiber);
+    });
+    child_ptr = &child;
+    main_fiber.switchTo(child);
+    EXPECT_EQ(result, 1000u);
+}
+
+TEST(Scheduler, RunsAllThreadsToCompletion)
+{
+    Scheduler sched;
+    int done = 0;
+    for (int i = 0; i < 5; ++i)
+        sched.spawn([&] { ++done; });
+    sched.run();
+    EXPECT_EQ(done, 5);
+}
+
+TEST(Scheduler, InterleavesByVirtualTime)
+{
+    Scheduler sched;
+    std::vector<int> order;
+    // Thread 0 advances in big steps, thread 1 in small steps; the
+    // min-time rule must run thread 1 several times per thread-0 step.
+    sched.spawn([&] {
+        for (int i = 0; i < 3; ++i) {
+            order.push_back(0);
+            sched.advance(100);
+        }
+    });
+    sched.spawn([&] {
+        for (int i = 0; i < 6; ++i) {
+            order.push_back(1);
+            sched.advance(10);
+        }
+    });
+    sched.run();
+    // First events: both at time 0 (tie -> lower id first), then the
+    // small-step thread dominates until it catches up.
+    ASSERT_GE(order.size(), 4u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 1);
+    // Thread 1's six steps of 10 all fit before thread 0's second
+    // step at t=100.
+    int ones_before_second_zero = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        if (order[i] == 0)
+            break;
+        ++ones_before_second_zero;
+    }
+    EXPECT_EQ(ones_before_second_zero, 6);
+}
+
+TEST(Scheduler, DeterministicSwitchCount)
+{
+    auto run_once = [] {
+        Scheduler sched;
+        for (int t = 0; t < 4; ++t) {
+            sched.spawn([&sched, t] {
+                for (int i = 0; i < 50; ++i)
+                    sched.advance(1 + (t + i) % 7);
+            });
+        }
+        sched.run();
+        return sched.switches();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Scheduler, BlockAndUnblock)
+{
+    Scheduler sched;
+    bool woken = false;
+    ThreadId sleeper = sched.spawn([&] {
+        sched.block();
+        woken = true;
+    });
+    sched.spawn([&] {
+        sched.advance(50);
+        sched.unblock(sleeper);
+    });
+    sched.run();
+    EXPECT_TRUE(woken);
+    // The woken thread resumed no earlier than its waker.
+    EXPECT_GE(sched.timeOf(sleeper), 50u);
+}
+
+TEST(SchedulerDeathTest, DeadlockPanics)
+{
+    EXPECT_DEATH({
+        Scheduler sched;
+        sched.spawn([&] { sched.block(); });
+        sched.run();
+    }, "deadlock");
+}
+
+TEST(Scheduler, StopTheWorldParksPeers)
+{
+    Scheduler sched;
+    int peer_progress = 0;
+    bool world_stopped_at = false;
+    sched.spawn([&] {
+        for (int i = 0; i < 100; ++i) {
+            ++peer_progress;
+            sched.advance(1);
+        }
+    });
+    sched.spawn([&] {
+        sched.advance(5);
+        sched.stopTheWorld();
+        // No peer can advance while the world is stopped.
+        int snapshot = peer_progress;
+        sched.advance(1000);
+        world_stopped_at = (snapshot == peer_progress);
+        sched.resumeTheWorld();
+    });
+    sched.run();
+    EXPECT_TRUE(world_stopped_at);
+    EXPECT_EQ(peer_progress, 100);
+}
+
+TEST(Scheduler, SpawnFromInsideThread)
+{
+    Scheduler sched;
+    int children = 0;
+    sched.spawn([&] {
+        for (int i = 0; i < 3; ++i)
+            sched.spawn([&] { ++children; });
+    });
+    sched.run();
+    EXPECT_EQ(children, 3);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeIsBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, ChancePctRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chancePct(30);
+    EXPECT_NEAR(hits / double(trials), 0.30, 0.01);
+}
+
+TEST(Stats, RegistryAndDump)
+{
+    StatGroup group("g");
+    Counter a, b;
+    group.add("alpha", &a);
+    group.add("beta", &b);
+    a.inc(3);
+    b.inc();
+    EXPECT_EQ(group.get("alpha"), 3u);
+    EXPECT_EQ(group.get("beta"), 1u);
+    EXPECT_EQ(group.get("missing"), 0u);
+    EXPECT_TRUE(group.has("alpha"));
+    EXPECT_FALSE(group.has("missing"));
+    group.resetAll();
+    EXPECT_EQ(group.get("alpha"), 0u);
+}
+
+} // namespace
+} // namespace hastm

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * STM runtime tests: transactional semantics across every scheme
+ * (conformance suite), plus STM-specific machinery — undo, version
+ * management, conflict detection, nesting with partial rollback,
+ * retry/orElse, log growth, contention policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/tm_api.hh"
+
+namespace hastm {
+namespace {
+
+struct Env
+{
+    explicit Env(TmScheme scheme, unsigned threads = 2,
+                 Granularity gran = Granularity::CacheLine,
+                 MachineParams mp = defaultMachine())
+    {
+        mp.mem.numCores = std::max(mp.mem.numCores, threads);
+        machine = std::make_unique<Machine>(mp);
+        SessionConfig sc;
+        sc.scheme = scheme;
+        sc.numThreads = threads;
+        sc.stm.gran = gran;
+        session = std::make_unique<TmSession>(*machine, sc);
+    }
+
+    static MachineParams
+    defaultMachine()
+    {
+        MachineParams mp;
+        mp.mem.numCores = 2;
+        mp.arenaBytes = 8 * 1024 * 1024;
+        return mp;
+    }
+
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<TmSession> session;
+};
+
+// ------------------------------------------------ conformance suite
+
+struct SchemeCase
+{
+    TmScheme scheme;
+    Granularity gran;
+};
+
+class TmConformance : public ::testing::TestWithParam<SchemeCase>
+{
+};
+
+TEST_P(TmConformance, CommittedWritesPersist)
+{
+    Env env(GetParam().scheme, 1, GetParam().gran);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] {
+            t.writeField(obj, 0, 11);
+            t.writeField(obj, 8, 22);
+        });
+        std::uint64_t a = 0, b = 0;
+        t.atomic([&] {
+            a = t.readField(obj, 0);
+            b = t.readField(obj, 8);
+        });
+        EXPECT_EQ(a, 11u);
+        EXPECT_EQ(b, 22u);
+        EXPECT_GE(t.stats().commits, 2u);
+    }});
+}
+
+TEST_P(TmConformance, ReadYourOwnWrites)
+{
+    Env env(GetParam().scheme, 1, GetParam().gran);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(16);
+        t.atomic([&] {
+            t.writeField(obj, 0, 5);
+            EXPECT_EQ(t.readField(obj, 0), 5u);
+            t.writeField(obj, 0, 6);
+            EXPECT_EQ(t.readField(obj, 0), 6u);
+        });
+    }});
+}
+
+TEST_P(TmConformance, UserAbortRollsBackAndExits)
+{
+    // Lock cannot roll back (documented); skip it here.
+    if (GetParam().scheme == TmScheme::Lock ||
+        GetParam().scheme == TmScheme::Sequential) {
+        GTEST_SKIP() << "baselines have no rollback";
+    }
+    Env env(GetParam().scheme, 1, GetParam().gran);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(16);
+        t.atomic([&] { t.writeField(obj, 0, 1); });
+        bool committed = t.atomic([&] {
+            t.writeField(obj, 0, 99);
+            t.userAbort();
+        });
+        EXPECT_FALSE(committed);
+        std::uint64_t v = 0;
+        t.atomic([&] { v = t.readField(obj, 0); });
+        EXPECT_EQ(v, 1u);
+        EXPECT_GE(t.stats().userAborts, 1u);
+    }});
+}
+
+TEST_P(TmConformance, CounterIncrementsAreAtomic)
+{
+    // The classic lost-update test: two threads increment a shared
+    // counter; atomicity means no increment is lost.
+    if (GetParam().scheme == TmScheme::Sequential)
+        GTEST_SKIP() << "single-threaded baseline";
+    constexpr unsigned kIncrements = 150;
+    Env env(GetParam().scheme, 2, GetParam().gran);
+    Addr obj = 0;
+    env.machine->run({[&](Core &core) {
+        obj = env.session->threadFor(core).txAlloc(16);
+    }});
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (unsigned i = 0; i < kIncrements; ++i) {
+            t.atomic([&] {
+                std::uint64_t v = t.readField(obj, 0);
+                core.execInstr(20);  // widen the race window
+                t.writeField(obj, 0, v + 1);
+            });
+        }
+    });
+    std::uint64_t final_value = 0;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        t.atomic([&] { final_value = t.readField(obj, 0); });
+    }});
+    EXPECT_EQ(final_value, 2u * kIncrements);
+}
+
+TEST_P(TmConformance, DisjointWritesBothSurvive)
+{
+    if (GetParam().scheme == TmScheme::Sequential)
+        GTEST_SKIP() << "single-threaded baseline";
+    Env env(GetParam().scheme, 2, GetParam().gran);
+    std::vector<Addr> objs(2);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        objs[0] = t.txAlloc(16);
+        objs[1] = t.txAlloc(16);
+    }});
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (unsigned i = 1; i <= 40; ++i)
+            t.atomic([&] { t.writeField(objs[core.id()], 0, i); });
+    });
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        t.atomic([&] {
+            EXPECT_EQ(t.readField(objs[0], 0), 40u);
+            EXPECT_EQ(t.readField(objs[1], 0), 40u);
+        });
+    }});
+}
+
+TEST_P(TmConformance, MoneyConservedUnderTransfers)
+{
+    if (GetParam().scheme == TmScheme::Sequential)
+        GTEST_SKIP() << "single-threaded baseline";
+    constexpr unsigned kAccounts = 8;
+    constexpr std::uint64_t kInitial = 1000;
+    Env env(GetParam().scheme, 2, GetParam().gran);
+    std::vector<Addr> accounts(kAccounts);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        for (auto &a : accounts) {
+            a = t.txAlloc(16);
+            t.atomic([&] { t.writeField(a, 0, kInitial); });
+        }
+    }});
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Rng rng(core.id() + 17);
+        for (int i = 0; i < 120; ++i) {
+            Addr from = accounts[rng.range(kAccounts)];
+            Addr to = accounts[rng.range(kAccounts)];
+            std::uint64_t amount = rng.range(50);
+            t.atomic([&] {
+                std::uint64_t f = t.readField(from, 0);
+                if (f >= amount) {
+                    t.writeField(from, 0, f - amount);
+                    if (from != to) {
+                        t.writeField(to, 0,
+                                     t.readField(to, 0) + amount);
+                    } else {
+                        t.writeField(to, 0, f);
+                    }
+                }
+            });
+        }
+    });
+    std::uint64_t total = 0;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        t.atomic([&] {
+            total = 0;
+            for (Addr a : accounts)
+                total += t.readField(a, 0);
+        });
+    }});
+    EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, TmConformance,
+    ::testing::Values(
+        SchemeCase{TmScheme::Sequential, Granularity::CacheLine},
+        SchemeCase{TmScheme::Lock, Granularity::CacheLine},
+        SchemeCase{TmScheme::Stm, Granularity::CacheLine},
+        SchemeCase{TmScheme::Stm, Granularity::Object},
+        SchemeCase{TmScheme::Hastm, Granularity::CacheLine},
+        SchemeCase{TmScheme::Hastm, Granularity::Object},
+        SchemeCase{TmScheme::HastmCautious, Granularity::CacheLine},
+        SchemeCase{TmScheme::HastmNoReuse, Granularity::Object},
+        SchemeCase{TmScheme::HastmNaive, Granularity::CacheLine},
+        SchemeCase{TmScheme::Hytm, Granularity::CacheLine},
+        SchemeCase{TmScheme::Hytm, Granularity::Object}),
+    [](const ::testing::TestParamInfo<SchemeCase> &info) {
+        std::string name = tmSchemeName(info.param.scheme);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        name += info.param.gran == Granularity::Object ? "_obj" : "_line";
+        return name;
+    });
+
+// ------------------------------------------------- STM-specific
+
+TEST(Stm, VersionsAdvanceByTwoAndStayOdd)
+{
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        auto &t = static_cast<StmThread &>(env.session->thread(0));
+        Addr obj = t.txAlloc(16);
+        Addr rec = env.session->globals().recTable().recordFor(
+            obj + kObjHeaderBytes);
+        std::uint64_t v0 =
+            env.machine->arena().read<std::uint64_t>(rec);
+        EXPECT_TRUE(txrec::isVersion(v0));
+        t.atomic([&] { t.writeField(obj, 0, 1); });
+        std::uint64_t v1 =
+            env.machine->arena().read<std::uint64_t>(rec);
+        EXPECT_TRUE(txrec::isVersion(v1));
+        EXPECT_EQ(v1, v0 + 2);
+        (void)core;
+    }});
+}
+
+TEST(Stm, ConflictingWriterAbortsAndRetries)
+{
+    Env env(TmScheme::Stm, 2);
+    Addr obj = 0;
+    env.machine->run({[&](Core &core) {
+        obj = env.session->threadFor(core).txAlloc(16);
+    }});
+    // Thread 0 holds the record for a long time; thread 1 conflicts,
+    // self-aborts (Polite policy), and eventually succeeds.
+    env.machine->run({
+        [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            t.atomic([&] {
+                t.writeField(obj, 0, 1);
+                core.stall(20000);
+            });
+        },
+        [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            core.stall(500);  // let thread 0 acquire first
+            t.atomic([&] {
+                std::uint64_t v = t.readField(obj, 0);
+                t.writeField(obj, 0, v + 1);
+            });
+            EXPECT_GE(t.stats().aborts + t.stats().commits, 1u);
+        },
+    });
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        std::uint64_t v = 0;
+        t.atomic([&] { v = t.readField(obj, 0); });
+        EXPECT_EQ(v, 2u);
+    }});
+}
+
+TEST(Stm, NestedCommitMergesIntoParent)
+{
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] {
+            t.writeField(obj, 0, 1);
+            t.atomic([&] { t.writeField(obj, 8, 2); });
+            EXPECT_EQ(t.readField(obj, 8), 2u);
+        });
+        t.atomic([&] {
+            EXPECT_EQ(t.readField(obj, 0), 1u);
+            EXPECT_EQ(t.readField(obj, 8), 2u);
+        });
+        EXPECT_GE(t.stats().nestedCommits, 1u);
+    }});
+}
+
+TEST(Stm, NestedUserAbortRollsBackOnlyInner)
+{
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] {
+            t.writeField(obj, 0, 10);
+            bool inner = t.atomic([&] {
+                t.writeField(obj, 0, 77);   // same field: partial undo
+                t.writeField(obj, 8, 88);
+                t.userAbort();
+            });
+            EXPECT_FALSE(inner);
+            // Inner effects undone, outer write intact.
+            EXPECT_EQ(t.readField(obj, 0), 10u);
+            EXPECT_EQ(t.readField(obj, 8), 0u);
+            t.writeField(obj, 8, 20);
+        });
+        t.atomic([&] {
+            EXPECT_EQ(t.readField(obj, 0), 10u);
+            EXPECT_EQ(t.readField(obj, 8), 20u);
+        });
+        EXPECT_GE(t.stats().nestedAborts, 1u);
+    }});
+}
+
+TEST(Stm, NestedAbortReleasesNestedAcquisitions)
+{
+    // A record first acquired inside an aborted nested transaction
+    // must be released so another thread can use it.
+    Env env(TmScheme::Stm, 2);
+    Addr obj = 0;
+    env.machine->run({[&](Core &core) {
+        obj = env.session->threadFor(core).txAlloc(16);
+    }});
+    env.machine->run({
+        [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            t.atomic([&] {
+                t.atomic([&] {
+                    t.writeField(obj, 0, 99);
+                    t.userAbort();
+                });
+                core.stall(20000);  // keep outer alive, obj released
+            });
+        },
+        [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            core.stall(2000);
+            bool ok = t.atomic([&] { t.writeField(obj, 0, 5); });
+            EXPECT_TRUE(ok);
+        },
+    });
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        std::uint64_t v = 0;
+        t.atomic([&] { v = t.readField(obj, 0); });
+        EXPECT_EQ(v, 5u);
+    }});
+}
+
+TEST(Stm, OrElseFallsThroughOnRetry)
+{
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(32);
+        bool committed = t.atomicOrElse(
+            [&] {
+                t.writeField(obj, 0, 1);  // must be rolled back
+                t.retry();
+            },
+            [&] { t.writeField(obj, 8, 2); });
+        EXPECT_TRUE(committed);
+        t.atomic([&] {
+            EXPECT_EQ(t.readField(obj, 0), 0u);  // first alt undone
+            EXPECT_EQ(t.readField(obj, 8), 2u);
+        });
+    }});
+}
+
+TEST(Stm, RetryWakesOnRemoteWrite)
+{
+    Env env(TmScheme::Stm, 2);
+    Addr obj = 0;
+    env.machine->run({[&](Core &core) {
+        obj = env.session->threadFor(core).txAlloc(16);
+    }});
+    Cycles consumer_done = 0;
+    env.machine->run({
+        [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            std::uint64_t got = 0;
+            t.atomic([&] {
+                got = t.readField(obj, 0);
+                if (got == 0)
+                    t.retry();
+            });
+            EXPECT_EQ(got, 42u);
+            EXPECT_GE(t.stats().retries, 1u);
+            consumer_done = core.cycles();
+        },
+        [&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            core.stall(30000);
+            t.atomic([&] { t.writeField(obj, 0, 42); });
+        },
+    });
+    EXPECT_GE(consumer_done, 30000u);
+}
+
+TEST(Stm, LogChunkOverflowGrowsTransparently)
+{
+    // Force multiple 4 KiB read-set/undo chunks in one transaction.
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr big = t.txAlloc(8 * 1200);
+        t.atomic([&] {
+            for (unsigned i = 0; i < 1200; ++i)
+                t.writeField(big, 8 * i, i);
+            for (unsigned i = 0; i < 1200; ++i)
+                EXPECT_EQ(t.readField(big, 8 * i), i);
+        });
+        auto &st = static_cast<StmThread &>(t);
+        EXPECT_GT(st.descriptor().undoLog().entries(), 170u);
+        (void)core;
+    }});
+}
+
+TEST(Stm, AbortRestoresAcrossChunkBoundaries)
+{
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr big = t.txAlloc(8 * 600);
+        t.atomic([&] {
+            for (unsigned i = 0; i < 600; ++i)
+                t.writeField(big, 8 * i, 7);
+        });
+        t.atomic([&] {
+            for (unsigned i = 0; i < 600; ++i)
+                t.writeField(big, 8 * i, 1000 + i);
+            t.userAbort();
+        });
+        t.atomic([&] {
+            for (unsigned i = 0; i < 600; i += 37)
+                EXPECT_EQ(t.readField(big, 8 * i), 7u);
+        });
+        (void)core;
+    }});
+}
+
+TEST(Stm, TxAllocFreedOnAbortAndFreeDeferredToCommit)
+{
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        std::size_t live0 = env.machine->heap().liveBlocks();
+        t.atomic([&] {
+            t.txAlloc(64);
+            t.userAbort();
+        });
+        EXPECT_EQ(env.machine->heap().liveBlocks(), live0);
+
+        Addr obj = t.txAlloc(64);
+        std::size_t live1 = env.machine->heap().liveBlocks();
+        t.atomic([&] {
+            t.txFree(obj);
+            // Deferred: the object is still allocated here.
+            EXPECT_EQ(env.machine->heap().liveBlocks(), live1);
+        });
+        EXPECT_EQ(env.machine->heap().liveBlocks(), live1 - 1);
+        (void)core;
+    }});
+}
+
+TEST(Stm, ContentionPolicies)
+{
+    for (CmPolicy policy :
+         {CmPolicy::Polite, CmPolicy::Aggressive, CmPolicy::Karma}) {
+        MachineParams mp = Env::defaultMachine();
+        Machine machine(mp);
+        SessionConfig sc;
+        sc.scheme = TmScheme::Stm;
+        sc.numThreads = 2;
+        sc.stm.cm.policy = policy;
+        TmSession session(machine, sc);
+        Addr obj = 0;
+        machine.run({[&](Core &core) {
+            obj = session.threadFor(core).txAlloc(16);
+        }});
+        machine.runOnCores(2, [&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            for (int i = 0; i < 40; ++i) {
+                t.atomic([&] {
+                    std::uint64_t v = t.readField(obj, 0);
+                    core.execInstr(30);
+                    t.writeField(obj, 0, v + 1);
+                });
+            }
+        });
+        std::uint64_t v = 0;
+        machine.run({[&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            t.atomic([&] { v = t.readField(obj, 0); });
+        }});
+        EXPECT_EQ(v, 80u) << "policy " << cmPolicyName(policy);
+    }
+}
+
+TEST(Stm, PeriodicValidationAbortsDoomedTransaction)
+{
+    // Thread 1 reads a value, stalls while thread 0 changes it, then
+    // keeps reading: periodic validation must abort and re-execute.
+    MachineParams mp = Env::defaultMachine();
+    Machine machine(mp);
+    SessionConfig sc;
+    sc.scheme = TmScheme::Stm;
+    sc.numThreads = 2;
+    sc.stm.validateEvery = 4;
+    TmSession session(machine, sc);
+    Addr obj = 0;
+    machine.run({[&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        obj = t.txAlloc(8 * 40);
+    }});
+    machine.run({
+        [&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            core.stall(3000);
+            t.atomic([&] {
+                t.writeField(obj, 0,
+                             t.readField(obj, 0) + 1);
+            });
+        },
+        [&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            unsigned attempts = 0;
+            t.atomic([&] {
+                ++attempts;
+                t.readField(obj, 0);
+                core.stall(8000);  // let the writer commit
+                for (unsigned i = 1; i < 40; ++i)
+                    t.readField(obj, 8 * i);
+            });
+            EXPECT_GE(attempts, 2u);
+            EXPECT_GE(t.stats().aborts, 1u);
+        },
+    });
+}
+
+} // namespace
+} // namespace hastm

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Data-structure unit tests (hashtable, BST, B+tree), the synthetic
+ * microbenchmark, and the Fig 13 trace pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/bst.hh"
+#include "workloads/btree.hh"
+#include "workloads/hashtable.hh"
+#include "workloads/microbench.hh"
+#include "workloads/tm_api.hh"
+#include "workloads/traces.hh"
+
+namespace hastm {
+namespace {
+
+struct Env
+{
+    explicit Env(TmScheme scheme = TmScheme::Stm, unsigned threads = 1)
+    {
+        MachineParams mp;
+        mp.mem.numCores = std::max(2u, threads);
+        mp.arenaBytes = 32 * 1024 * 1024;
+        machine = std::make_unique<Machine>(mp);
+        SessionConfig sc;
+        sc.scheme = scheme;
+        sc.numThreads = threads;
+        session = std::make_unique<TmSession>(*machine, sc);
+    }
+
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<TmSession> session;
+};
+
+// Reference-model fuzz: run a random op sequence against the
+// transactional structure and a std::map side by side.
+template <typename Ds>
+void
+fuzzAgainstModel(Ds &ds, TmThread &t, std::uint64_t seed, int ops,
+                 std::uint64_t key_range)
+{
+    Rng rng(seed);
+    std::map<std::uint64_t, std::uint64_t> model;
+    for (int i = 0; i < ops; ++i) {
+        std::uint64_t key = rng.range(key_range);
+        switch (rng.range(3)) {
+          case 0: {
+            bool fresh = ds.insertOp(t, key, key * 7);
+            bool model_fresh = model.emplace(key, key * 7).second;
+            if (!model_fresh)
+                model[key] = key * 7;
+            EXPECT_EQ(fresh, model_fresh) << "insert key " << key;
+            break;
+          }
+          case 1: {
+            bool removed = ds.removeOp(t, key);
+            EXPECT_EQ(removed, model.erase(key) == 1)
+                << "remove key " << key;
+            break;
+          }
+          default: {
+            bool found = ds.containsOp(t, key);
+            EXPECT_EQ(found, model.count(key) == 1)
+                << "lookup key " << key;
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(ds.sizeOp(t), model.size());
+}
+
+TEST(HashTableTest, ModelFuzz)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        HashTable ht(t, 64);
+        fuzzAgainstModel(ht, t, 1234, 800, 200);
+    }});
+}
+
+TEST(HashTableTest, UpdateInPlaceAndGet)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        HashTable ht(t, 16);
+        EXPECT_TRUE(ht.insertOp(t, 5, 50));
+        EXPECT_FALSE(ht.insertOp(t, 5, 51));  // update, not fresh
+        bool found = false;
+        std::uint64_t v = 0;
+        t.atomic([&] { v = ht.get(t, 5, found); });
+        EXPECT_TRUE(found);
+        EXPECT_EQ(v, 51u);
+    }});
+}
+
+TEST(HashTableTest, ChecksumChangesWithContent)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        HashTable ht(t, 16);
+        std::uint64_t empty = ht.checksumOp(t);
+        ht.insertOp(t, 1, 2);
+        std::uint64_t one = ht.checksumOp(t);
+        EXPECT_NE(empty, one);
+        ht.removeOp(t, 1);
+        EXPECT_EQ(ht.checksumOp(t), empty);
+    }});
+}
+
+TEST(BstTest, ModelFuzz)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Bst bst(t);
+        fuzzAgainstModel(bst, t, 999, 800, 128);
+        EXPECT_TRUE(bst.checkInvariantOp(t));
+    }});
+}
+
+TEST(BstTest, RemoveAllDeleteCases)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Bst bst(t);
+        // Build a known shape: 50,30,70,20,40,60,80.
+        for (std::uint64_t k : {50, 30, 70, 20, 40, 60, 80})
+            bst.insertOp(t, k, k);
+        EXPECT_TRUE(bst.removeOp(t, 20));   // leaf
+        EXPECT_TRUE(bst.removeOp(t, 30));   // one child
+        EXPECT_TRUE(bst.removeOp(t, 50));   // two children (root)
+        EXPECT_FALSE(bst.removeOp(t, 50));  // already gone
+        for (std::uint64_t k : {40, 60, 70, 80})
+            EXPECT_TRUE(bst.containsOp(t, k)) << k;
+        for (std::uint64_t k : {20, 30, 50})
+            EXPECT_FALSE(bst.containsOp(t, k)) << k;
+        EXPECT_TRUE(bst.checkInvariantOp(t));
+        EXPECT_EQ(bst.sizeOp(t), 4u);
+    }});
+}
+
+TEST(BtreeTest, ModelFuzz)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Btree bt(t);
+        fuzzAgainstModel(bt, t, 4242, 800, 300);
+        EXPECT_TRUE(bt.checkInvariantOp(t));
+    }});
+}
+
+TEST(BtreeTest, SequentialInsertForcesSplitsAtEveryLevel)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Btree bt(t);
+        const std::uint64_t n = 1000;
+        for (std::uint64_t k = 0; k < n; ++k)
+            EXPECT_TRUE(bt.insertOp(t, k, k * 2));
+        EXPECT_EQ(bt.sizeOp(t), n);
+        EXPECT_TRUE(bt.checkInvariantOp(t));
+        for (std::uint64_t k = 0; k < n; k += 83)
+            EXPECT_TRUE(bt.containsOp(t, k)) << k;
+        EXPECT_FALSE(bt.containsOp(t, n + 1));
+    }});
+}
+
+TEST(BtreeTest, ReverseAndShuffledInserts)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Btree bt(t);
+        std::vector<std::uint64_t> keys;
+        for (std::uint64_t k = 500; k > 0; --k)
+            keys.push_back(k);
+        Rng rng(5);
+        for (std::size_t i = keys.size(); i > 1; --i)
+            std::swap(keys[i - 1], keys[rng.range(i)]);
+        for (auto k : keys)
+            bt.insertOp(t, k, k);
+        EXPECT_EQ(bt.sizeOp(t), 500u);
+        EXPECT_TRUE(bt.checkInvariantOp(t));
+    }});
+}
+
+TEST(BtreeTest, LazyRemoveKeepsRoutingCorrect)
+{
+    Env env;
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Btree bt(t);
+        for (std::uint64_t k = 0; k < 200; ++k)
+            bt.insertOp(t, k, k);
+        for (std::uint64_t k = 0; k < 200; k += 2)
+            EXPECT_TRUE(bt.removeOp(t, k));
+        EXPECT_EQ(bt.sizeOp(t), 100u);
+        for (std::uint64_t k = 0; k < 200; ++k)
+            EXPECT_EQ(bt.containsOp(t, k), k % 2 == 1) << k;
+        // Reinsert into lazily emptied leaves.
+        for (std::uint64_t k = 0; k < 200; k += 2)
+            EXPECT_TRUE(bt.insertOp(t, k, k));
+        EXPECT_EQ(bt.sizeOp(t), 200u);
+        EXPECT_TRUE(bt.checkInvariantOp(t));
+    }});
+}
+
+// ----------------------------------------------------- disjoint keys
+
+// Each thread owns a disjoint key residue class; after the run every
+// thread's surviving keys must be exactly what it deterministically
+// computed locally — any lost or phantom update is detected.
+template <typename Ds>
+void
+disjointKeyStress(TmScheme scheme, unsigned threads,
+                  const std::function<std::unique_ptr<Ds>(TmThread &)> &make)
+{
+    Env env(scheme, threads);
+    std::unique_ptr<Ds> ds;
+    env.machine->run({[&](Core &core) {
+        ds = make(env.session->threadFor(core));
+    }});
+    std::vector<std::set<std::uint64_t>> expected(threads);
+    std::vector<std::function<void(Core &)>> fns;
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        fns.push_back([&, tid](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            Rng rng(tid * 31 + 7);
+            auto &mine = expected[tid];
+            for (int i = 0; i < 150; ++i) {
+                std::uint64_t key = tid + threads * rng.range(64);
+                if (rng.chancePct(60)) {
+                    ds->insertOp(t, key, key);
+                    mine.insert(key);
+                } else {
+                    ds->removeOp(t, key);
+                    mine.erase(key);
+                }
+            }
+        });
+    }
+    env.machine->run(fns);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        std::uint64_t total = 0;
+        for (unsigned tid = 0; tid < threads; ++tid) {
+            for (std::uint64_t key : expected[tid])
+                EXPECT_TRUE(ds->containsOp(t, key)) << key;
+            total += expected[tid].size();
+        }
+        EXPECT_EQ(ds->sizeOp(t), total);
+    }});
+}
+
+class DisjointStress : public ::testing::TestWithParam<TmScheme>
+{
+};
+
+TEST_P(DisjointStress, HashTable)
+{
+    disjointKeyStress<HashTable>(GetParam(), 3, [](TmThread &t) {
+        return std::make_unique<HashTable>(t, 32);
+    });
+}
+
+TEST_P(DisjointStress, Bst)
+{
+    disjointKeyStress<Bst>(GetParam(), 3, [](TmThread &t) {
+        return std::make_unique<Bst>(t);
+    });
+}
+
+TEST_P(DisjointStress, Btree)
+{
+    disjointKeyStress<Btree>(GetParam(), 3, [](TmThread &t) {
+        return std::make_unique<Btree>(t);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, DisjointStress,
+    ::testing::Values(TmScheme::Lock, TmScheme::Stm, TmScheme::Hastm,
+                      TmScheme::HastmNaive, TmScheme::Hytm),
+    [](const ::testing::TestParamInfo<TmScheme> &info) {
+        std::string name = tmSchemeName(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ------------------------------------------------------------ micro
+
+TEST(Micro, TransactionsCommitAndWriteData)
+{
+    Env env(TmScheme::Hastm, 2);
+    MicroWorkload work(*env.machine, 256, 2, true);
+    MicroParams mix;
+    mix.loadPct = 70;
+    env.machine->runOnCores(2, [&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Rng rng(core.id() + 3);
+        for (int i = 0; i < 20; ++i)
+            work.runTx(t, core.id(), mix, rng);
+    });
+    EXPECT_EQ(env.session->totalStats().commits, 40u);
+    EXPECT_NE(work.rawSum(), 0u);  // stores actually landed
+}
+
+TEST(Micro, ReuseKnobControlsL1HitRate)
+{
+    auto hit_rate = [](unsigned reuse_pct) {
+        Env env(TmScheme::Stm, 1);
+        MicroWorkload work(*env.machine, 4096, 1, true);
+        MicroParams mix;
+        mix.loadPct = 90;
+        mix.loadReusePct = reuse_pct;
+        mix.accessesPerTx = 128;
+        env.machine->run({[&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            Rng rng(11);
+            for (int i = 0; i < 30; ++i)
+                work.runTx(t, 0, mix, rng);
+        }});
+        Core &core = env.machine->core(0);
+        return double(core.l1HitLoads()) / double(core.loads());
+    };
+    EXPECT_GT(hit_rate(70), hit_rate(10) + 0.05);
+}
+
+// ------------------------------------------------------------ traces
+
+TEST(Traces, TwelveProfilesPresent)
+{
+    EXPECT_EQ(fig13Profiles().size(), 12u);
+    EXPECT_EQ(fig13Profiles().front().name, "moldyn");
+    EXPECT_EQ(fig13Profiles().back().name, "bp-vision");
+}
+
+TEST(Traces, AnalyzerMatchesCalibration)
+{
+    Rng rng(77);
+    for (const TraceProfile &p : fig13Profiles()) {
+        std::vector<CriticalSection> sections;
+        for (int i = 0; i < 300; ++i)
+            sections.push_back(generateCriticalSection(p, rng));
+        TraceStats s = analyzeTrace(sections);
+        EXPECT_NEAR(s.loadFraction, p.loadPct / 100.0, 0.05) << p.name;
+        // Reuse targets are approximate: the first access of a line
+        // can never reuse, and random fresh picks can collide.
+        EXPECT_NEAR(s.loadReuse, p.loadReusePct / 100.0, 0.10) << p.name;
+    }
+}
+
+TEST(Traces, AnalyzerCountsExactly)
+{
+    // Hand-built trace: L0 L0 S0 L1 S0 => loads 3, stores 2,
+    // load reuse 1/3, store reuse 1/2.
+    CriticalSection cs = {
+        {true, 0}, {true, 0}, {false, 0}, {true, 1}, {false, 0},
+    };
+    TraceStats s = analyzeTrace({cs});
+    EXPECT_DOUBLE_EQ(s.loadFraction, 3.0 / 5.0);
+    EXPECT_DOUBLE_EQ(s.loadReuse, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(s.storeReuse, 1.0 / 2.0);
+}
+
+TEST(Traces, ReuseResetsAcrossCriticalSections)
+{
+    // The same line touched in two different critical sections is NOT
+    // reuse (Fig 13 is per-critical-section).
+    CriticalSection a = {{true, 5}};
+    CriticalSection b = {{true, 5}};
+    TraceStats s = analyzeTrace({a, b});
+    EXPECT_DOUBLE_EQ(s.loadReuse, 0.0);
+}
+
+} // namespace
+} // namespace hastm
