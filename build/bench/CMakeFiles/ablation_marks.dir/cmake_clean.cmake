@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_marks.dir/ablation_marks.cc.o"
+  "CMakeFiles/ablation_marks.dir/ablation_marks.cc.o.d"
+  "ablation_marks"
+  "ablation_marks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

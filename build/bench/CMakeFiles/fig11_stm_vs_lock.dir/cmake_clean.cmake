@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stm_vs_lock.dir/fig11_stm_vs_lock.cc.o"
+  "CMakeFiles/fig11_stm_vs_lock.dir/fig11_stm_vs_lock.cc.o.d"
+  "fig11_stm_vs_lock"
+  "fig11_stm_vs_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stm_vs_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_stm_breakdown.dir/fig12_stm_breakdown.cc.o"
+  "CMakeFiles/fig12_stm_breakdown.dir/fig12_stm_breakdown.cc.o.d"
+  "fig12_stm_breakdown"
+  "fig12_stm_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stm_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

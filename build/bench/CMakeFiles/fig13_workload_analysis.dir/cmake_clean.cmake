@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_workload_analysis.dir/fig13_workload_analysis.cc.o"
+  "CMakeFiles/fig13_workload_analysis.dir/fig13_workload_analysis.cc.o.d"
+  "fig13_workload_analysis"
+  "fig13_workload_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_workload_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

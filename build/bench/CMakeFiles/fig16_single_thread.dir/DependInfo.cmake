@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_single_thread.cc" "bench/CMakeFiles/fig16_single_thread.dir/fig16_single_thread.cc.o" "gcc" "bench/CMakeFiles/fig16_single_thread.dir/fig16_single_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hastm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_hastm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

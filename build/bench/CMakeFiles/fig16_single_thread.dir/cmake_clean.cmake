@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_single_thread.dir/fig16_single_thread.cc.o"
+  "CMakeFiles/fig16_single_thread.dir/fig16_single_thread.cc.o.d"
+  "fig16_single_thread"
+  "fig16_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

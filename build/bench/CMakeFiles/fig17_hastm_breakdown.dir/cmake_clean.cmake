@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_hastm_breakdown.dir/fig17_hastm_breakdown.cc.o"
+  "CMakeFiles/fig17_hastm_breakdown.dir/fig17_hastm_breakdown.cc.o.d"
+  "fig17_hastm_breakdown"
+  "fig17_hastm_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hastm_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_20_multicore.dir/fig18_20_multicore.cc.o"
+  "CMakeFiles/fig18_20_multicore.dir/fig18_20_multicore.cc.o.d"
+  "fig18_20_multicore"
+  "fig18_20_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_20_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_22_naive.dir/fig21_22_naive.cc.o"
+  "CMakeFiles/fig21_22_naive.dir/fig21_22_naive.cc.o.d"
+  "fig21_22_naive"
+  "fig21_22_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_22_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank.dir/bank.cpp.o"
+  "CMakeFiles/bank.dir/bank.cpp.o.d"
+  "bank"
+  "bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_integration.dir/gc_integration.cpp.o"
+  "CMakeFiles/gc_integration.dir/gc_integration.cpp.o.d"
+  "gc_integration"
+  "gc_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

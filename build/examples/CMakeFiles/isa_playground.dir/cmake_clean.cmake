@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_playground.dir/isa_playground.cpp.o"
+  "CMakeFiles/isa_playground.dir/isa_playground.cpp.o.d"
+  "isa_playground"
+  "isa_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

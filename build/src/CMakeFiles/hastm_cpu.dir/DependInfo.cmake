@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/hastm_cpu.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/hastm_cpu.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/machine.cc" "src/CMakeFiles/hastm_cpu.dir/cpu/machine.cc.o" "gcc" "src/CMakeFiles/hastm_cpu.dir/cpu/machine.cc.o.d"
+  "/root/repo/src/cpu/mark_isa.cc" "src/CMakeFiles/hastm_cpu.dir/cpu/mark_isa.cc.o" "gcc" "src/CMakeFiles/hastm_cpu.dir/cpu/mark_isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hastm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

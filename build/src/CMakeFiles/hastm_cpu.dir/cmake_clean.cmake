@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/hastm_cpu.dir/cpu/core.cc.o.d"
+  "CMakeFiles/hastm_cpu.dir/cpu/machine.cc.o"
+  "CMakeFiles/hastm_cpu.dir/cpu/machine.cc.o.d"
+  "CMakeFiles/hastm_cpu.dir/cpu/mark_isa.cc.o"
+  "CMakeFiles/hastm_cpu.dir/cpu/mark_isa.cc.o.d"
+  "libhastm_cpu.a"
+  "libhastm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

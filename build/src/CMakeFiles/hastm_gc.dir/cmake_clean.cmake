@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_gc.dir/gc/collector.cc.o"
+  "CMakeFiles/hastm_gc.dir/gc/collector.cc.o.d"
+  "CMakeFiles/hastm_gc.dir/gc/heap.cc.o"
+  "CMakeFiles/hastm_gc.dir/gc/heap.cc.o.d"
+  "libhastm_gc.a"
+  "libhastm_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hastm_gc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/hastm_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/hastm_harness.dir/harness/table.cc.o"
+  "CMakeFiles/hastm_harness.dir/harness/table.cc.o.d"
+  "libhastm_harness.a"
+  "libhastm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

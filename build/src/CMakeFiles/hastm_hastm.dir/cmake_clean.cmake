@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_hastm.dir/hastm/hastm.cc.o"
+  "CMakeFiles/hastm_hastm.dir/hastm/hastm.cc.o.d"
+  "CMakeFiles/hastm_hastm.dir/hastm/mode_policy.cc.o"
+  "CMakeFiles/hastm_hastm.dir/hastm/mode_policy.cc.o.d"
+  "libhastm_hastm.a"
+  "libhastm_hastm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_hastm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hastm_hastm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_htm.dir/htm/htm_machine.cc.o"
+  "CMakeFiles/hastm_htm.dir/htm/htm_machine.cc.o.d"
+  "CMakeFiles/hastm_htm.dir/htm/hytm.cc.o"
+  "CMakeFiles/hastm_htm.dir/htm/hytm.cc.o.d"
+  "libhastm_htm.a"
+  "libhastm_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

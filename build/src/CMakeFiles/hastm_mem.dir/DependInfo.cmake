@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/alloc.cc" "src/CMakeFiles/hastm_mem.dir/mem/alloc.cc.o" "gcc" "src/CMakeFiles/hastm_mem.dir/mem/alloc.cc.o.d"
+  "/root/repo/src/mem/arena.cc" "src/CMakeFiles/hastm_mem.dir/mem/arena.cc.o" "gcc" "src/CMakeFiles/hastm_mem.dir/mem/arena.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/hastm_mem.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/hastm_mem.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/hastm_mem.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/hastm_mem.dir/mem/mem_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hastm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

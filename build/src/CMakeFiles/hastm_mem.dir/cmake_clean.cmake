@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_mem.dir/mem/alloc.cc.o"
+  "CMakeFiles/hastm_mem.dir/mem/alloc.cc.o.d"
+  "CMakeFiles/hastm_mem.dir/mem/arena.cc.o"
+  "CMakeFiles/hastm_mem.dir/mem/arena.cc.o.d"
+  "CMakeFiles/hastm_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/hastm_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/hastm_mem.dir/mem/mem_system.cc.o"
+  "CMakeFiles/hastm_mem.dir/mem/mem_system.cc.o.d"
+  "libhastm_mem.a"
+  "libhastm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_switch.S" "/root/repo/build/src/CMakeFiles/hastm_sim.dir/sim/fiber_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fiber.cc" "src/CMakeFiles/hastm_sim.dir/sim/fiber.cc.o" "gcc" "src/CMakeFiles/hastm_sim.dir/sim/fiber.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/hastm_sim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/hastm_sim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/hastm_sim.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/hastm_sim.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/hastm_sim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/hastm_sim.dir/sim/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_sim.dir/sim/fiber.cc.o"
+  "CMakeFiles/hastm_sim.dir/sim/fiber.cc.o.d"
+  "CMakeFiles/hastm_sim.dir/sim/fiber_switch.S.o"
+  "CMakeFiles/hastm_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/hastm_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/hastm_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/hastm_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/hastm_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/hastm_sim.dir/sim/stats.cc.o.d"
+  "libhastm_sim.a"
+  "libhastm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/hastm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/contention.cc" "src/CMakeFiles/hastm_stm.dir/stm/contention.cc.o" "gcc" "src/CMakeFiles/hastm_stm.dir/stm/contention.cc.o.d"
+  "/root/repo/src/stm/descriptor.cc" "src/CMakeFiles/hastm_stm.dir/stm/descriptor.cc.o" "gcc" "src/CMakeFiles/hastm_stm.dir/stm/descriptor.cc.o.d"
+  "/root/repo/src/stm/stm.cc" "src/CMakeFiles/hastm_stm.dir/stm/stm.cc.o" "gcc" "src/CMakeFiles/hastm_stm.dir/stm/stm.cc.o.d"
+  "/root/repo/src/stm/tm_iface.cc" "src/CMakeFiles/hastm_stm.dir/stm/tm_iface.cc.o" "gcc" "src/CMakeFiles/hastm_stm.dir/stm/tm_iface.cc.o.d"
+  "/root/repo/src/stm/tx_log.cc" "src/CMakeFiles/hastm_stm.dir/stm/tx_log.cc.o" "gcc" "src/CMakeFiles/hastm_stm.dir/stm/tx_log.cc.o.d"
+  "/root/repo/src/stm/tx_record.cc" "src/CMakeFiles/hastm_stm.dir/stm/tx_record.cc.o" "gcc" "src/CMakeFiles/hastm_stm.dir/stm/tx_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hastm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

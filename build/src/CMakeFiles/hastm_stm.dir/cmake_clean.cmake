@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_stm.dir/stm/contention.cc.o"
+  "CMakeFiles/hastm_stm.dir/stm/contention.cc.o.d"
+  "CMakeFiles/hastm_stm.dir/stm/descriptor.cc.o"
+  "CMakeFiles/hastm_stm.dir/stm/descriptor.cc.o.d"
+  "CMakeFiles/hastm_stm.dir/stm/stm.cc.o"
+  "CMakeFiles/hastm_stm.dir/stm/stm.cc.o.d"
+  "CMakeFiles/hastm_stm.dir/stm/tm_iface.cc.o"
+  "CMakeFiles/hastm_stm.dir/stm/tm_iface.cc.o.d"
+  "CMakeFiles/hastm_stm.dir/stm/tx_log.cc.o"
+  "CMakeFiles/hastm_stm.dir/stm/tx_log.cc.o.d"
+  "CMakeFiles/hastm_stm.dir/stm/tx_record.cc.o"
+  "CMakeFiles/hastm_stm.dir/stm/tx_record.cc.o.d"
+  "libhastm_stm.a"
+  "libhastm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

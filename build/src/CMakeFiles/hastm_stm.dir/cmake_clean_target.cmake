@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhastm_stm.a"
+)

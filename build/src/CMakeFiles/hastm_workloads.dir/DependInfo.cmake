@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bst.cc" "src/CMakeFiles/hastm_workloads.dir/workloads/bst.cc.o" "gcc" "src/CMakeFiles/hastm_workloads.dir/workloads/bst.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/CMakeFiles/hastm_workloads.dir/workloads/btree.cc.o" "gcc" "src/CMakeFiles/hastm_workloads.dir/workloads/btree.cc.o.d"
+  "/root/repo/src/workloads/hashtable.cc" "src/CMakeFiles/hastm_workloads.dir/workloads/hashtable.cc.o" "gcc" "src/CMakeFiles/hastm_workloads.dir/workloads/hashtable.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/CMakeFiles/hastm_workloads.dir/workloads/microbench.cc.o" "gcc" "src/CMakeFiles/hastm_workloads.dir/workloads/microbench.cc.o.d"
+  "/root/repo/src/workloads/tm_api.cc" "src/CMakeFiles/hastm_workloads.dir/workloads/tm_api.cc.o" "gcc" "src/CMakeFiles/hastm_workloads.dir/workloads/tm_api.cc.o.d"
+  "/root/repo/src/workloads/traces.cc" "src/CMakeFiles/hastm_workloads.dir/workloads/traces.cc.o" "gcc" "src/CMakeFiles/hastm_workloads.dir/workloads/traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hastm_hastm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

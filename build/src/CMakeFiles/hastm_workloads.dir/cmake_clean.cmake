@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hastm_workloads.dir/workloads/bst.cc.o"
+  "CMakeFiles/hastm_workloads.dir/workloads/bst.cc.o.d"
+  "CMakeFiles/hastm_workloads.dir/workloads/btree.cc.o"
+  "CMakeFiles/hastm_workloads.dir/workloads/btree.cc.o.d"
+  "CMakeFiles/hastm_workloads.dir/workloads/hashtable.cc.o"
+  "CMakeFiles/hastm_workloads.dir/workloads/hashtable.cc.o.d"
+  "CMakeFiles/hastm_workloads.dir/workloads/microbench.cc.o"
+  "CMakeFiles/hastm_workloads.dir/workloads/microbench.cc.o.d"
+  "CMakeFiles/hastm_workloads.dir/workloads/tm_api.cc.o"
+  "CMakeFiles/hastm_workloads.dir/workloads/tm_api.cc.o.d"
+  "CMakeFiles/hastm_workloads.dir/workloads/traces.cc.o"
+  "CMakeFiles/hastm_workloads.dir/workloads/traces.cc.o.d"
+  "libhastm_workloads.a"
+  "libhastm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hastm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc.dir/gc_test.cc.o"
+  "CMakeFiles/test_gc.dir/gc_test.cc.o.d"
+  "test_gc"
+  "test_gc.pdb"
+  "test_gc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hastm.dir/hastm_test.cc.o"
+  "CMakeFiles/test_hastm.dir/hastm_test.cc.o.d"
+  "test_hastm"
+  "test_hastm.pdb"
+  "test_hastm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hastm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm.dir/htm_test.cc.o"
+  "CMakeFiles/test_htm.dir/htm_test.cc.o.d"
+  "test_htm"
+  "test_htm.pdb"
+  "test_htm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/test_mem.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hastm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_hastm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hastm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

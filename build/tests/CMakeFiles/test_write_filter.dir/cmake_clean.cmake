@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_filter.dir/write_filter_test.cc.o"
+  "CMakeFiles/test_write_filter.dir/write_filter_test.cc.o.d"
+  "test_write_filter"
+  "test_write_filter.pdb"
+  "test_write_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

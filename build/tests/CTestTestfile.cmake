@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_stm[1]_include.cmake")
+include("/root/repo/build/tests/test_hastm[1]_include.cmake")
+include("/root/repo/build/tests/test_htm[1]_include.cmake")
+include("/root/repo/build/tests/test_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_write_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
