@@ -14,8 +14,10 @@
 
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 #include "workloads/btree.hh"
@@ -23,6 +25,8 @@
 using namespace hastm;
 
 namespace {
+
+BenchReport *g_report = nullptr;
 
 ExperimentConfig
 btreeCfg(TmScheme scheme, unsigned threads)
@@ -50,6 +54,9 @@ interAtomicReuse()
         ExperimentConfig cfg = btreeCfg(TmScheme::Hastm, 1);
         cfg.stm.clearMarksAtEnd = clear;
         ExperimentResult r = runDataStructure(cfg);
+        g_report->add(std::string("reuse/marks_") +
+                          (clear ? "cleared" : "kept"),
+                      cfg, r);
         table.addRow({clear ? "cleared (paper)" : "kept (Fig 10)",
                       fmt(r.makespan),
                       fmtPct(double(r.tm.rdFastHits) /
@@ -80,6 +87,8 @@ prefetchInterference()
         cfg.machine.mem.prefetchDegree = 2;
         cfg.machine.mem.prefetchNextLine = pf;
         ExperimentResult r = runDataStructure(cfg);
+        g_report->add(std::string("prefetch/") + (pf ? "on" : "off"),
+                      cfg, r);
         table.addRow({pf ? "on" : "off", fmt(r.makespan),
                       fmt(r.tm.fastValidations),
                       fmt(r.tm.fullValidations),
@@ -102,6 +111,8 @@ validationPeriod()
         cfg.workload = WorkloadKind::Bst;
         cfg.stm.validateEvery = period;
         ExperimentResult r = runDataStructure(cfg);
+        g_report->add("validate_every/" + std::to_string(period), cfg,
+                      r);
         table.addRow({period == 0 ? "commit-only" : fmt(std::uint64_t(period)),
                       fmt(r.makespan), fmt(r.tm.aborts),
                       fmt(r.tm.fullValidations)});
@@ -125,6 +136,8 @@ contentionPolicies()
         cfg.updatePct = 50;
         cfg.stm.cm.policy = policy;
         ExperimentResult r = runDataStructure(cfg);
+        g_report->add(std::string("cm/") + cmPolicyName(policy), cfg,
+                      r);
         table.addRow({cmPolicyName(policy), fmt(r.makespan),
                       fmt(r.tm.aborts), fmt(r.tm.commits)});
     }
@@ -184,6 +197,13 @@ defaultIsa()
             checksum = tree->checksumOp(session.threadFor(core));
         }});
         TmStats s = session.totalStats();
+        Json data = Json::object();
+        data.set("makespan", std::uint64_t(makespan))
+            .set("checksum", checksum)
+            .set("tm", toJson(s));
+        g_report->addCustom(std::string("isa/") +
+                                (full ? "full" : "default"),
+                            std::move(data));
         table.addRow({full ? "full" : "default(§3.3)", fmt(makespan),
                       fmt(s.rdFastHits), fmt(s.fastValidations),
                       fmt(checksum)});
@@ -208,6 +228,9 @@ writeFiltering()
         cfg.updatePct = 100;   // every operation writes
         cfg.stm.filterWrites = fw;
         ExperimentResult r = runDataStructure(cfg);
+        g_report->add(std::string("filter_writes/") +
+                          (fw ? "on" : "off"),
+                      cfg, r);
         checksums[idx++] = r.checksum;
         table.addRow({fw ? "on" : "off", fmt(r.makespan),
                       fmt(r.tm.wrFastHits), fmt(r.tm.undoElided),
@@ -232,9 +255,11 @@ writeFiltering()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("ablation_marks", argc, argv);
+    g_report = &report;
     std::cout << "HASTM design-choice ablations\n"
               << "=============================\n\n";
     interAtomicReuse();

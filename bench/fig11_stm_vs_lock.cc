@@ -14,17 +14,20 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig11", argc, argv);
     const unsigned cores[] = {1, 2, 4, 8, 16};
     const WorkloadKind workloads[] = {WorkloadKind::HashTable,
                                       WorkloadKind::Bst,
@@ -53,6 +56,10 @@ main()
                 cfg.hashBuckets = 1024;
                 cfg.machine.arenaBytes = 64ull * 1024 * 1024;
                 ExperimentResult r = runDataStructure(cfg);
+                report.add(std::string(workloadName(cfg.workload)) +
+                               "/" + tmSchemeName(scheme) + "/" +
+                               std::to_string(cores[ci]),
+                           cfg, r);
                 if (s == 0 && ci == 0)
                     lock1 = r.makespan;
                 rel[w][s][ci] =

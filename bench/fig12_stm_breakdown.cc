@@ -12,15 +12,17 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig12", argc, argv);
     std::cout << "Figure 12: STM execution time breakdown "
                  "(single thread, % of total cycles)\n\n";
 
@@ -40,6 +42,7 @@ main()
         cfg.hashBuckets = 1024;
         cfg.machine.arenaBytes = 64ull * 1024 * 1024;
         ExperimentResult r = runDataStructure(cfg);
+        report.add(workloadName(cfg.workload), cfg, r);
         Cycles total = 0;
         for (auto c : r.phaseCycles)
             total += c;

@@ -13,14 +13,16 @@
 
 #include <iostream>
 
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "workloads/traces.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig13", argc, argv);
     std::cout << "Figure 13: loads and cache reuse inside critical "
                  "sections\n(synthetic traces calibrated to the "
                  "paper's measurements)\n\n";
@@ -33,6 +35,12 @@ main()
         for (int i = 0; i < 400; ++i)
             sections.push_back(generateCriticalSection(p, rng));
         TraceStats s = analyzeTrace(sections);
+        Json data = Json::object();
+        data.set("loadFraction", s.loadFraction)
+            .set("loadReuse", s.loadReuse)
+            .set("storeReuse", s.storeReuse)
+            .set("criticalSections", std::uint64_t(sections.size()));
+        report.addCustom(p.name, std::move(data));
         table.addRow({p.name, fmtPct(s.loadFraction),
                       fmtPct(s.loadReuse), fmtPct(s.storeReuse),
                       fmt(std::uint64_t(sections.size()))});

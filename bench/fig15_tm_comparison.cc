@@ -16,8 +16,10 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -25,9 +27,10 @@ using namespace hastm;
 
 namespace {
 
-double
-relToStm(TmScheme scheme, unsigned load_pct, unsigned reuse_pct,
-         Cycles stm_makespan)
+BenchReport *g_report = nullptr;
+
+Cycles
+runOne(TmScheme scheme, unsigned load_pct, unsigned reuse_pct)
 {
     MicroConfig cfg;
     cfg.scheme = scheme;
@@ -43,32 +46,29 @@ relToStm(TmScheme scheme, unsigned load_pct, unsigned reuse_pct,
     // adds own-mark capacity noise here (no peers to interfere with).
     cfg.machine.mem.prefetchNextLine = false;
     ExperimentResult r = runMicro(cfg);
-    return double(r.makespan) / double(stm_makespan);
+    g_report->add(std::string(tmSchemeName(scheme)) + "/load" +
+                      std::to_string(load_pct) + "/reuse" +
+                      std::to_string(reuse_pct),
+                  cfg, r);
+    return r.makespan;
 }
 
-Cycles
-stmBaseline(unsigned load_pct, unsigned reuse_pct)
+double
+relToStm(TmScheme scheme, unsigned load_pct, unsigned reuse_pct,
+         Cycles stm_makespan)
 {
-    MicroConfig cfg;
-    cfg.scheme = TmScheme::Stm;
-    cfg.threads = 1;
-    cfg.transactions = 160;
-    cfg.mix.accessesPerTx = 64;
-    cfg.mix.loadPct = load_pct;
-    cfg.mix.loadReusePct = reuse_pct;
-    cfg.mix.storeReusePct = 40;
-    cfg.workingLines = 4096;
-    cfg.machine.arenaBytes = 32ull * 1024 * 1024;
-    cfg.machine.mem.prefetchNextLine = false;
-    return runMicro(cfg).makespan;
+    return double(runOne(scheme, load_pct, reuse_pct)) /
+           double(stm_makespan);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig15", argc, argv);
+    g_report = &report;
     std::cout << "Figure 15: TM performance comparison on synthetic "
                  "critical sections\n(execution time relative to STM; "
                  "store reuse 40%; 'miss' = 100 - load reuse)\n\n";
@@ -76,7 +76,7 @@ main()
     Table table({"load%", "miss%", "cautious", "hastm", "hybrid"});
     for (unsigned load : {60u, 70u, 80u, 90u}) {
         for (unsigned reuse : {40u, 50u, 60u}) {
-            Cycles stm = stmBaseline(load, reuse);
+            Cycles stm = runOne(TmScheme::Stm, load, reuse);
             double cautious =
                 relToStm(TmScheme::HastmCautious, load, reuse, stm);
             double hastm = relToStm(TmScheme::Hastm, load, reuse, stm);

@@ -12,17 +12,20 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig16", argc, argv);
     std::cout << "Figure 16: single-thread execution time relative to "
                  "sequential\n\n";
 
@@ -45,15 +48,18 @@ main()
         cfg.hashBuckets = 1024;
         cfg.machine.arenaBytes = 64ull * 1024 * 1024;
         cfg.scheme = TmScheme::Sequential;
-        Cycles seq = runDataStructure(cfg).makespan;
+        ExperimentResult seq_r = runDataStructure(cfg);
+        report.add(std::string(wl_names[w]) + "/seq", cfg, seq_r);
+        Cycles seq = seq_r.makespan;
         std::vector<std::string> row = {wl_names[w]};
-        for (TmScheme s : schemes) {
-            cfg.scheme = s;
+        for (unsigned si = 0; si < 4; ++si) {
+            cfg.scheme = schemes[si];
             ExperimentResult r = runDataStructure(cfg);
+            report.add(std::string(wl_names[w]) + "/" + s_names[si],
+                       cfg, r);
             row.push_back(fmt(double(r.makespan) / double(seq)));
         }
         table.addRow(row);
-        (void)s_names;
     }
     table.print(std::cout);
     std::cout << "\nExpected shape (paper): hastm ~= hybrid_tm << stm; "

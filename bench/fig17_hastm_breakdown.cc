@@ -14,17 +14,20 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig17", argc, argv);
     std::cout << "Figure 17: performance breakdown for HASTM "
                  "(relative to sequential)\n\n";
 
@@ -49,13 +52,17 @@ main()
         cfg.hashBuckets = 1024;
         cfg.machine.arenaBytes = 64ull * 1024 * 1024;
         cfg.scheme = TmScheme::Sequential;
-        Cycles seq = runDataStructure(cfg).makespan;
+        ExperimentResult seq_r = runDataStructure(cfg);
+        report.add(std::string(wl_names[w]) + "/seq", cfg, seq_r);
+        Cycles seq = seq_r.makespan;
         std::vector<std::string> row = {wl_names[w]};
         std::uint64_t stm_instr = 0, cautious_instr = 0;
         Cycles stm_time = 0, cautious_time = 0;
         for (TmScheme s : schemes) {
             cfg.scheme = s;
             ExperimentResult r = runDataStructure(cfg);
+            report.add(std::string(wl_names[w]) + "/" + tmSchemeName(s),
+                       cfg, r);
             row.push_back(fmt(double(r.makespan) / double(seq)));
             if (s == TmScheme::Stm) {
                 stm_instr = r.instructions;

@@ -14,17 +14,20 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig18_20", argc, argv);
     const WorkloadKind workloads[] = {WorkloadKind::Bst,
                                       WorkloadKind::Btree,
                                       WorkloadKind::HashTable};
@@ -60,6 +63,10 @@ main()
                 cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
                 cfg.machine.mem.prefetchDegree = 2;
                 ExperimentResult r = runDataStructure(cfg);
+                report.add(std::string(workloadName(cfg.workload)) +
+                               "/" + tmSchemeName(schemes[s]) + "/" +
+                               std::to_string(cores),
+                           cfg, r);
                 if (schemes[s] == TmScheme::Lock && cores == 1)
                     lock1 = r.makespan;
                 cells[ci][s] = double(r.makespan);

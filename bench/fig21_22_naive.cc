@@ -14,17 +14,20 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchReport report("fig21_22", argc, argv);
     const WorkloadKind workloads[] = {WorkloadKind::Bst,
                                       WorkloadKind::Btree};
     const char *titles[] = {
@@ -53,7 +56,10 @@ main()
         lock_cfg.machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
         lock_cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
         lock_cfg.machine.mem.prefetchDegree = 2;
-        Cycles lock1 = runDataStructure(lock_cfg).makespan;
+        ExperimentResult lock_r = runDataStructure(lock_cfg);
+        report.add(std::string(workloadName(workloads[w])) + "/lock/1",
+                   lock_cfg, lock_r);
+        Cycles lock1 = lock_r.makespan;
 
         Table table({"cores", "hastm", "naive_aggr", "stm",
                      "hastm_spurious", "naive_spurious"});
@@ -66,6 +72,10 @@ main()
                 cfg.scheme = schemes[s];
                 cfg.threads = cores;
                 ExperimentResult r = runDataStructure(cfg);
+                report.add(std::string(workloadName(workloads[w])) +
+                               "/" + tmSchemeName(schemes[s]) + "/" +
+                               std::to_string(cores),
+                           cfg, r);
                 rel[s] = double(r.makespan) / double(lock1);
                 spurious[s] = r.tm.aggressiveAborts;
             }

@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "sim/fiber.hh"
 #include "workloads/tm_api.hh"
 
@@ -229,4 +233,42 @@ BENCHMARK(BM_WriteBarrier_Stm);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this binary honours the repo-wide `--json <path>`
+ * convention (and $HASTM_BENCH_JSON): the flag is translated to
+ * google-benchmark's own JSON reporter before the usual argument
+ * handling runs.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+    std::string json_path;
+    for (int i = 0; i < argc; ++i) {
+        if (i + 1 < argc && std::string(argv[i]) == "--json") {
+            json_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    if (json_path.empty()) {
+        if (const char *env = std::getenv("HASTM_BENCH_JSON")) {
+            json_path = env;
+            if (!json_path.empty() && json_path.back() == '/')
+                json_path += "BENCH_micro_primitives.json";
+        }
+    }
+    if (!json_path.empty()) {
+        out_flag = "--benchmark_out=" + json_path;
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

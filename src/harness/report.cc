@@ -1,0 +1,242 @@
+#include "harness/report.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "cpu/core.hh"
+#include "sim/logging.hh"
+
+namespace hastm {
+
+Json
+toJson(const Histogram &h)
+{
+    Json j = Json::object();
+    j.set("count", h.count())
+        .set("sum", h.sum())
+        .set("min", h.min())
+        .set("max", h.max())
+        .set("mean", h.mean());
+    // Sparse bucket list: [lo, n] pairs for non-empty buckets only.
+    Json buckets = Json::array();
+    for (unsigned i = 0; i < h.usedBuckets(); ++i) {
+        if (h.bucketCount(i) == 0)
+            continue;
+        Json b = Json::array();
+        b.push(Histogram::bucketLo(i));
+        b.push(h.bucketCount(i));
+        buckets.push(std::move(b));
+    }
+    j.set("buckets", std::move(buckets));
+    return j;
+}
+
+Json
+toJson(const TmStats &s)
+{
+    Json j = Json::object();
+    j.set("commits", s.commits)
+        .set("aborts", s.aborts)
+        .set("nestedCommits", s.nestedCommits)
+        .set("nestedAborts", s.nestedAborts)
+        .set("retries", s.retries)
+        .set("userAborts", s.userAborts)
+        .set("fastValidations", s.fastValidations)
+        .set("fullValidations", s.fullValidations)
+        .set("rdBarriers", s.rdBarriers)
+        .set("rdFastHits", s.rdFastHits)
+        .set("wrBarriers", s.wrBarriers)
+        .set("wrFastHits", s.wrFastHits)
+        .set("undoElided", s.undoElided)
+        .set("aggressiveCommits", s.aggressiveCommits)
+        .set("aggressiveAborts", s.aggressiveAborts)
+        .set("htmAborts", s.htmAborts);
+    Json reasons = Json::object();
+    reasons.set("conflict", s.aborts)
+        .set("user", s.userAborts)
+        .set("htmCapacity", s.htmCapacityAborts)
+        .set("cmKill", s.cmKills);
+    j.set("abortReasons", std::move(reasons));
+    j.set("readSetAtCommit", toJson(s.readSetAtCommit))
+        .set("undoLogAtCommit", toJson(s.undoLogAtCommit))
+        .set("retriesPerCommit", toJson(s.retriesPerCommit));
+    return j;
+}
+
+Json
+toJson(const StmConfig &c)
+{
+    Json j = Json::object();
+    j.set("granularity", granularityName(c.gran))
+        .set("validateEvery", c.validateEvery)
+        .set("cmPolicy", cmPolicyName(c.cm.policy))
+        .set("clearMarksAtEnd", c.clearMarksAtEnd)
+        .set("filterReads", c.filterReads)
+        .set("filterWrites", c.filterWrites)
+        .set("policyWindow", c.policyWindow)
+        .set("aggressiveWatermark", c.aggressiveWatermark);
+    if (!c.tracePath.empty())
+        j.set("tracePath", c.tracePath);
+    return j;
+}
+
+Json
+toJson(const ExperimentConfig &c)
+{
+    Json j = Json::object();
+    j.set("workload", workloadName(c.workload))
+        .set("scheme", tmSchemeName(c.scheme))
+        .set("threads", c.threads)
+        .set("totalOps", c.totalOps)
+        .set("updatePct", c.updatePct)
+        .set("initialSize", c.initialSize)
+        .set("keyRange", c.keyRange)
+        .set("seed", c.seed)
+        .set("hashBuckets", c.hashBuckets)
+        .set("stm", toJson(c.stm));
+    return j;
+}
+
+Json
+toJson(const MicroConfig &c)
+{
+    Json j = Json::object();
+    j.set("scheme", tmSchemeName(c.scheme))
+        .set("threads", c.threads)
+        .set("transactions", c.transactions)
+        .set("accessesPerTx", c.mix.accessesPerTx)
+        .set("loadPct", c.mix.loadPct)
+        .set("loadReusePct", c.mix.loadReusePct)
+        .set("storeReusePct", c.mix.storeReusePct)
+        .set("workingLines", std::uint64_t(c.workingLines))
+        .set("seed", c.seed)
+        .set("stm", toJson(c.stm));
+    return j;
+}
+
+Json
+toJson(const ExperimentResult &r)
+{
+    Json j = Json::object();
+    j.set("makespan", std::uint64_t(r.makespan))
+        .set("instructions", r.instructions)
+        .set("loads", r.loads)
+        .set("stores", r.stores)
+        .set("l1HitLoads", r.l1HitLoads)
+        .set("checksum", r.checksum)
+        .set("finalSize", r.finalSize)
+        .set("invariantOk", r.invariantOk);
+    Json phases = Json::object();
+    for (std::size_t p = 0; p < std::size_t(Phase::NumPhases); ++p) {
+        Json one = Json::object();
+        one.set("cycles", std::uint64_t(r.phaseCycles[p]))
+            .set("instrs", r.phaseInstrs[p]);
+        phases.set(phaseName(Phase(p)), std::move(one));
+    }
+    j.set("phases", std::move(phases));
+    j.set("tm", toJson(r.tm));
+    return j;
+}
+
+// ------------------------------------------------------------ BenchReport
+
+namespace {
+
+/** Resolve the output path from the command line or the environment. */
+std::string
+resolvePath(const std::string &bench, int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            return argv[i + 1];
+    }
+    if (const char *env = std::getenv("HASTM_BENCH_JSON")) {
+        std::string s(env);
+        if (s.empty())
+            return {};
+        // A trailing slash (or an existing directory-looking value
+        // without an extension) is treated as a directory to drop the
+        // canonically named file into.
+        if (s.back() == '/')
+            return s + "BENCH_" + bench + ".json";
+        return s;
+    }
+    return {};
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string bench_name, int argc, char **argv)
+    : bench_(std::move(bench_name)),
+      path_(resolvePath(bench_, argc, argv))
+{
+}
+
+BenchReport::~BenchReport()
+{
+    if (!written_)
+        write();
+}
+
+void
+BenchReport::add(const std::string &label, const ExperimentConfig &cfg,
+                 const ExperimentResult &r)
+{
+    if (!enabled())
+        return;
+    Json run = Json::object();
+    run.set("label", label)
+        .set("config", toJson(cfg))
+        .set("result", toJson(r));
+    runs_.push(std::move(run));
+}
+
+void
+BenchReport::add(const std::string &label, const MicroConfig &cfg,
+                 const ExperimentResult &r)
+{
+    if (!enabled())
+        return;
+    Json run = Json::object();
+    run.set("label", label)
+        .set("config", toJson(cfg))
+        .set("result", toJson(r));
+    runs_.push(std::move(run));
+}
+
+void
+BenchReport::addCustom(const std::string &label, Json data)
+{
+    if (!enabled())
+        return;
+    Json run = Json::object();
+    run.set("label", label).set("data", std::move(data));
+    runs_.push(std::move(run));
+}
+
+bool
+BenchReport::write()
+{
+    written_ = true;
+    if (!enabled())
+        return true;
+    Json doc = Json::object();
+    doc.set("bench", bench_)
+        .set("schemaVersion", 1)
+        .set("runs", std::move(runs_));
+    runs_ = Json::array();
+    std::ofstream os(path_);
+    if (!os) {
+        warn("report: cannot open '%s' for writing", path_.c_str());
+        return false;
+    }
+    doc.dump(os, 2);
+    os << '\n';
+    if (!os) {
+        warn("report: write to '%s' failed", path_.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace hastm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Structured experiment reports.
+ *
+ * Every bench can serialize its configurations and measured results
+ * to a JSON document so sweeps are machine-checkable: plots, CI
+ * regression gates, and cross-run diffs consume the same numbers the
+ * console tables print. toJson() overloads cover the harness types;
+ * BenchReport owns the per-bench document and the --json / env-var
+ * plumbing.
+ *
+ * Document schema (one per bench binary):
+ *   {
+ *     "bench": "<name>",
+ *     "schemaVersion": 1,
+ *     "runs": [ { "label": ...,
+ *                 "config": { ...ExperimentConfig|MicroConfig... },
+ *                 "result": { "makespan", "instructions", "loads",
+ *                             "stores", "l1HitLoads", "checksum",
+ *                             "finalSize", "invariantOk",
+ *                             "phases": {"<phaseName>": {"cycles",
+ *                                        "instrs"}, ...},
+ *                             "tm": { counters...,
+ *                                     "abortReasons": {...},
+ *                                     "readSetAtCommit": {histogram},
+ *                                     ... } } }, ... ]
+ *   }
+ */
+
+#ifndef HASTM_HARNESS_REPORT_HH
+#define HASTM_HARNESS_REPORT_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sim/json.hh"
+
+namespace hastm {
+
+Json toJson(const Histogram &h);
+Json toJson(const TmStats &s);
+Json toJson(const StmConfig &c);
+Json toJson(const ExperimentConfig &c);
+Json toJson(const MicroConfig &c);
+Json toJson(const ExperimentResult &r);
+
+/**
+ * Accumulates one bench binary's runs and writes the document on
+ * destruction. The output path comes from `--json <path>` on the
+ * command line, else from $HASTM_BENCH_JSON (a file path, or a
+ * directory into which `BENCH_<name>.json` is placed); with neither,
+ * the report is disabled and add() is free.
+ */
+class BenchReport
+{
+  public:
+    /** @param argc/argv The bench's command line; may be 0/null. */
+    BenchReport(std::string bench_name, int argc = 0,
+                char **argv = nullptr);
+
+    ~BenchReport();
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Record one labelled data-structure run. */
+    void add(const std::string &label, const ExperimentConfig &cfg,
+             const ExperimentResult &r);
+
+    /** Record one labelled microbenchmark run. */
+    void add(const std::string &label, const MicroConfig &cfg,
+             const ExperimentResult &r);
+
+    /** Record a run with a bench-specific payload. */
+    void addCustom(const std::string &label, Json data);
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+    std::size_t runCount() const { return runs_.size(); }
+
+    /** Assemble and write the document now; false on I/O failure. */
+    bool write();
+
+  private:
+    std::string bench_;
+    std::string path_;
+    Json runs_ = Json::array();
+    bool written_ = false;
+};
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_REPORT_HH

@@ -172,6 +172,8 @@ HytmThread::rollback()
     Core::PhaseScope scope(core_, Phase::Abort);
     core_.execInstr(20);
     ++stats_.htmAborts;
+    if (htm_.lastAbortCause() == HtmAbortCause::Capacity)
+        ++stats_.htmCapacityAborts;
     if (htm_.active() && !htm_.doomed()) {
         // Software-initiated rollback (userAbort / retry): the
         // hardware transaction is still live and its speculative

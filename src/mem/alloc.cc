@@ -8,7 +8,7 @@
 namespace hastm {
 
 SimAllocator::SimAllocator(MemArena &arena, Addr base, std::size_t length)
-    : arena_(arena)
+    : arena_(arena), base_(base)
 {
     HASTM_ASSERT(base >= 64);
     HASTM_ASSERT(base + length <= arena.size());

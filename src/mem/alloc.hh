@@ -52,8 +52,12 @@ class SimAllocator
     /** Number of live allocations. */
     std::size_t liveBlocks() const { return sizes_.size(); }
 
+    /** First managed byte; no valid allocation lies below this. */
+    Addr base() const { return base_; }
+
   private:
     MemArena &arena_;
+    Addr base_;
     std::map<Addr, std::size_t> freeBlocks_;  //!< addr -> length
     std::map<Addr, std::size_t> sizes_;       //!< live allocation sizes
     std::size_t allocated_ = 0;

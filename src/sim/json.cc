@@ -1,0 +1,463 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+// ------------------------------------------------------------ building
+
+Json &
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    HASTM_ASSERT(type_ == Type::Array);
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    (*this)[key] = std::move(v);
+    return *this;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    HASTM_ASSERT(type_ == Type::Object);
+    for (auto &[k, val] : obj_) {
+        if (k == key)
+            return val;
+    }
+    obj_.emplace_back(key, Json());
+    return obj_.back().second;
+}
+
+// -------------------------------------------------------- introspection
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, val] : obj_) {
+        if (k == key)
+            return &val;
+    }
+    return nullptr;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    switch (type_) {
+      case Type::Int:    return int_;
+      case Type::Uint:   return static_cast<std::int64_t>(uint_);
+      case Type::Double: return static_cast<std::int64_t>(dbl_);
+      default:           return 0;
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (type_) {
+      case Type::Int:    return static_cast<std::uint64_t>(int_);
+      case Type::Uint:   return uint_;
+      case Type::Double: return static_cast<std::uint64_t>(dbl_);
+      default:           return 0;
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+      case Type::Int:    return static_cast<double>(int_);
+      case Type::Uint:   return static_cast<double>(uint_);
+      case Type::Double: return dbl_;
+      default:           return 0.0;
+    }
+}
+
+// -------------------------------------------------------- serialization
+
+std::string
+Json::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+Json::dump(std::ostream &os, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        os << '\n';
+        for (int i = 0; i < indent * d; ++i)
+            os << ' ';
+    };
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Int:
+        os << int_;
+        break;
+      case Type::Uint:
+        os << uint_;
+        break;
+      case Type::Double:
+        if (std::isfinite(dbl_)) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", dbl_);
+            os << buf;
+        } else {
+            os << "null";  // JSON has no NaN/Inf
+        }
+        break;
+      case Type::String:
+        os << '"' << escape(str_) << '"';
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << (indent < 0 ? "," : ",");
+            newline(depth + 1);
+            arr_[i].dump(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            os << '"' << escape(obj_[i].first) << "\":";
+            if (indent >= 0)
+                os << ' ';
+            obj_[i].second.dump(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        break;
+    }
+}
+
+std::string
+Json::str(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+// -------------------------------------------------------------- parsing
+
+namespace {
+
+/** Recursive-descent JSON parser over a string (strict, no comments). */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool failed() const { return !err.empty(); }
+
+    void
+    fail(const std::string &what)
+    {
+        if (err.empty()) {
+            err = what + " at offset " + std::to_string(pos);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        char c = text[pos];
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't': return parseLiteral("true", Json(true));
+          case 'f': return parseLiteral("false", Json(false));
+          case 'n': return parseLiteral("null", Json());
+          default:  return parseNumber();
+        }
+    }
+
+    Json
+    parseLiteral(const char *lit, Json value)
+    {
+        std::size_t n = std::string(lit).size();
+        if (text.compare(pos, n, lit) == 0) {
+            pos += n;
+            return value;
+        }
+        fail("bad literal");
+        return Json();
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected '\"'");
+            return out;
+        }
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            char e = text[pos++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+                    else { fail("bad \\u digit"); return out; }
+                }
+                // Encode as UTF-8 (surrogates passed through raw).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        std::size_t start = pos;
+        bool neg = pos < text.size() && text[pos] == '-';
+        if (neg)
+            ++pos;
+        bool is_double = false;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_double = is_double || c == '.' || c == 'e' || c == 'E';
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start + (neg ? 1u : 0u)) {
+            fail("expected a value");
+            return Json();
+        }
+        std::string tok = text.substr(start, pos - start);
+        try {
+            if (is_double)
+                return Json(std::stod(tok));
+            if (neg)
+                return Json(static_cast<long long>(std::stoll(tok)));
+            return Json(static_cast<unsigned long long>(std::stoull(tok)));
+        } catch (const std::exception &) {
+            fail("malformed number '" + tok + "'");
+            return Json();
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        Json out = Json::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return out;
+        for (;;) {
+            out.push(parseValue());
+            if (failed())
+                return out;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return out;
+            fail("expected ',' or ']'");
+            return out;
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        Json out = Json::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return out;
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            if (failed())
+                return out;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return out;
+            }
+            out.set(key, parseValue());
+            if (failed())
+                return out;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return out;
+            fail("expected ',' or '}'");
+            return out;
+        }
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    Parser p(text);
+    Json out = p.parseValue();
+    if (!p.failed()) {
+        p.skipWs();
+        if (p.pos != text.size())
+            p.fail("trailing garbage");
+    }
+    if (p.failed()) {
+        if (err)
+            *err = p.err;
+        return Json();
+    }
+    if (err)
+        err->clear();
+    return out;
+}
+
+} // namespace hastm

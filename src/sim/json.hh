@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal JSON document model for machine-readable bench output.
+ *
+ * Json is a value tree (null / bool / integer / double / string /
+ * array / object) with an insertion-ordered object representation so
+ * emitted reports stay diff-friendly, a writer with full string
+ * escaping, and a strict recursive-descent parser used by the test
+ * suite to round-trip reports. No external dependencies; everything
+ * the harness serializes (ExperimentResult, TmStats, histograms,
+ * trace events) goes through this type.
+ */
+
+#ifndef HASTM_SIM_JSON_HH
+#define HASTM_SIM_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hastm {
+
+/** One JSON value; arrays and objects own their children. */
+class Json
+{
+  public:
+    enum class Type : std::uint8_t {
+        Null, Bool, Int, Uint, Double, String, Array, Object
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(long v) : type_(Type::Int), int_(v) {}
+    Json(long long v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long long v) : type_(Type::Uint), uint_(v) {}
+    Json(double v) : type_(Type::Double), dbl_(v) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+
+    // ---- construction ----
+
+    /** Append to an array (converts a null value into an array). */
+    Json &push(Json v);
+
+    /** Insert/overwrite @p key (converts a null value into an object). */
+    Json &set(const std::string &key, Json v);
+
+    /** Object member access; inserts a null member when absent. */
+    Json &operator[](const std::string &key);
+
+    // ---- introspection (tests, report validation) ----
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    std::size_t size() const;
+    const Json &at(std::size_t i) const { return arr_[i]; }
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    bool asBool() const { return bool_; }
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const { return str_; }
+
+    // ---- serialization ----
+
+    /**
+     * Write the value. @p indent < 0 emits compact one-line JSON;
+     * >= 0 pretty-prints with that many spaces per level.
+     */
+    void dump(std::ostream &os, int indent = 2, int depth = 0) const;
+
+    std::string str(int indent = 2) const;
+
+    /** JSON-escape @p s (without the surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+    /**
+     * Strict parser. On failure returns a null value and, when
+     * @p err is non-null, stores a position-annotated message.
+     */
+    static Json parse(const std::string &text, std::string *err = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_SIM_JSON_HH

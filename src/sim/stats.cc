@@ -19,6 +19,16 @@ std::uint64_t
 StatGroup::get(const std::string &name) const
 {
     auto it = counters_.find(name);
+    if (it == counters_.end())
+        panic("unknown stat '%s' in group '%s' (use tryGet() to probe)",
+              name.c_str(), name_.c_str());
+    return it->second->value();
+}
+
+std::uint64_t
+StatGroup::tryGet(const std::string &name) const
+{
+    auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second->value();
 }
 

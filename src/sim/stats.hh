@@ -4,11 +4,15 @@
  *
  * Counters register themselves with a StatGroup; groups can be dumped
  * as "name value" lines or queried programmatically by benches.
+ * Histogram captures value distributions (read-set sizes, undo-log
+ * lengths, retry counts) in power-of-two buckets for the JSON reports.
  */
 
 #ifndef HASTM_SIM_STATS_HH
 #define HASTM_SIM_STATS_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -33,6 +37,90 @@ class Counter
 };
 
 /**
+ * A fixed-size log2-bucket histogram of 64-bit samples. Bucket 0
+ * counts the value 0; bucket i >= 1 counts values in
+ * [2^(i-1), 2^i). Trivially copyable so it can live inside the
+ * per-thread TmStats structs and be merged for session totals.
+ */
+class Histogram
+{
+  public:
+    /** Bucket 0 plus one bucket per possible bit width. */
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index holding @p v. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLo(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    void
+    merge(const Histogram &o)
+    {
+        if (o.count_ == 0)
+            return;
+        for (unsigned i = 0; i < kBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
+        if (count_ == 0 || o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        count_ += o.count_;
+        sum_ += o.sum_;
+    }
+
+    void reset() { *this = Histogram{}; }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double
+    mean() const
+    {
+        return count_ ? double(sum_) / double(count_) : 0.0;
+    }
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+    /** Index one past the highest non-empty bucket (0 when empty). */
+    unsigned
+    usedBuckets() const
+    {
+        unsigned n = kBuckets;
+        while (n > 0 && buckets_[n - 1] == 0)
+            --n;
+        return n;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * A named collection of counters. Ownership of the counters stays with
  * the registering object; the group only keeps name -> pointer links.
  */
@@ -44,8 +132,15 @@ class StatGroup
     /** Register @p c under @p name; the counter must outlive the group. */
     void add(const std::string &name, Counter *c);
 
-    /** Look up a counter's current value; 0 if absent. */
+    /**
+     * Look up a counter's current value. Panics on an unknown name:
+     * a typo here used to read as a plausible zero and silently
+     * corrupt bench tables. Probing callers use tryGet()/has().
+     */
     std::uint64_t get(const std::string &name) const;
+
+    /** Look up a counter's current value; 0 if absent (probing). */
+    std::uint64_t tryGet(const std::string &name) const;
 
     /** True if a counter with @p name was registered. */
     bool has(const std::string &name) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cpu/core.hh"
+#include "sim/trace.hh"
 #include "stm/tm_iface.hh"
 #include "stm/tx_record.hh"
 
@@ -26,6 +27,12 @@ ContentionManager::handleContention(Addr rec, std::uint64_t investment)
     ++conflicts_;
     if (params_.diagnostics)
         ++profile_[rec];
+    if (trace_) {
+        Json args = Json::object();
+        args.set("rec", rec);
+        trace_->instant(core_.id(), core_.cycles(), "contention",
+                        std::move(args));
+    }
 
     unsigned budget;
     switch (params_.policy) {
@@ -56,6 +63,8 @@ ContentionManager::handleContention(Addr rec, std::uint64_t investment)
         wait *= 2;
     }
     ++selfAborts_;
+    if (stats_)
+        ++stats_->cmKills;
     throw TxConflictAbort{};
 }
 

@@ -21,6 +21,8 @@
 namespace hastm {
 
 class Core;
+class TraceSink;
+struct TmStats;
 
 /** Available contention policies. */
 enum class CmPolicy : std::uint8_t {
@@ -51,8 +53,15 @@ struct CmParams
 class ContentionManager
 {
   public:
-    ContentionManager(Core &core, const CmParams &params)
-        : core_(core), params_(params) {}
+    /**
+     * @param stats Owning thread's counters; cmKills is bumped on
+     *        every policy-initiated self-abort. May be null (tests).
+     * @param trace Optional event sink for contention instants.
+     */
+    ContentionManager(Core &core, const CmParams &params,
+                      TmStats *stats = nullptr,
+                      TraceSink *trace = nullptr)
+        : core_(core), params_(params), stats_(stats), trace_(trace) {}
 
     /**
      * Resolve a conflict on @p rec, whose current (owned) value is
@@ -87,6 +96,8 @@ class ContentionManager
   private:
     Core &core_;
     CmParams params_;
+    TmStats *stats_;
+    TraceSink *trace_;
     std::uint64_t conflicts_ = 0;
     std::uint64_t selfAborts_ = 0;
     std::unordered_map<Addr, std::uint64_t> profile_;

@@ -1,14 +1,25 @@
 #include "stm/stm.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hastm {
+
+StmGlobals::StmGlobals(Machine &machine, const StmConfig &cfg)
+    : machine_(machine), cfg_(cfg),
+      recTable_(machine.arena(), machine.heap())
+{
+    if (!cfg_.tracePath.empty())
+        trace_ = std::make_unique<TraceSink>(cfg_.tracePath);
+}
+
+StmGlobals::~StmGlobals() = default;
 
 StmThread::StmThread(Core &core, StmGlobals &globals)
     : TmThread(core), g_(globals),
       desc_(core, globals.machine().heap(),
             globals.cfg().filterWrites ? 4 : 3),
-      cm_(core, globals.cfg().cm)
+      cm_(core, globals.cfg().cm, &stats_, globals.trace())
 {
     if (g_.cfg().filterWrites &&
         g_.cfg().gran != Granularity::CacheLine) {
@@ -73,9 +84,12 @@ StmThread::guardAddr(Addr data, unsigned size)
 {
     // A doomed (zombie) transaction can compute a garbage address
     // from an inconsistent read mix. Validate before touching memory
-    // outside the arena; if validation passes, the address really is
-    // a bug in the caller.
-    if (data >= 64 && data + size <= g_.machine().arena().size())
+    // outside the heap; if validation passes, the address really is
+    // a bug in the caller. The lower bound is the heap's first managed
+    // byte, not a magic constant — everything below it (the null page
+    // and reserved prefix) is never handed out to simulated code.
+    if (data >= g_.machine().heap().base() &&
+        data + size <= g_.machine().arena().size())
         return;
     validateNow();
     panic("transaction computed out-of-range address %#llx with a "
@@ -254,11 +268,17 @@ StmThread::undoAppend(Addr data, bool is_ptr)
 void
 StmThread::validate(bool at_commit)
 {
-    (void)at_commit;
     Core::PhaseScope scope(core_, Phase::Validate);
     Core::MetaScope meta(core_);
     core_.execInstr(3);
     ++stats_.fullValidations;
+    if (TraceSink *t = g_.trace()) {
+        Json args = Json::object();
+        args.set("atCommit", at_commit)
+            .set("readSet", desc_.readSet().entries());
+        t->instant(core_.id(), core_.cycles(), "validate",
+                   std::move(args));
+    }
     fullValidation(false);
 }
 
@@ -305,6 +325,7 @@ StmThread::begin()
 {
     HASTM_ASSERT(depth_ == 0);
     Core::PhaseScope scope(core_, Phase::TxBegin);
+    txStartCycles_ = core_.cycles();
     core_.execInstr(10);
     desc_.resetForTxn();
     desc_.setStatus(desc::kStatusActive);
@@ -324,6 +345,8 @@ StmThread::commit()
         rollback();
         return false;
     }
+    std::uint64_t read_set = desc_.readSet().entries();
+    std::uint64_t undo_len = desc_.undoLog().entries();
     {
         Core::PhaseScope scope(core_, Phase::Commit);
         core_.execInstr(4);
@@ -337,6 +360,17 @@ StmThread::commit()
     commitHook();
     depth_ = 0;
     ++stats_.commits;
+    stats_.readSetAtCommit.record(read_set);
+    stats_.undoLogAtCommit.record(undo_len);
+    if (TraceSink *t = g_.trace()) {
+        Json args = Json::object();
+        args.set("outcome", "commit")
+            .set("readSet", read_set)
+            .set("undoLog", undo_len);
+        t->complete(core_.id(), txStartCycles_,
+                    core_.cycles() - txStartCycles_, "tx",
+                    std::move(args));
+    }
     return true;
 }
 
@@ -394,11 +428,10 @@ StmThread::rollback()
     {
         Core::PhaseScope scope(core_, Phase::Abort);
         core_.execInstr(10);
-        LogPos start;  // zero position: undo everything
-        start.chunk = 0;
-        start.cursor = desc_.undoLog().chunks()[0];
-        start.entries = 0;
-        desc_.undoLog().forEachReverse(start,
+        // Undo everything, newest first. beginPos() is the anchored
+        // zero position; it stays valid even for an empty undo log
+        // (a read-only transaction aborted by validation or retry()).
+        desc_.undoLog().forEachReverse(desc_.undoLog().beginPos(),
                                        [&](Addr e) { undoRestore(e); });
         releaseOwned(true);
         desc_.setStatus(desc::kStatusAborted);
@@ -410,6 +443,13 @@ StmThread::rollback()
     desc_.txFrees.clear();
     abortHook();
     depth_ = 0;
+    if (TraceSink *t = g_.trace()) {
+        Json args = Json::object();
+        args.set("outcome", retryRollback_ ? "retry" : "abort");
+        t->complete(core_.id(), txStartCycles_,
+                    core_.cycles() - txStartCycles_, "tx",
+                    std::move(args));
+    }
 }
 
 void

@@ -19,6 +19,7 @@
 #define HASTM_STM_STM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/machine.hh"
@@ -48,7 +49,17 @@ struct StmConfig
     bool filterWrites = false;
     unsigned policyWindow = 32;      //!< mode-policy sliding window
     double aggressiveWatermark = 0.10;
+    /**
+     * When non-empty, collect per-transaction events (begin/commit/
+     * abort spans, validation and contention instants) and write them
+     * here in Chrome trace_event JSON on teardown (load the file in
+     * about://tracing or ui.perfetto.dev). Host-side only: tracing
+     * charges no simulated cycles and does not perturb results.
+     */
+    std::string tracePath;
 };
+
+class TraceSink;
 
 /**
  * State shared by all threads of one STM instance: the machine, the
@@ -57,20 +68,21 @@ struct StmConfig
 class StmGlobals
 {
   public:
-    StmGlobals(Machine &machine, const StmConfig &cfg)
-        : machine_(machine), cfg_(cfg),
-          recTable_(machine.arena(), machine.heap())
-    {
-    }
+    StmGlobals(Machine &machine, const StmConfig &cfg);
+    ~StmGlobals();
 
     Machine &machine() { return machine_; }
     const StmConfig &cfg() const { return cfg_; }
     TxRecordTable &recTable() { return recTable_; }
 
+    /** Event sink, or null when StmConfig::tracePath is empty. */
+    TraceSink *trace() { return trace_.get(); }
+
   private:
     Machine &machine_;
     StmConfig cfg_;
     TxRecordTable recTable_;
+    std::unique_ptr<TraceSink> trace_;
 };
 
 /**
@@ -213,6 +225,9 @@ class StmThread : public TmThread
     ContentionManager cm_;
     Addr tlsAddr_;
     unsigned sinceValidate_ = 0;
+
+    /** Top-level begin timestamp for the trace span. */
+    Cycles txStartCycles_ = 0;
 
     /** Snapshot of (rec, version) pairs for retry() waiting. */
     std::vector<std::pair<Addr, std::uint64_t>> retryWatch_;

@@ -44,8 +44,10 @@ TmThread::atomic(const std::function<void()> &fn)
         begin();
         try {
             fn();
-            if (commit())
+            if (commit()) {
+                stats_.retriesPerCommit.record(attempt);
                 return true;
+            }
             // Commit-time conflict: state already rolled back by the
             // scheme's commit(); back off and re-execute.
             ++stats_.aborts;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace hastm {
@@ -125,6 +126,40 @@ struct TmStats
     std::uint64_t aggressiveCommits = 0;
     std::uint64_t aggressiveAborts = 0; //!< spurious (counter != 0)
     std::uint64_t htmAborts = 0;        //!< hardware conflicts/capacity
+    std::uint64_t htmCapacityAborts = 0; //!< capacity subset of the above
+    std::uint64_t cmKills = 0;          //!< contention-manager self-aborts
+
+    // ---- distributions (Fig 12/17-style diagnostics, JSON reports) ----
+    Histogram readSetAtCommit;  //!< read-set entries per committed txn
+    Histogram undoLogAtCommit;  //!< undo-log entries per committed txn
+    Histogram retriesPerCommit; //!< conflict re-executions per commit
+
+    /** Accumulate @p s into this (session totals). */
+    void
+    merge(const TmStats &s)
+    {
+        commits += s.commits;
+        aborts += s.aborts;
+        nestedCommits += s.nestedCommits;
+        nestedAborts += s.nestedAborts;
+        retries += s.retries;
+        userAborts += s.userAborts;
+        fastValidations += s.fastValidations;
+        fullValidations += s.fullValidations;
+        rdFastHits += s.rdFastHits;
+        rdBarriers += s.rdBarriers;
+        wrBarriers += s.wrBarriers;
+        wrFastHits += s.wrFastHits;
+        undoElided += s.undoElided;
+        aggressiveCommits += s.aggressiveCommits;
+        aggressiveAborts += s.aggressiveAborts;
+        htmAborts += s.htmAborts;
+        htmCapacityAborts += s.htmCapacityAborts;
+        cmKills += s.cmKills;
+        readSetAtCommit.merge(s.readSetAtCommit);
+        undoLogAtCommit.merge(s.undoLogAtCommit);
+        retriesPerCommit.merge(s.retriesPerCommit);
+    }
 };
 
 /**

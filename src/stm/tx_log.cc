@@ -73,6 +73,16 @@ TxLog::pos() const
     return p;
 }
 
+LogPos
+TxLog::beginPos() const
+{
+    LogPos p;
+    p.chunk = 0;
+    p.cursor = chunks_.empty() ? kNullAddr : chunks_[0];
+    p.entries = 0;
+    return p;
+}
+
 void
 TxLog::truncate(const LogPos &p)
 {
@@ -112,11 +122,7 @@ TxLog::forEach(const LogPos &from,
 void
 TxLog::forEachAll(const std::function<void(Addr)> &fn) const
 {
-    LogPos start;
-    start.chunk = 0;
-    start.cursor = chunks_[0];
-    start.entries = 0;
-    forEach(start, fn);
+    forEach(beginPos(), fn);
 }
 
 void

@@ -94,6 +94,15 @@ class TxLog
     /** Current position (for savepoints). */
     LogPos pos() const;
 
+    /**
+     * Position of the log's first entry slot — the "undo everything"
+     * anchor for a top-level rollback. Unlike indexing chunks()[0]
+     * directly, this is well-defined even if the chunk chain is empty
+     * (the cursor is then null, and a zero-entry traversal never
+     * dereferences it).
+     */
+    LogPos beginPos() const;
+
     /** Roll the cursor back to @p p (nested-transaction abort). */
     void truncate(const LogPos &p);
 

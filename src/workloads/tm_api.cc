@@ -187,25 +187,8 @@ TmStats
 TmSession::totalStats() const
 {
     TmStats total;
-    for (const auto &t : threads_) {
-        const TmStats &s = t->stats();
-        total.commits += s.commits;
-        total.aborts += s.aborts;
-        total.nestedCommits += s.nestedCommits;
-        total.nestedAborts += s.nestedAborts;
-        total.retries += s.retries;
-        total.userAborts += s.userAborts;
-        total.fastValidations += s.fastValidations;
-        total.fullValidations += s.fullValidations;
-        total.rdFastHits += s.rdFastHits;
-        total.rdBarriers += s.rdBarriers;
-        total.wrBarriers += s.wrBarriers;
-        total.wrFastHits += s.wrFastHits;
-        total.undoElided += s.undoElided;
-        total.aggressiveCommits += s.aggressiveCommits;
-        total.aggressiveAborts += s.aggressiveAborts;
-        total.htmAborts += s.htmAborts;
-    }
+    for (const auto &t : threads_)
+        total.merge(t->stats());
     return total;
 }
 

@@ -219,11 +219,21 @@ TEST(Stats, RegistryAndDump)
     b.inc();
     EXPECT_EQ(group.get("alpha"), 3u);
     EXPECT_EQ(group.get("beta"), 1u);
-    EXPECT_EQ(group.get("missing"), 0u);
+    EXPECT_EQ(group.tryGet("missing"), 0u);
     EXPECT_TRUE(group.has("alpha"));
     EXPECT_FALSE(group.has("missing"));
     group.resetAll();
     EXPECT_EQ(group.get("alpha"), 0u);
+}
+
+TEST(StatsDeathTest, GetPanicsOnUnknownName)
+{
+    StatGroup group("g");
+    Counter a;
+    group.add("alpha", &a);
+    // A typo in a stat name must fail loudly, not read as zero.
+    EXPECT_DEATH((void)group.get("allpha"), "unknown stat");
+    EXPECT_EQ(group.tryGet("allpha"), 0u);
 }
 
 } // namespace

@@ -568,5 +568,49 @@ TEST(Stm, PeriodicValidationAbortsDoomedTransaction)
     });
 }
 
+// ------------------------------------------------ rollback edge cases
+
+TEST(StmRollback, ReadOnlyAbortWithEmptyUndoLog)
+{
+    // Regression: rollback() anchors its reverse undo walk with
+    // TxLog::beginPos(). A transaction that wrote nothing (read-only,
+    // aborted by userAbort or validation) must roll back cleanly with
+    // zero undo entries instead of touching chunk bookkeeping.
+    Env env(TmScheme::Stm, 1);
+    env.machine->run({[&](Core &core) {
+        TmThread &t = env.session->threadFor(core);
+        Addr obj = t.txAlloc(16);
+        t.atomic([&] { t.writeField(obj, 0, 7); });
+        std::uint64_t seen = 0;
+        bool committed = t.atomic([&] {
+            seen = t.readField(obj, 0);
+            t.userAbort();
+        });
+        EXPECT_FALSE(committed);
+        EXPECT_EQ(seen, 7u);
+        // The structure is untouched and the thread is reusable.
+        std::uint64_t v = 0;
+        t.atomic([&] { v = t.readField(obj, 0); });
+        EXPECT_EQ(v, 7u);
+        EXPECT_EQ(t.stats().userAborts, 1u);
+    }});
+}
+
+TEST(StmGuardDeathTest, AddressBelowHeapBaseIsRejected)
+{
+    // guardAddr()'s lower bound is the heap's first managed byte, not
+    // a hard-coded constant. An in-range read works; a sub-base
+    // address from a healthy transaction is a caller bug and panics.
+    Env env(TmScheme::Stm, 1);
+    Addr base = env.machine->heap().base();
+    EXPECT_GE(base, 64u);
+    EXPECT_DEATH(
+        env.machine->run({[&](Core &core) {
+            TmThread &t = env.session->threadFor(core);
+            t.atomic([&] { t.readWord(base - 8); });
+        }}),
+        "out-of-range address");
+}
+
 } // namespace
 } // namespace hastm
