@@ -10,14 +10,21 @@
  *  3. periodic-validation frequency: eagerness vs wasted work;
  *  4. contention-management policy under a hot-spot workload;
  *  5. the §3.3 default ISA implementation: correct, unaccelerated.
+ *
+ * Each ablation enqueues its experiments into the shared runner and
+ * returns a printer closure; main() runs the whole batch (parallel
+ * under --jobs) and then prints the sections in order.
  */
 
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 #include "workloads/btree.hh"
@@ -43,213 +50,272 @@ btreeCfg(TmScheme scheme, unsigned threads)
     return cfg;
 }
 
-void
-interAtomicReuse()
+std::function<void()>
+interAtomicReuse(ExperimentRunner &runner)
 {
-    std::cout << "Ablation 1: inter-atomic mark reuse (Fig 10), "
-                 "single-thread Btree\n\n";
-    Table table({"marks_at_tx_end", "makespan", "rd_fast_hit_rate",
-                 "spurious_aborts"});
-    for (bool clear : {true, false}) {
-        ExperimentConfig cfg = btreeCfg(TmScheme::Hastm, 1);
-        cfg.stm.clearMarksAtEnd = clear;
-        ExperimentResult r = runDataStructure(cfg);
-        g_report->add(std::string("reuse/marks_") +
-                          (clear ? "cleared" : "kept"),
-                      cfg, r);
-        table.addRow({clear ? "cleared (paper)" : "kept (Fig 10)",
-                      fmt(r.makespan),
-                      fmtPct(double(r.tm.rdFastHits) /
-                             double(r.tm.rdBarriers)),
-                      fmt(r.tm.aggressiveAborts)});
+    ExperimentConfig cfgs[2];
+    ExperimentRunner::Handle h[2];
+    const bool clears[] = {true, false};
+    for (unsigned i = 0; i < 2; ++i) {
+        cfgs[i] = btreeCfg(TmScheme::Hastm, 1);
+        cfgs[i].stm.clearMarksAtEnd = clears[i];
+        h[i] = runner.add(cfgs[i]);
     }
-    table.print(std::cout);
-    std::cout << "\nKept marks raise the fast-hit rate (Fig 10's "
-                 "inter-atomic filtering) but also\nextend each "
-                 "mark's exposure window, so aggressive transactions "
-                 "see more spurious\naborts — the trade-off behind "
-                 "the paper's conservative clear-at-end setting.\n\n";
+    return [=, &runner] {
+        std::cout << "Ablation 1: inter-atomic mark reuse (Fig 10), "
+                     "single-thread Btree\n\n";
+        Table table({"marks_at_tx_end", "makespan", "rd_fast_hit_rate",
+                     "spurious_aborts"});
+        for (unsigned i = 0; i < 2; ++i) {
+            const ExperimentResult &r = runner.result(h[i]);
+            g_report->add(std::string("reuse/marks_") +
+                              (clears[i] ? "cleared" : "kept"),
+                          cfgs[i], r);
+            table.addRow({clears[i] ? "cleared (paper)" : "kept (Fig 10)",
+                          fmt(r.makespan),
+                          fmtPct(double(r.tm.rdFastHits) /
+                                 double(r.tm.rdBarriers)),
+                          fmt(r.tm.aggressiveAborts)});
+        }
+        table.print(std::cout);
+        std::cout << "\nKept marks raise the fast-hit rate (Fig 10's "
+                     "inter-atomic filtering) but also\nextend each "
+                     "mark's exposure window, so aggressive transactions "
+                     "see more spurious\naborts — the trade-off behind "
+                     "the paper's conservative clear-at-end setting.\n\n";
+    };
 }
 
-void
-prefetchInterference()
+std::function<void()>
+prefetchInterference(ExperimentRunner &runner)
 {
-    std::cout << "Ablation 2: next-line prefetch interference, "
-                 "4-core Btree under HASTM\n\n";
-    Table table({"prefetch", "makespan", "fast_validations",
-                 "full_validations", "spurious_aborts"});
-    for (bool pf : {false, true}) {
-        ExperimentConfig cfg = btreeCfg(TmScheme::Hastm, 4);
+    ExperimentConfig cfgs[2];
+    ExperimentRunner::Handle h[2];
+    const bool pfs[] = {false, true};
+    for (unsigned i = 0; i < 2; ++i) {
+        cfgs[i] = btreeCfg(TmScheme::Hastm, 4);
         // Contended quad-core (as in Figs 18-22): the interference
         // mechanisms need a hierarchy under pressure to show up.
-        cfg.machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
-        cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
-        cfg.machine.mem.prefetchDegree = 2;
-        cfg.machine.mem.prefetchNextLine = pf;
-        ExperimentResult r = runDataStructure(cfg);
-        g_report->add(std::string("prefetch/") + (pf ? "on" : "off"),
-                      cfg, r);
-        table.addRow({pf ? "on" : "off", fmt(r.makespan),
-                      fmt(r.tm.fastValidations),
-                      fmt(r.tm.fullValidations),
-                      fmt(r.tm.aggressiveAborts)});
+        cfgs[i].machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
+        cfgs[i].machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
+        cfgs[i].machine.mem.prefetchDegree = 2;
+        cfgs[i].machine.mem.prefetchNextLine = pfs[i];
+        h[i] = runner.add(cfgs[i]);
     }
-    table.print(std::cout);
-    std::cout << "\nExpected: prefetch=on discards more marked lines "
-                 "(fewer fast validations).\n\n";
+    return [=, &runner] {
+        std::cout << "Ablation 2: next-line prefetch interference, "
+                     "4-core Btree under HASTM\n\n";
+        Table table({"prefetch", "makespan", "fast_validations",
+                     "full_validations", "spurious_aborts"});
+        for (unsigned i = 0; i < 2; ++i) {
+            const ExperimentResult &r = runner.result(h[i]);
+            g_report->add(std::string("prefetch/") +
+                              (pfs[i] ? "on" : "off"),
+                          cfgs[i], r);
+            table.addRow({pfs[i] ? "on" : "off", fmt(r.makespan),
+                          fmt(r.tm.fastValidations),
+                          fmt(r.tm.fullValidations),
+                          fmt(r.tm.aggressiveAborts)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected: prefetch=on discards more marked lines "
+                     "(fewer fast validations).\n\n";
+    };
 }
 
-void
-validationPeriod()
+std::function<void()>
+validationPeriod(ExperimentRunner &runner)
 {
-    std::cout << "Ablation 3: periodic validation frequency, 4-core "
-                 "BST under base STM\n\n";
-    Table table({"validate_every", "makespan", "aborts",
-                 "full_validations"});
-    for (unsigned period : {4u, 16u, 64u, 0u}) {
+    const std::vector<unsigned> periods = {4, 16, 64, 0};
+    std::vector<ExperimentConfig> cfgs;
+    std::vector<ExperimentRunner::Handle> h;
+    for (unsigned period : periods) {
         ExperimentConfig cfg = btreeCfg(TmScheme::Stm, 4);
         cfg.workload = WorkloadKind::Bst;
         cfg.stm.validateEvery = period;
-        ExperimentResult r = runDataStructure(cfg);
-        g_report->add("validate_every/" + std::to_string(period), cfg,
-                      r);
-        table.addRow({period == 0 ? "commit-only" : fmt(std::uint64_t(period)),
-                      fmt(r.makespan), fmt(r.tm.aborts),
-                      fmt(r.tm.fullValidations)});
+        cfgs.push_back(cfg);
+        h.push_back(runner.add(cfg));
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    return [=, &runner] {
+        std::cout << "Ablation 3: periodic validation frequency, 4-core "
+                     "BST under base STM\n\n";
+        Table table({"validate_every", "makespan", "aborts",
+                     "full_validations"});
+        for (std::size_t i = 0; i < periods.size(); ++i) {
+            const ExperimentResult &r = runner.result(h[i]);
+            g_report->add("validate_every/" + std::to_string(periods[i]),
+                          cfgs[i], r);
+            table.addRow({periods[i] == 0
+                              ? "commit-only"
+                              : fmt(std::uint64_t(periods[i])),
+                          fmt(r.makespan), fmt(r.tm.aborts),
+                          fmt(r.tm.fullValidations)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    };
 }
 
-void
-contentionPolicies()
+std::function<void()>
+contentionPolicies(ExperimentRunner &runner)
 {
-    std::cout << "Ablation 4: contention management policies, 4 "
-                 "cores, hot-spot BST (small key range)\n\n";
-    Table table({"policy", "makespan", "aborts", "commits"});
-    for (CmPolicy policy :
-         {CmPolicy::Polite, CmPolicy::Aggressive, CmPolicy::Karma}) {
+    const std::vector<CmPolicy> policies = {
+        CmPolicy::Polite, CmPolicy::Aggressive, CmPolicy::Karma};
+    std::vector<ExperimentConfig> cfgs;
+    std::vector<ExperimentRunner::Handle> h;
+    for (CmPolicy policy : policies) {
         ExperimentConfig cfg = btreeCfg(TmScheme::Stm, 4);
         cfg.workload = WorkloadKind::Bst;
         cfg.keyRange = 64;     // heavy conflicts
         cfg.initialSize = 32;
         cfg.updatePct = 50;
         cfg.stm.cm.policy = policy;
-        ExperimentResult r = runDataStructure(cfg);
-        g_report->add(std::string("cm/") + cmPolicyName(policy), cfg,
-                      r);
-        table.addRow({cmPolicyName(policy), fmt(r.makespan),
-                      fmt(r.tm.aborts), fmt(r.tm.commits)});
+        cfgs.push_back(cfg);
+        h.push_back(runner.add(cfg));
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    return [=, &runner] {
+        std::cout << "Ablation 4: contention management policies, 4 "
+                     "cores, hot-spot BST (small key range)\n\n";
+        Table table({"policy", "makespan", "aborts", "commits"});
+        for (std::size_t i = 0; i < policies.size(); ++i) {
+            const ExperimentResult &r = runner.result(h[i]);
+            g_report->add(std::string("cm/") + cmPolicyName(policies[i]),
+                          cfgs[i], r);
+            table.addRow({cmPolicyName(policies[i]), fmt(r.makespan),
+                          fmt(r.tm.aborts), fmt(r.tm.commits)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    };
 }
 
-void
-defaultIsa()
+/**
+ * Hand-rolled experiment for the §3.3 default-ISA ablation (the
+ * harness does not expose the per-core ISA hook). Returns a normal
+ * ExperimentResult so it can run as a generic runner task.
+ */
+ExperimentResult
+runIsaExperiment(bool full)
 {
-    std::cout << "Ablation 5: §3.3 default ISA implementation "
-                 "(single-thread Btree, HASTM)\n\n";
-    Table table({"isa", "makespan", "rd_fast_hits", "fast_validations",
-                 "checksum"});
-    for (bool full : {true, false}) {
-        ExperimentConfig cfg = btreeCfg(TmScheme::Hastm, 1);
-        // The harness builds the machine; flip the ISA through a
-        // machine-params hook is not exposed, so emulate by running
-        // the experiment manually here.
-        MachineParams mp = cfg.machine;
-        mp.mem.numCores = 1;
-        Machine machine(mp);
-        for (CoreId c = 0; c < machine.numCores(); ++c)
-            machine.core(c).setFullMarkIsa(full);
-        SessionConfig sc;
-        sc.scheme = cfg.scheme;
-        sc.numThreads = 1;
-        sc.stm = cfg.stm;
-        TmSession session(machine, sc);
-        std::unique_ptr<Btree> tree;
-        machine.run({[&](Core &core) {
-            TmThread &t = session.threadFor(core);
-            tree = std::make_unique<Btree>(t);
-            Rng rng(7);
-            for (int i = 0; i < 8192; ++i)
-                tree->insertOp(t, rng.range(32768), i);
-        }});
-        machine.resetCounters();
-        machine.run({[&](Core &core) {
-            TmThread &t = session.threadFor(core);
-            Rng rng(99);
-            for (int i = 0; i < 4096; ++i) {
-                std::uint64_t key = rng.range(32768);
-                if (rng.chancePct(20)) {
-                    if (rng.chancePct(50))
-                        tree->insertOp(t, key, key);
-                    else
-                        tree->removeOp(t, key);
-                } else {
-                    tree->containsOp(t, key);
-                }
+    MachineParams mp = btreeCfg(TmScheme::Hastm, 1).machine;
+    mp.mem.numCores = 1;
+    Machine machine(mp);
+    for (CoreId c = 0; c < machine.numCores(); ++c)
+        machine.core(c).setFullMarkIsa(full);
+    SessionConfig sc;
+    sc.scheme = TmScheme::Hastm;
+    sc.numThreads = 1;
+    TmSession session(machine, sc);
+    std::unique_ptr<Btree> tree;
+    machine.run({[&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        tree = std::make_unique<Btree>(t);
+        Rng rng(7);
+        for (int i = 0; i < 8192; ++i)
+            tree->insertOp(t, rng.range(32768), i);
+    }});
+    machine.resetCounters();
+    machine.run({[&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        Rng rng(99);
+        for (int i = 0; i < 4096; ++i) {
+            std::uint64_t key = rng.range(32768);
+            if (rng.chancePct(20)) {
+                if (rng.chancePct(50))
+                    tree->insertOp(t, key, key);
+                else
+                    tree->removeOp(t, key);
+            } else {
+                tree->containsOp(t, key);
             }
-        }});
-        Cycles makespan = machine.maxCoreCycles();
-        std::uint64_t checksum = 0;
-        machine.run({[&](Core &core) {
-            checksum = tree->checksumOp(session.threadFor(core));
-        }});
-        TmStats s = session.totalStats();
-        Json data = Json::object();
-        data.set("makespan", std::uint64_t(makespan))
-            .set("checksum", checksum)
-            .set("tm", toJson(s));
-        g_report->addCustom(std::string("isa/") +
-                                (full ? "full" : "default"),
-                            std::move(data));
-        table.addRow({full ? "full" : "default(§3.3)", fmt(makespan),
-                      fmt(s.rdFastHits), fmt(s.fastValidations),
-                      fmt(checksum)});
-    }
-    table.print(std::cout);
-    std::cout << "\nExpected: identical checksums (correctness), zero "
-                 "filtering under the default ISA,\nand the default "
-                 "run no faster than plain STM.\n";
+        }
+    }});
+    ExperimentResult r;
+    r.makespan = machine.maxCoreCycles();
+    machine.run({[&](Core &core) {
+        r.checksum = tree->checksumOp(session.threadFor(core));
+    }});
+    r.tm = session.totalStats();
+    return r;
 }
 
-void
-writeFiltering()
+std::function<void()>
+defaultIsa(ExperimentRunner &runner)
 {
-    std::cout << "Ablation 6: write-barrier / undo-log filtering "
-                 "(filter 1), write-heavy Btree\n\n";
-    Table table({"filter_writes", "makespan", "wr_fast_hits",
-                 "undo_elided", "checksum"});
-    std::uint64_t checksums[2];
-    unsigned idx = 0;
-    for (bool fw : {false, true}) {
-        ExperimentConfig cfg = btreeCfg(TmScheme::Hastm, 1);
-        cfg.updatePct = 100;   // every operation writes
-        cfg.stm.filterWrites = fw;
-        ExperimentResult r = runDataStructure(cfg);
-        g_report->add(std::string("filter_writes/") +
-                          (fw ? "on" : "off"),
-                      cfg, r);
-        checksums[idx++] = r.checksum;
-        table.addRow({fw ? "on" : "off", fmt(r.makespan),
-                      fmt(r.tm.wrFastHits), fmt(r.tm.undoElided),
-                      fmt(r.checksum)});
+    const bool fulls[] = {true, false};
+    ExperimentRunner::Handle h[2];
+    for (unsigned i = 0; i < 2; ++i) {
+        bool full = fulls[i];
+        h[i] = runner.add([full] { return runIsaExperiment(full); });
     }
-    table.print(std::cout);
-    std::cout << (checksums[0] == checksums[1]
-                      ? "\nIdentical final state. The filter removes "
-                        "thousands of redundant acquires and undo\n"
-                        "appends yet the net time barely moves: write "
-                        "barriers are a small slice of the\nprofile "
-                        "(Fig 12) and the 16-byte undo entries cost "
-                        "more per append. This is why\nthe paper "
-                        "'concentrated on filtering read barriers "
-                        "because that gives the most\nperformance "
-                        "benefit' (S5) - reproduced, with the "
-                        "mechanism now implemented.\n"
-                      : "\nCHECKSUM MISMATCH - write filtering broke "
-                        "isolation!\n");
+    return [=, &runner] {
+        std::cout << "Ablation 5: §3.3 default ISA implementation "
+                     "(single-thread Btree, HASTM)\n\n";
+        Table table({"isa", "makespan", "rd_fast_hits",
+                     "fast_validations", "checksum"});
+        for (unsigned i = 0; i < 2; ++i) {
+            const ExperimentResult &r = runner.result(h[i]);
+            Json data = Json::object();
+            data.set("makespan", std::uint64_t(r.makespan))
+                .set("checksum", r.checksum)
+                .set("tm", toJson(r.tm));
+            g_report->addCustom(std::string("isa/") +
+                                    (fulls[i] ? "full" : "default"),
+                                std::move(data));
+            table.addRow({fulls[i] ? "full" : "default(§3.3)",
+                          fmt(r.makespan), fmt(r.tm.rdFastHits),
+                          fmt(r.tm.fastValidations), fmt(r.checksum)});
+        }
+        table.print(std::cout);
+        std::cout << "\nExpected: identical checksums (correctness), "
+                     "zero filtering under the default ISA,\nand the "
+                     "default run no faster than plain STM.\n";
+    };
+}
+
+std::function<void()>
+writeFiltering(ExperimentRunner &runner)
+{
+    ExperimentConfig cfgs[2];
+    ExperimentRunner::Handle h[2];
+    const bool fws[] = {false, true};
+    for (unsigned i = 0; i < 2; ++i) {
+        cfgs[i] = btreeCfg(TmScheme::Hastm, 1);
+        cfgs[i].updatePct = 100;   // every operation writes
+        cfgs[i].stm.filterWrites = fws[i];
+        h[i] = runner.add(cfgs[i]);
+    }
+    return [=, &runner] {
+        std::cout << "Ablation 6: write-barrier / undo-log filtering "
+                     "(filter 1), write-heavy Btree\n\n";
+        Table table({"filter_writes", "makespan", "wr_fast_hits",
+                     "undo_elided", "checksum"});
+        std::uint64_t checksums[2];
+        for (unsigned i = 0; i < 2; ++i) {
+            const ExperimentResult &r = runner.result(h[i]);
+            g_report->add(std::string("filter_writes/") +
+                              (fws[i] ? "on" : "off"),
+                          cfgs[i], r);
+            checksums[i] = r.checksum;
+            table.addRow({fws[i] ? "on" : "off", fmt(r.makespan),
+                          fmt(r.tm.wrFastHits), fmt(r.tm.undoElided),
+                          fmt(r.checksum)});
+        }
+        table.print(std::cout);
+        std::cout << (checksums[0] == checksums[1]
+                          ? "\nIdentical final state. The filter removes "
+                            "thousands of redundant acquires and undo\n"
+                            "appends yet the net time barely moves: write "
+                            "barriers are a small slice of the\nprofile "
+                            "(Fig 12) and the 16-byte undo entries cost "
+                            "more per append. This is why\nthe paper "
+                            "'concentrated on filtering read barriers "
+                            "because that gives the most\nperformance "
+                            "benefit' (S5) - reproduced, with the "
+                            "mechanism now implemented.\n"
+                          : "\nCHECKSUM MISMATCH - write filtering broke "
+                            "isolation!\n");
+    };
 }
 
 } // namespace
@@ -260,13 +326,18 @@ main(int argc, char **argv)
     setQuiet(true);
     BenchReport report("ablation_marks", argc, argv);
     g_report = &report;
+    ExperimentRunner runner(argc, argv);
     std::cout << "HASTM design-choice ablations\n"
               << "=============================\n\n";
-    interAtomicReuse();
-    prefetchInterference();
-    validationPeriod();
-    contentionPolicies();
-    defaultIsa();
-    writeFiltering();
+    std::vector<std::function<void()>> printers;
+    printers.push_back(interAtomicReuse(runner));
+    printers.push_back(prefetchInterference(runner));
+    printers.push_back(validationPeriod(runner));
+    printers.push_back(contentionPolicies(runner));
+    printers.push_back(defaultIsa(runner));
+    printers.push_back(writeFiltering(runner));
+    runner.runAll();
+    for (auto &print : printers)
+        print();
     return 0;
 }

@@ -18,6 +18,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +29,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig11", argc, argv);
+    ExperimentRunner runner(argc, argv);
     const unsigned cores[] = {1, 2, 4, 8, 16};
     const WorkloadKind workloads[] = {WorkloadKind::HashTable,
                                       WorkloadKind::Bst,
@@ -37,12 +39,12 @@ main(int argc, char **argv)
               << "(execution time relative to 1-proc lock; 20% "
                  "updates; cache-line granularity)\n\n";
 
-    Table table({"procs", "hash_lock", "hash_stm", "bst_lock", "bst_stm",
-                 "btree_lock", "btree_stm"});
-    // makespans[workload][scheme][core index]
-    double rel[3][2][5];
+    // Enqueue the whole sweep, run (possibly on --jobs host threads),
+    // then collect in enqueue order so normalisation and the report
+    // are identical to a sequential run.
+    ExperimentConfig cfgs[3][2][5];
+    ExperimentRunner::Handle handles[3][2][5];
     for (unsigned w = 0; w < 3; ++w) {
-        Cycles lock1 = 0;
         for (unsigned s = 0; s < 2; ++s) {
             TmScheme scheme = s == 0 ? TmScheme::Lock : TmScheme::Stm;
             for (unsigned ci = 0; ci < 5; ++ci) {
@@ -55,11 +57,28 @@ main(int argc, char **argv)
                 cfg.keyRange = 32768;
                 cfg.hashBuckets = 1024;
                 cfg.machine.arenaBytes = 64ull * 1024 * 1024;
-                ExperimentResult r = runDataStructure(cfg);
-                report.add(std::string(workloadName(cfg.workload)) +
+                cfgs[w][s][ci] = cfg;
+                handles[w][s][ci] = runner.add(cfg);
+            }
+        }
+    }
+    runner.runAll();
+
+    Table table({"procs", "hash_lock", "hash_stm", "bst_lock", "bst_stm",
+                 "btree_lock", "btree_stm"});
+    // makespans[workload][scheme][core index]
+    double rel[3][2][5];
+    for (unsigned w = 0; w < 3; ++w) {
+        Cycles lock1 = 0;
+        for (unsigned s = 0; s < 2; ++s) {
+            TmScheme scheme = s == 0 ? TmScheme::Lock : TmScheme::Stm;
+            for (unsigned ci = 0; ci < 5; ++ci) {
+                const ExperimentResult &r =
+                    runner.result(handles[w][s][ci]);
+                report.add(std::string(workloadName(workloads[w])) +
                                "/" + tmSchemeName(scheme) + "/" +
                                std::to_string(cores[ci]),
-                           cfg, r);
+                           cfgs[w][s][ci], r);
                 if (s == 0 && ci == 0)
                     lock1 = r.makespan;
                 rel[w][s][ci] =

@@ -13,6 +13,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -23,6 +24,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig12", argc, argv);
+    ExperimentRunner runner(argc, argv);
     std::cout << "Figure 12: STM execution time breakdown "
                  "(single thread, % of total cycles)\n\n";
 
@@ -30,7 +32,8 @@ main(int argc, char **argv)
     const WorkloadKind workloads[] = {WorkloadKind::Bst,
                                       WorkloadKind::HashTable,
                                       WorkloadKind::Btree};
-    double pct[6][3];
+    ExperimentConfig cfgs[3];
+    ExperimentRunner::Handle handles[3];
     for (unsigned w = 0; w < 3; ++w) {
         ExperimentConfig cfg;
         cfg.workload = workloads[w];
@@ -41,8 +44,15 @@ main(int argc, char **argv)
         cfg.keyRange = 32768;
         cfg.hashBuckets = 1024;
         cfg.machine.arenaBytes = 64ull * 1024 * 1024;
-        ExperimentResult r = runDataStructure(cfg);
-        report.add(workloadName(cfg.workload), cfg, r);
+        cfgs[w] = cfg;
+        handles[w] = runner.add(cfg);
+    }
+    runner.runAll();
+
+    double pct[6][3];
+    for (unsigned w = 0; w < 3; ++w) {
+        const ExperimentResult &r = runner.result(handles[w]);
+        report.add(workloadName(workloads[w]), cfgs[w], r);
         Cycles total = 0;
         for (auto c : r.phaseCycles)
             total += c;

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "workloads/traces.hh"
 
@@ -23,6 +24,10 @@ int
 main(int argc, char **argv)
 {
     BenchReport report("fig13", argc, argv);
+    // Accept --jobs for driver uniformity, but run sequentially: the
+    // profiles share one Rng stream, so splitting them across host
+    // threads would change the generated traces.
+    (void)ExperimentRunner::resolveJobs(argc, argv);
     std::cout << "Figure 13: loads and cache reuse inside critical "
                  "sections\n(synthetic traces calibrated to the "
                  "paper's measurements)\n\n";

@@ -20,6 +20,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -27,10 +28,8 @@ using namespace hastm;
 
 namespace {
 
-BenchReport *g_report = nullptr;
-
-Cycles
-runOne(TmScheme scheme, unsigned load_pct, unsigned reuse_pct)
+MicroConfig
+microCfg(TmScheme scheme, unsigned load_pct, unsigned reuse_pct)
 {
     MicroConfig cfg;
     cfg.scheme = scheme;
@@ -45,20 +44,7 @@ runOne(TmScheme scheme, unsigned load_pct, unsigned reuse_pct)
     // Single-thread barrier-cost study: the next-line prefetcher only
     // adds own-mark capacity noise here (no peers to interfere with).
     cfg.machine.mem.prefetchNextLine = false;
-    ExperimentResult r = runMicro(cfg);
-    g_report->add(std::string(tmSchemeName(scheme)) + "/load" +
-                      std::to_string(load_pct) + "/reuse" +
-                      std::to_string(reuse_pct),
-                  cfg, r);
-    return r.makespan;
-}
-
-double
-relToStm(TmScheme scheme, unsigned load_pct, unsigned reuse_pct,
-         Cycles stm_makespan)
-{
-    return double(runOne(scheme, load_pct, reuse_pct)) /
-           double(stm_makespan);
+    return cfg;
 }
 
 } // namespace
@@ -68,22 +54,48 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig15", argc, argv);
-    g_report = &report;
+    ExperimentRunner runner(argc, argv);
     std::cout << "Figure 15: TM performance comparison on synthetic "
                  "critical sections\n(execution time relative to STM; "
                  "store reuse 40%; 'miss' = 100 - load reuse)\n\n";
 
+    const unsigned loads[] = {60, 70, 80, 90};
+    const unsigned reuses[] = {40, 50, 60};
+    const TmScheme schemes[] = {TmScheme::Stm, TmScheme::HastmCautious,
+                                TmScheme::Hastm, TmScheme::Hytm};
+
+    MicroConfig cfgs[4][3][4];
+    ExperimentRunner::Handle handles[4][3][4];
+    for (unsigned li = 0; li < 4; ++li) {
+        for (unsigned ri = 0; ri < 3; ++ri) {
+            for (unsigned si = 0; si < 4; ++si) {
+                cfgs[li][ri][si] =
+                    microCfg(schemes[si], loads[li], reuses[ri]);
+                handles[li][ri][si] = runner.add(cfgs[li][ri][si]);
+            }
+        }
+    }
+    runner.runAll();
+
     Table table({"load%", "miss%", "cautious", "hastm", "hybrid"});
-    for (unsigned load : {60u, 70u, 80u, 90u}) {
-        for (unsigned reuse : {40u, 50u, 60u}) {
-            Cycles stm = runOne(TmScheme::Stm, load, reuse);
-            double cautious =
-                relToStm(TmScheme::HastmCautious, load, reuse, stm);
-            double hastm = relToStm(TmScheme::Hastm, load, reuse, stm);
-            double hybrid = relToStm(TmScheme::Hytm, load, reuse, stm);
-            table.addRow({fmt(std::uint64_t(load)),
-                          fmt(std::uint64_t(100 - reuse)),
-                          fmt(cautious), fmt(hastm), fmt(hybrid)});
+    for (unsigned li = 0; li < 4; ++li) {
+        for (unsigned ri = 0; ri < 3; ++ri) {
+            Cycles makespans[4];
+            for (unsigned si = 0; si < 4; ++si) {
+                const ExperimentResult &r =
+                    runner.result(handles[li][ri][si]);
+                report.add(std::string(tmSchemeName(schemes[si])) +
+                               "/load" + std::to_string(loads[li]) +
+                               "/reuse" + std::to_string(reuses[ri]),
+                           cfgs[li][ri][si], r);
+                makespans[si] = r.makespan;
+            }
+            double stm = double(makespans[0]);
+            table.addRow({fmt(std::uint64_t(loads[li])),
+                          fmt(std::uint64_t(100 - reuses[ri])),
+                          fmt(double(makespans[1]) / stm),
+                          fmt(double(makespans[2]) / stm),
+                          fmt(double(makespans[3]) / stm)});
         }
     }
     table.print(std::cout);

@@ -16,6 +16,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -26,6 +27,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig16", argc, argv);
+    ExperimentRunner runner(argc, argv);
     std::cout << "Figure 16: single-thread execution time relative to "
                  "sequential\n\n";
 
@@ -33,31 +35,42 @@ main(int argc, char **argv)
                                       WorkloadKind::HashTable,
                                       WorkloadKind::Btree};
     const char *wl_names[] = {"bstree", "hashtable", "btree"};
-    const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::Hytm,
-                                TmScheme::Stm, TmScheme::Lock};
-    const char *s_names[] = {"hastm", "hybrid_tm", "stm", "lock"};
+    const TmScheme schemes[] = {TmScheme::Sequential, TmScheme::Hastm,
+                                TmScheme::Hytm, TmScheme::Stm,
+                                TmScheme::Lock};
+    const char *s_names[] = {"seq", "hastm", "hybrid_tm", "stm", "lock"};
+
+    ExperimentConfig cfgs[3][5];
+    ExperimentRunner::Handle handles[3][5];
+    for (unsigned w = 0; w < 3; ++w) {
+        for (unsigned si = 0; si < 5; ++si) {
+            ExperimentConfig cfg;
+            cfg.workload = workloads[w];
+            cfg.scheme = schemes[si];
+            cfg.threads = 1;
+            cfg.totalOps = 4096;
+            cfg.initialSize = 8192;
+            cfg.keyRange = 32768;
+            cfg.hashBuckets = 1024;
+            cfg.machine.arenaBytes = 64ull * 1024 * 1024;
+            cfgs[w][si] = cfg;
+            handles[w][si] = runner.add(cfg);
+        }
+    }
+    runner.runAll();
 
     Table table({"workload", "hastm", "hybrid_tm", "stm", "lock"});
     for (unsigned w = 0; w < 3; ++w) {
-        ExperimentConfig cfg;
-        cfg.workload = workloads[w];
-        cfg.threads = 1;
-        cfg.totalOps = 4096;
-        cfg.initialSize = 8192;
-        cfg.keyRange = 32768;
-        cfg.hashBuckets = 1024;
-        cfg.machine.arenaBytes = 64ull * 1024 * 1024;
-        cfg.scheme = TmScheme::Sequential;
-        ExperimentResult seq_r = runDataStructure(cfg);
-        report.add(std::string(wl_names[w]) + "/seq", cfg, seq_r);
-        Cycles seq = seq_r.makespan;
+        Cycles seq = 0;
         std::vector<std::string> row = {wl_names[w]};
-        for (unsigned si = 0; si < 4; ++si) {
-            cfg.scheme = schemes[si];
-            ExperimentResult r = runDataStructure(cfg);
+        for (unsigned si = 0; si < 5; ++si) {
+            const ExperimentResult &r = runner.result(handles[w][si]);
             report.add(std::string(wl_names[w]) + "/" + s_names[si],
-                       cfg, r);
-            row.push_back(fmt(double(r.makespan) / double(seq)));
+                       cfgs[w][si], r);
+            if (si == 0)
+                seq = r.makespan;
+            else
+                row.push_back(fmt(double(r.makespan) / double(seq)));
         }
         table.addRow(row);
     }

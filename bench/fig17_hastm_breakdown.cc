@@ -18,6 +18,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +29,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig17", argc, argv);
+    ExperimentRunner runner(argc, argv);
     std::cout << "Figure 17: performance breakdown for HASTM "
                  "(relative to sequential)\n\n";
 
@@ -35,34 +37,48 @@ main(int argc, char **argv)
                                       WorkloadKind::HashTable,
                                       WorkloadKind::Btree};
     const char *wl_names[] = {"bst", "hashtable", "btree"};
-    const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::HastmCautious,
+    const TmScheme schemes[] = {TmScheme::Sequential, TmScheme::Hastm,
+                                TmScheme::HastmCautious,
                                 TmScheme::HastmNoReuse, TmScheme::Stm};
+
+    ExperimentConfig cfgs[3][5];
+    ExperimentRunner::Handle handles[3][5];
+    for (unsigned w = 0; w < 3; ++w) {
+        for (unsigned si = 0; si < 5; ++si) {
+            ExperimentConfig cfg;
+            cfg.workload = workloads[w];
+            cfg.scheme = schemes[si];
+            cfg.threads = 1;
+            cfg.totalOps = 4096;
+            cfg.initialSize = 8192;
+            cfg.keyRange = 32768;
+            cfg.hashBuckets = 1024;
+            cfg.machine.arenaBytes = 64ull * 1024 * 1024;
+            cfgs[w][si] = cfg;
+            handles[w][si] = runner.add(cfg);
+        }
+    }
+    runner.runAll();
 
     Table table({"workload", "hastm", "hastm_cautious", "hastm_noreuse",
                  "stm"});
     Table instr({"workload", "cautious_instr/stm_instr",
                  "cautious_time/stm_time"});
     for (unsigned w = 0; w < 3; ++w) {
-        ExperimentConfig cfg;
-        cfg.workload = workloads[w];
-        cfg.threads = 1;
-        cfg.totalOps = 4096;
-        cfg.initialSize = 8192;
-        cfg.keyRange = 32768;
-        cfg.hashBuckets = 1024;
-        cfg.machine.arenaBytes = 64ull * 1024 * 1024;
-        cfg.scheme = TmScheme::Sequential;
-        ExperimentResult seq_r = runDataStructure(cfg);
-        report.add(std::string(wl_names[w]) + "/seq", cfg, seq_r);
-        Cycles seq = seq_r.makespan;
+        Cycles seq = 0;
         std::vector<std::string> row = {wl_names[w]};
         std::uint64_t stm_instr = 0, cautious_instr = 0;
         Cycles stm_time = 0, cautious_time = 0;
-        for (TmScheme s : schemes) {
-            cfg.scheme = s;
-            ExperimentResult r = runDataStructure(cfg);
-            report.add(std::string(wl_names[w]) + "/" + tmSchemeName(s),
-                       cfg, r);
+        for (unsigned si = 0; si < 5; ++si) {
+            TmScheme s = schemes[si];
+            const ExperimentResult &r = runner.result(handles[w][si]);
+            report.add(std::string(wl_names[w]) + "/" +
+                           (si == 0 ? "seq" : tmSchemeName(s)),
+                       cfgs[w][si], r);
+            if (si == 0) {
+                seq = r.makespan;
+                continue;
+            }
             row.push_back(fmt(double(r.makespan) / double(seq)));
             if (s == TmScheme::Stm) {
                 stm_instr = r.instructions;

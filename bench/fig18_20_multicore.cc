@@ -18,6 +18,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +29,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig18_20", argc, argv);
+    ExperimentRunner runner(argc, argv);
     const WorkloadKind workloads[] = {WorkloadKind::Bst,
                                       WorkloadKind::Btree,
                                       WorkloadKind::HashTable};
@@ -37,12 +39,9 @@ main(int argc, char **argv)
     const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::Stm,
                                 TmScheme::Lock};
 
+    ExperimentConfig cfgs[3][3][3];
+    ExperimentRunner::Handle handles[3][3][3];
     for (unsigned w = 0; w < 3; ++w) {
-        std::cout << titles[w]
-                  << "\n(execution time relative to 1-core lock)\n\n";
-        Table table({"cores", "hastm", "stm", "lock"});
-        Cycles lock1 = 0;
-        double cells[3][3];
         for (unsigned ci = 0; ci < 3; ++ci) {
             unsigned cores = 1u << ci;
             for (unsigned s = 0; s < 3; ++s) {
@@ -62,11 +61,28 @@ main(int argc, char **argv)
                 cfg.machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
                 cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
                 cfg.machine.mem.prefetchDegree = 2;
-                ExperimentResult r = runDataStructure(cfg);
-                report.add(std::string(workloadName(cfg.workload)) +
+                cfgs[w][ci][s] = cfg;
+                handles[w][ci][s] = runner.add(cfg);
+            }
+        }
+    }
+    runner.runAll();
+
+    for (unsigned w = 0; w < 3; ++w) {
+        std::cout << titles[w]
+                  << "\n(execution time relative to 1-core lock)\n\n";
+        Table table({"cores", "hastm", "stm", "lock"});
+        Cycles lock1 = 0;
+        double cells[3][3];
+        for (unsigned ci = 0; ci < 3; ++ci) {
+            unsigned cores = 1u << ci;
+            for (unsigned s = 0; s < 3; ++s) {
+                const ExperimentResult &r =
+                    runner.result(handles[w][ci][s]);
+                report.add(std::string(workloadName(workloads[w])) +
                                "/" + tmSchemeName(schemes[s]) + "/" +
                                std::to_string(cores),
-                           cfg, r);
+                           cfgs[w][ci][s], r);
                 if (schemes[s] == TmScheme::Lock && cores == 1)
                     lock1 = r.makespan;
                 cells[ci][s] = double(r.makespan);

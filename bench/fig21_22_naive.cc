@@ -18,6 +18,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "harness/table.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +29,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     BenchReport report("fig21_22", argc, argv);
+    ExperimentRunner runner(argc, argv);
     const WorkloadKind workloads[] = {WorkloadKind::Bst,
                                       WorkloadKind::Btree};
     const char *titles[] = {
@@ -36,10 +38,9 @@ main(int argc, char **argv)
     const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::HastmNaive,
                                 TmScheme::Stm};
 
+    ExperimentConfig lock_cfgs[2], cfgs[2][3][3];
+    ExperimentRunner::Handle lock_handles[2], handles[2][3][3];
     for (unsigned w = 0; w < 2; ++w) {
-        std::cout << titles[w]
-                  << "\n(execution time relative to 1-core lock; "
-                     "spurious aborts shown)\n\n";
         ExperimentConfig lock_cfg;
         lock_cfg.workload = workloads[w];
         lock_cfg.scheme = TmScheme::Lock;
@@ -56,9 +57,27 @@ main(int argc, char **argv)
         lock_cfg.machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
         lock_cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
         lock_cfg.machine.mem.prefetchDegree = 2;
-        ExperimentResult lock_r = runDataStructure(lock_cfg);
+        lock_cfgs[w] = lock_cfg;
+        lock_handles[w] = runner.add(lock_cfg);
+        for (unsigned ci = 0; ci < 3; ++ci) {
+            for (unsigned s = 0; s < 3; ++s) {
+                ExperimentConfig cfg = lock_cfg;
+                cfg.scheme = schemes[s];
+                cfg.threads = 1u << ci;
+                cfgs[w][ci][s] = cfg;
+                handles[w][ci][s] = runner.add(cfg);
+            }
+        }
+    }
+    runner.runAll();
+
+    for (unsigned w = 0; w < 2; ++w) {
+        std::cout << titles[w]
+                  << "\n(execution time relative to 1-core lock; "
+                     "spurious aborts shown)\n\n";
+        const ExperimentResult &lock_r = runner.result(lock_handles[w]);
         report.add(std::string(workloadName(workloads[w])) + "/lock/1",
-                   lock_cfg, lock_r);
+                   lock_cfgs[w], lock_r);
         Cycles lock1 = lock_r.makespan;
 
         Table table({"cores", "hastm", "naive_aggr", "stm",
@@ -68,14 +87,12 @@ main(int argc, char **argv)
             double rel[3];
             std::uint64_t spurious[3];
             for (unsigned s = 0; s < 3; ++s) {
-                ExperimentConfig cfg = lock_cfg;
-                cfg.scheme = schemes[s];
-                cfg.threads = cores;
-                ExperimentResult r = runDataStructure(cfg);
+                const ExperimentResult &r =
+                    runner.result(handles[w][ci][s]);
                 report.add(std::string(workloadName(workloads[w])) +
                                "/" + tmSchemeName(schemes[s]) + "/" +
                                std::to_string(cores),
-                           cfg, r);
+                           cfgs[w][ci][s], r);
                 rel[s] = double(r.makespan) / double(lock1);
                 spurious[s] = r.tm.aggressiveAborts;
             }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Host-performance benchmark for the parallel experiment runner: runs
+ * a Fig 18-20-style sweep once sequentially (--jobs 1) and once under
+ * the thread pool, measures both wall times, and proves the parallel
+ * pass produced bit-identical simulation results.
+ *
+ * The parallel job count comes from --jobs / $HASTM_BENCH_JOBS, else
+ * min(4, host cores). On a single-core host the pool cannot win and
+ * the speedup honestly reports ~1.0; the committed baseline records
+ * `hostCores` so readers can tell.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+namespace {
+
+std::vector<ExperimentConfig>
+sweepConfigs()
+{
+    std::vector<ExperimentConfig> cfgs;
+    const WorkloadKind workloads[] = {WorkloadKind::Bst,
+                                      WorkloadKind::Btree,
+                                      WorkloadKind::HashTable};
+    const TmScheme schemes[] = {TmScheme::Hastm, TmScheme::Stm,
+                                TmScheme::Lock};
+    for (WorkloadKind w : workloads) {
+        for (unsigned ci = 0; ci < 3; ++ci) {
+            for (TmScheme s : schemes) {
+                ExperimentConfig cfg;
+                cfg.workload = w;
+                cfg.scheme = s;
+                cfg.threads = 1u << ci;
+                cfg.totalOps = 4096;
+                cfg.initialSize = 32768;
+                cfg.keyRange = 131072;
+                cfg.hashBuckets = 4096;
+                cfg.machine.arenaBytes = 128ull * 1024 * 1024;
+                cfg.machine.mem.l1 = CacheParams{16 * 1024, 4, 64, 16};
+                cfg.machine.mem.l2 = CacheParams{128 * 1024, 8, 64, 16};
+                cfg.machine.mem.prefetchDegree = 2;
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    return cfgs;
+}
+
+std::uint64_t
+wallNanos(const std::chrono::steady_clock::time_point &t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** Serialise everything deterministic (hostNanos zeroed out). */
+std::string
+fingerprint(ExperimentResult r)
+{
+    r.hostNanos = 0;
+    std::ostringstream os;
+    toJson(r).dump(os, 0);
+    return os.str();
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &cfgs, unsigned jobs,
+         std::uint64_t &nanos)
+{
+    ExperimentRunner runner(jobs);
+    std::vector<ExperimentRunner::Handle> handles;
+    for (const ExperimentConfig &cfg : cfgs)
+        handles.push_back(runner.add(cfg));
+    auto t0 = std::chrono::steady_clock::now();
+    runner.runAll();
+    nanos = wallNanos(t0);
+    std::vector<ExperimentResult> results;
+    for (auto h : handles)
+        results.push_back(runner.result(h));
+    return results;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    BenchReport report("host_perf", argc, argv);
+
+    unsigned host_cores = std::thread::hardware_concurrency();
+    unsigned jobs = ExperimentRunner::resolveJobs(argc, argv);
+    if (jobs == 1)
+        jobs = std::min(4u, host_cores ? host_cores : 1u);
+
+    std::vector<ExperimentConfig> cfgs = sweepConfigs();
+    std::cout << "Host-perf: Fig 18-20-style sweep ("
+              << cfgs.size() << " experiments), sequential vs --jobs "
+              << jobs << " (host cores: " << host_cores << ")\n\n";
+
+    std::uint64_t seq_nanos = 0, par_nanos = 0;
+    std::vector<ExperimentResult> seq = runSweep(cfgs, 1, seq_nanos);
+    std::vector<ExperimentResult> par = runSweep(cfgs, jobs, par_nanos);
+
+    bool identical = true;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (fingerprint(seq[i]) != fingerprint(par[i])) {
+            identical = false;
+            warn("host_perf: experiment %zu diverged under the "
+                 "parallel runner", i);
+        }
+    }
+
+    double speedup = double(seq_nanos) / double(par_nanos);
+    Table table({"pass", "jobs", "wall_seconds", "speedup"});
+    table.addRow({"sequential", "1", fmt(double(seq_nanos) * 1e-9), "1.00"});
+    table.addRow({"parallel", fmt(std::uint64_t(jobs)),
+                  fmt(double(par_nanos) * 1e-9), fmt(speedup)});
+    table.print(std::cout);
+    std::cout << "\nResults bit-identical across passes: "
+              << (identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+
+    std::uint64_t total_instr = 0;
+    for (const ExperimentResult &r : seq)
+        total_instr += r.instructions;
+    Json data = Json::object();
+    data.set("experiments", std::uint64_t(cfgs.size()))
+        .set("jobs", std::uint64_t(jobs))
+        .set("hostCores", std::uint64_t(host_cores))
+        .set("wallNanosSequential", seq_nanos)
+        .set("wallNanosParallel", par_nanos)
+        .set("speedup", speedup)
+        .set("identicalResults", identical)
+        .set("totalSimInstructions", total_instr)
+        .set("simInstrPerHostSecSequential",
+             double(total_instr) * 1e9 / double(seq_nanos))
+        .set("simInstrPerHostSecParallel",
+             double(total_instr) * 1e9 / double(par_nanos));
+    report.addCustom("sweep", std::move(data));
+
+    return identical ? 0 : 1;
+}

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
 #include "sim/fiber.hh"
 #include "workloads/tm_api.hh"
 
@@ -204,6 +206,57 @@ BM_ReadBarrier_Hastm_Distinct(benchmark::State &state)
 }
 BENCHMARK(BM_ReadBarrier_Hastm_Distinct);
 
+/**
+ * Host throughput of whole experiments: how many simulated
+ * instructions the simulator retires per host second. These are the
+ * end-to-end numbers the coherence fast paths (sharer directory, MRU
+ * way hint, interest lists) move; `hostNanos` comes from the
+ * experiment harness itself, so the number matches the schema-v2
+ * `simInstrPerHostSec` field in the figure benches' JSON reports.
+ */
+void
+BM_HostThroughput_DataStructure(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Bst;
+    cfg.scheme = TmScheme::Stm;
+    cfg.threads = unsigned(state.range(0));
+    cfg.totalOps = 2048;
+    cfg.initialSize = 4096;
+    cfg.keyRange = 16384;
+    cfg.machine.arenaBytes = 32ull * 1024 * 1024;
+    for (auto _ : state) {
+        (void)_;
+        ExperimentResult r = runDataStructure(cfg);
+        benchmark::DoNotOptimize(r.checksum);
+        state.counters["SimInstrPerHostSec"] = benchmark::Counter(
+            r.hostNanos ? double(r.instructions) * 1e9 / double(r.hostNanos)
+                        : 0.0);
+    }
+}
+BENCHMARK(BM_HostThroughput_DataStructure)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_HostThroughput_Micro(benchmark::State &state)
+{
+    MicroConfig cfg;
+    cfg.scheme = TmScheme::Hastm;
+    cfg.threads = 4;
+    cfg.transactions = 128;
+    cfg.mix.accessesPerTx = 64;
+    cfg.workingLines = 4096;
+    cfg.machine.arenaBytes = 32ull * 1024 * 1024;
+    for (auto _ : state) {
+        (void)_;
+        ExperimentResult r = runMicro(cfg);
+        benchmark::DoNotOptimize(r.checksum);
+        state.counters["SimInstrPerHostSec"] = benchmark::Counter(
+            r.hostNanos ? double(r.instructions) * 1e9 / double(r.hostNanos)
+                        : 0.0);
+    }
+}
+BENCHMARK(BM_HostThroughput_Micro);
+
 void
 BM_WriteBarrier_Stm(benchmark::State &state)
 {
@@ -237,17 +290,24 @@ BENCHMARK(BM_WriteBarrier_Stm);
  * Custom main so this binary honours the repo-wide `--json <path>`
  * convention (and $HASTM_BENCH_JSON): the flag is translated to
  * google-benchmark's own JSON reporter before the usual argument
- * handling runs.
+ * handling runs. `--jobs N` is likewise stripped for driver
+ * uniformity but ignored: google-benchmark's timing loops must run
+ * sequentially or the host measurements would contend.
  */
 int
 main(int argc, char **argv)
 {
+    (void)hastm::ExperimentRunner::resolveJobs(argc, argv);
     std::vector<char *> args;
     std::string out_flag, fmt_flag = "--benchmark_out_format=json";
     std::string json_path;
     for (int i = 0; i < argc; ++i) {
         if (i + 1 < argc && std::string(argv[i]) == "--json") {
             json_path = argv[++i];
+            continue;
+        }
+        if (i + 1 < argc && std::string(argv[i]) == "--jobs") {
+            ++i;
             continue;
         }
         args.push_back(argv[i]);

@@ -53,6 +53,7 @@ Machine::resetCounters()
 {
     for (auto &core : cores_)
         core->resetCounters();
+    mem_->resetCounters();
 }
 
 } // namespace hastm

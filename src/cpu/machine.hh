@@ -63,7 +63,10 @@ class Machine
     /** Longest per-core cycle count — the experiment's makespan. */
     Cycles maxCoreCycles() const;
 
-    /** Reset all core counters (keep memory and cache contents). */
+    /**
+     * Reset all core and memory-system event counters (cache and
+     * memory contents stay warm, as in the paper's setup).
+     */
     void resetCounters();
 
   private:

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <chrono>
 #include <memory>
 
 #include "sim/logging.hh"
@@ -51,11 +52,21 @@ gatherResult(Machine &machine, TmSession &session, ExperimentResult &r)
     }
 }
 
+std::uint64_t
+hostNowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 ExperimentResult
 runDataStructure(const ExperimentConfig &cfg)
 {
+    std::uint64_t host_start = hostNowNanos();
     HASTM_ASSERT(cfg.threads >= 1);
     MachineParams mp = cfg.machine;
     mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
@@ -187,12 +198,14 @@ runDataStructure(const ExperimentConfig &cfg)
         result.finalSize = ops.size(verifier);
         result.invariantOk = ops.invariant(verifier);
     }});
+    result.hostNanos = hostNowNanos() - host_start;
     return result;
 }
 
 ExperimentResult
 runMicro(const MicroConfig &cfg)
 {
+    std::uint64_t host_start = hostNowNanos();
     HASTM_ASSERT(cfg.threads >= 1);
     MachineParams mp = cfg.machine;
     mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
@@ -226,6 +239,7 @@ runMicro(const MicroConfig &cfg)
     ExperimentResult result;
     gatherResult(machine, session, result);
     result.checksum = work.rawSum();
+    result.hostNanos = hostNowNanos() - host_start;
     return result;
 }
 

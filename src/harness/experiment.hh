@@ -57,6 +57,13 @@ struct ExperimentResult
     std::uint64_t checksum = 0;      //!< final structure fingerprint
     std::uint64_t finalSize = 0;
     bool invariantOk = true;
+
+    /**
+     * Host wall time spent inside the run (steady_clock ns). The
+     * only field that varies run-to-run: everything simulated above
+     * is deterministic in the config.
+     */
+    std::uint64_t hostNanos = 0;
 };
 
 /** Run one data-structure experiment. */

@@ -126,6 +126,14 @@ toJson(const ExperimentResult &r)
         .set("checksum", r.checksum)
         .set("finalSize", r.finalSize)
         .set("invariantOk", r.invariantOk);
+    // Schema v2: host-side throughput. These are the only fields that
+    // vary between runs of the same config — diff tools comparing
+    // reports for determinism should ignore them.
+    j.set("hostNanos", r.hostNanos);
+    double sim_ips = r.hostNanos
+        ? double(r.instructions) * 1e9 / double(r.hostNanos)
+        : 0.0;
+    j.set("simInstrPerHostSec", sim_ips);
     Json phases = Json::object();
     for (std::size_t p = 0; p < std::size_t(Phase::NumPhases); ++p) {
         Json one = Json::object();
@@ -222,7 +230,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 1)
+        .set("schemaVersion", 2)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

@@ -12,12 +12,13 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 1,
+ *     "schemaVersion": 2,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
  *                             "stores", "l1HitLoads", "checksum",
  *                             "finalSize", "invariantOk",
+ *                             "hostNanos", "simInstrPerHostSec",
  *                             "phases": {"<phaseName>": {"cycles",
  *                                        "instrs"}, ...},
  *                             "tm": { counters...,
@@ -25,6 +26,12 @@
  *                                     "readSetAtCommit": {histogram},
  *                                     ... } } }, ... ]
  *   }
+ *
+ * v2 adds the per-run host-throughput fields "hostNanos" (host wall
+ * time of the run) and "simInstrPerHostSec" (simulated instructions
+ * retired per host second). These vary run-to-run; every other field
+ * is deterministic in the config, including under the parallel
+ * experiment runner (see harness/runner.hh).
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH

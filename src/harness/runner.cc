@@ -1,0 +1,108 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : 1)
+{
+}
+
+ExperimentRunner::ExperimentRunner(int argc, char **argv)
+    : ExperimentRunner(resolveJobs(argc, argv))
+{
+}
+
+unsigned
+ExperimentRunner::resolveJobs(int argc, char **argv)
+{
+    auto parse = [](const char *s, const char *origin) -> unsigned {
+        char *end = nullptr;
+        long v = std::strtol(s, &end, 10);
+        if (!end || *end != '\0' || v < 1 || v > 1024)
+            fatal("%s: job count '%s' is not in [1, 1024]", origin, s);
+        return static_cast<unsigned>(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs") {
+            if (i + 1 >= argc)
+                fatal("--jobs requires an argument");
+            return parse(argv[i + 1], "--jobs");
+        }
+    }
+    if (const char *env = std::getenv("HASTM_BENCH_JOBS")) {
+        if (*env)
+            return parse(env, "HASTM_BENCH_JOBS");
+    }
+    return 1;
+}
+
+ExperimentRunner::Handle
+ExperimentRunner::add(const ExperimentConfig &cfg)
+{
+    return add([cfg] { return runDataStructure(cfg); });
+}
+
+ExperimentRunner::Handle
+ExperimentRunner::add(const MicroConfig &cfg)
+{
+    return add([cfg] { return runMicro(cfg); });
+}
+
+ExperimentRunner::Handle
+ExperimentRunner::add(std::function<ExperimentResult()> fn)
+{
+    HASTM_ASSERT(fn != nullptr);
+    tasks_.push_back(std::move(fn));
+    return Handle{completed_ + tasks_.size() - 1};
+}
+
+void
+ExperimentRunner::runAll()
+{
+    std::size_t base = completed_;
+    std::size_t n = tasks_.size();
+    results_.resize(base + n);
+
+    if (jobs_ <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results_[base + i] = tasks_[i]();
+    } else {
+        // Work-stealing by atomic ticket: each worker claims the next
+        // unstarted task and writes into its pre-sized result slot,
+        // so result order == enqueue order whatever finishes first.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                results_[base + i] = tasks_[i]();
+            }
+        };
+        std::size_t pool = std::min<std::size_t>(jobs_, n);
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (std::size_t t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (auto &th : threads)
+            th.join();
+    }
+    tasks_.clear();
+    completed_ = base + n;
+}
+
+const ExperimentResult &
+ExperimentRunner::result(Handle h) const
+{
+    HASTM_ASSERT(h.index < completed_);
+    return results_[h.index];
+}
+
+} // namespace hastm

@@ -14,8 +14,10 @@ Cache::Cache(std::string name, const CacheParams &params)
     HASTM_ASSERT(params_.subBlocksPerLine() <= 8);
     HASTM_ASSERT(params_.numSets() > 0);
     HASTM_ASSERT((params_.numSets() & (params_.numSets() - 1)) == 0);
+    HASTM_ASSERT(params_.assoc <= 255);  // mruWay_ holds a way index
     lines_.resize(static_cast<std::size_t>(params_.numSets()) *
                   params_.assoc);
+    mruWay_.resize(params_.numSets(), 0);
 }
 
 std::uint32_t
@@ -29,10 +31,18 @@ CacheLine *
 Cache::findLine(Addr a)
 {
     Addr la = lineAddr(a);
-    CacheLine *set = &lines_[std::size_t(setIndex(a)) * params_.assoc];
+    std::uint32_t si = setIndex(a);
+    CacheLine *set = &lines_[std::size_t(si) * params_.assoc];
+    // MRU way hint: repeat hits to the hot line of a set skip the
+    // associativity scan (host-side only; no simulated effect).
+    CacheLine &hinted = set[mruWay_[si]];
+    if (hinted.valid() && hinted.tag == la)
+        return &hinted;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        if (set[w].valid() && set[w].tag == la)
+        if (set[w].valid() && set[w].tag == la) {
+            mruWay_[si] = static_cast<std::uint8_t>(w);
             return &set[w];
+        }
     }
     return nullptr;
 }
@@ -60,10 +70,26 @@ Cache::victimFor(Addr a)
 void
 Cache::fill(CacheLine &frame, Addr a, MesiState state)
 {
+    HASTM_ASSERT(state != MesiState::Invalid);
+    if (!frame.valid())
+        ++validCount_;
     frame.tag = lineAddr(a);
     frame.state = state;
     frame.clearMeta();
     touch(frame);
+    std::uint32_t si = setIndex(a);
+    mruWay_[si] = static_cast<std::uint8_t>(
+        indexOf(frame) - std::size_t(si) * params_.assoc);
+}
+
+void
+Cache::invalidate(CacheLine &line)
+{
+    if (!line.valid())
+        return;
+    --validCount_;
+    line.state = MesiState::Invalid;
+    line.clearMeta();
 }
 
 std::uint8_t
@@ -79,16 +105,6 @@ Cache::subBlockMask(Addr addr, unsigned len) const
     for (unsigned i = first; i <= last; ++i)
         mask |= static_cast<std::uint8_t>(1u << i);
     return mask;
-}
-
-unsigned
-Cache::validLines() const
-{
-    unsigned n = 0;
-    for (const auto &line : lines_)
-        if (line.valid())
-            ++n;
-    return n;
 }
 
 } // namespace hastm

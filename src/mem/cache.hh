@@ -6,6 +6,14 @@
  * line carries, per SMT thread, one mark bit per 16-byte sub-block
  * (four bits for a 64-byte line — the paper's configuration, §3.1),
  * plus speculative read/write bits used by the bounded HTM machine.
+ *
+ * Host-performance fast paths (no simulated-behaviour change):
+ *  - a per-set MRU way hint lets repeat hits skip the associativity
+ *    scan in findLine();
+ *  - interest lists of possibly-marked / possibly-speculative lines
+ *    let resetMarkAll / clearSpecAll walk only those lines instead of
+ *    the whole tag array;
+ *  - the valid-line count is maintained incrementally.
  */
 
 #ifndef HASTM_MEM_CACHE_HH
@@ -66,6 +74,23 @@ struct CacheLine
     bool specRead = false;
     bool specWrite = false;
 
+    /**
+     * Directory sidecar, used on L2 lines only: bitmap of the L1
+     * caches currently holding a copy of this line (the shared L2 is
+     * inclusive, so it can answer "which cores must be snooped" for
+     * every line). Maintained by MemSystem on every L1 fill and
+     * invalidation; purely a host-side acceleration — coherence
+     * actions driven through it are identical to an all-cores scan.
+     */
+    std::uint32_t sharers = 0;
+
+    /**
+     * Host-side membership flags for the owning cache's marked- and
+     * spec-line lists (see Cache::noteMarked / forEachMarkedLine).
+     */
+    bool inMarkedList = false;
+    bool inSpecList = false;
+
     bool valid() const { return state != MesiState::Invalid; }
 
     bool
@@ -88,6 +113,8 @@ struct CacheLine
             per_smt.fill(0);
         specRead = specWrite = false;
         prefetched = false;
+        sharers = 0;
+        inMarkedList = inSpecList = false;
     }
 };
 
@@ -130,6 +157,14 @@ class Cache
      */
     void fill(CacheLine &frame, Addr a, MesiState state);
 
+    /**
+     * Invalidate @p line: drop its coherence state, metadata, and
+     * list memberships, keeping the valid-line count exact. All
+     * invalidations must come through here (not by assigning
+     * MesiState::Invalid directly) or validLines() drifts.
+     */
+    void invalidate(CacheLine &line);
+
     /** Iterate all valid lines (used by resetMarkAll / clearSpecAll). */
     template <typename Fn>
     void
@@ -140,19 +175,106 @@ class Cache
                 fn(line);
     }
 
+    /**
+     * Record that @p line now carries at least one mark bit so the
+     * next forEachMarkedLine() walk will visit it. Idempotent.
+     */
+    void
+    noteMarked(CacheLine &line)
+    {
+        if (!line.inMarkedList) {
+            line.inMarkedList = true;
+            markedLines_.push_back(indexOf(line));
+        }
+    }
+
+    /** Same bookkeeping for the HTM speculative-bit list. */
+    void
+    noteSpec(CacheLine &line)
+    {
+        if (!line.inSpecList) {
+            line.inSpecList = true;
+            specLines_.push_back(indexOf(line));
+        }
+    }
+
+    /**
+     * Visit every valid line that may carry mark bits, instead of
+     * scanning all sets x ways. Stale entries (lines invalidated or
+     * fully unmarked since they were noted) are compacted away during
+     * the walk. @p fn may clear marks but must not set new ones.
+     */
+    template <typename Fn>
+    void
+    forEachMarkedLine(Fn &&fn)
+    {
+        walkList(markedLines_, std::forward<Fn>(fn),
+                 [](const CacheLine &l) { return l.anyMark(); },
+                 &CacheLine::inMarkedList);
+    }
+
+    /** Spec-bit analogue of forEachMarkedLine(). */
+    template <typename Fn>
+    void
+    forEachSpecLine(Fn &&fn)
+    {
+        walkList(specLines_, std::forward<Fn>(fn),
+                 [](const CacheLine &l) { return l.anySpec(); },
+                 &CacheLine::inSpecList);
+    }
+
     /** Sub-block mask covering [addr, addr+len) within addr's line. */
     std::uint8_t subBlockMask(Addr addr, unsigned len) const;
 
-    /** Number of valid lines (debug/tests). */
-    unsigned validLines() const;
+    /** Number of valid lines (O(1); maintained by fill/invalidate). */
+    unsigned validLines() const { return validCount_; }
 
   private:
     std::uint32_t setIndex(Addr a) const;
 
+    std::uint32_t
+    indexOf(const CacheLine &line) const
+    {
+        return static_cast<std::uint32_t>(&line - lines_.data());
+    }
+
+    /**
+     * Shared walk-and-compact over an interest list. Entries whose
+     * flag is false (duplicates, invalidated lines) are skipped and
+     * dropped; entries that stop satisfying @p live after @p fn are
+     * dropped; survivors keep their flag. Flags are held false during
+     * the walk so duplicated indices are visited exactly once.
+     */
+    template <typename Fn, typename Live>
+    void
+    walkList(std::vector<std::uint32_t> &list, Fn &&fn, Live &&live,
+             bool CacheLine::*flag)
+    {
+        std::size_t out = 0;
+        for (std::size_t k = 0; k < list.size(); ++k) {
+            CacheLine &line = lines_[list[k]];
+            if (!(line.*flag))
+                continue;
+            line.*flag = false;
+            if (!line.valid() || !live(line))
+                continue;
+            fn(line);
+            if (live(line))
+                list[out++] = list[k];
+        }
+        list.resize(out);
+        for (std::uint32_t idx : list)
+            lines_[idx].*flag = true;
+    }
+
     std::string name_;
     CacheParams params_;
     std::vector<CacheLine> lines_;   //!< sets * assoc, set-major
+    std::vector<std::uint8_t> mruWay_;  //!< per-set most-recent-hit way
+    std::vector<std::uint32_t> markedLines_;  //!< lines that may be marked
+    std::vector<std::uint32_t> specLines_;    //!< lines that may be spec
     std::uint64_t lruClock_ = 0;
+    unsigned validCount_ = 0;
 };
 
 } // namespace hastm

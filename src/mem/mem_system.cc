@@ -1,6 +1,7 @@
 #include "mem/mem_system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "sim/logging.hh"
@@ -11,6 +12,8 @@ MemSystem::MemSystem(MemArena &arena, const MemParams &params)
     : arena_(arena), params_(params), stats_("mem")
 {
     HASTM_ASSERT(params_.numCores >= 1);
+    // The L2 sharer directory is a 32-bit core bitmap.
+    HASTM_ASSERT(params_.numCores <= 32);
     HASTM_ASSERT(params_.numSmt >= 1 && params_.numSmt <= kMaxSmt);
     HASTM_ASSERT(params_.l1.lineSize == params_.l2.lineSize);
 
@@ -48,18 +51,51 @@ MemSystem::setListener(CoreId core, MemListener *listener)
     listeners_[core] = listener;
 }
 
+template <typename Fn>
+void
+MemSystem::forEachRemoteHolder(Addr la, CoreId self, Fn &&fn)
+{
+    if (params_.sharerDirectory) {
+        // Inclusion means every L1-resident line is in the L2, so the
+        // L2 line's sharer bitmap is the complete holder set; a
+        // directory miss means no L1 can hold the line.
+        CacheLine *l2line = l2_->findLine(la);
+        if (!l2line)
+            return;
+        std::uint32_t bits =
+            l2line->sharers & ~(std::uint32_t(1) << self);
+        while (bits) {
+            CoreId c = static_cast<CoreId>(std::countr_zero(bits));
+            bits &= bits - 1;
+            CacheLine *line = l1s_[c]->findLine(la);
+            HASTM_ASSERT(line != nullptr);  // directory is exact
+            fn(c, *line);
+        }
+        return;
+    }
+    // Reference path: probe every remote L1.
+    for (CoreId c = 0; c < params_.numCores; ++c) {
+        if (c == self)
+            continue;
+        if (CacheLine *line = l1s_[c]->findLine(la))
+            fn(c, *line);
+    }
+}
+
 void
 MemSystem::invalidateL1Line(CoreId core, CacheLine &line, SpecLoss why)
 {
     if (!line.valid())
         return;
     MemListener *l = listeners_[core];
-    for (SmtId t = 0; t < params_.numSmt; ++t) {
-        for (unsigned f = 0; f < kNumFilters; ++f) {
-            if (line.markBits[t][f]) {
-                markDiscards_[core].inc();
-                if (l)
-                    l->marksDiscarded(t, f, 1);
+    if (line.anyMark()) {
+        for (SmtId t = 0; t < params_.numSmt; ++t) {
+            for (unsigned f = 0; f < kNumFilters; ++f) {
+                if (line.markBits[t][f]) {
+                    markDiscards_[core].inc();
+                    if (l)
+                        l->marksDiscarded(t, f, 1);
+                }
             }
         }
     }
@@ -71,8 +107,10 @@ MemSystem::invalidateL1Line(CoreId core, CacheLine &line, SpecLoss why)
         if (l)
             l->specLost(why);
     }
-    line.state = MesiState::Invalid;
-    line.clearMeta();
+    // Keep the directory exact: this core stops sharing the line.
+    if (CacheLine *l2line = l2_->findLine(line.tag))
+        l2line->sharers &= ~(std::uint32_t(1) << core);
+    l1s_[core]->invalidate(line);
 }
 
 void
@@ -83,31 +121,46 @@ MemSystem::evictL1Line(CoreId core, CacheLine &line)
     invalidateL1Line(core, line, SpecLoss::Capacity);
 }
 
-bool
-MemSystem::l2Fill(Addr la, AccessResult &res)
+CacheLine *
+MemSystem::l2Fill(Addr la, AccessResult &res, bool &hit)
 {
     if (CacheLine *line = l2_->findLine(la)) {
         l2_->touch(*line);
         res.l2Hit = true;
-        return true;
+        hit = true;
+        return line;
     }
+    hit = false;
     // Miss: fetch from memory, install, enforce inclusion on a victim.
     CacheLine *victim = l2_->victimFor(la);
     if (victim->valid()) {
         Addr victim_la = victim->tag;
-        for (CoreId c = 0; c < params_.numCores; ++c) {
-            if (CacheLine *l1line = l1s_[c]->findLine(victim_la)) {
+        if (params_.sharerDirectory) {
+            std::uint32_t bits = victim->sharers;
+            while (bits) {
+                CoreId c = static_cast<CoreId>(std::countr_zero(bits));
+                bits &= bits - 1;
+                CacheLine *l1line = l1s_[c]->findLine(victim_la);
+                HASTM_ASSERT(l1line != nullptr);
                 backInvals_.inc();
                 invalidateL1Line(c, *l1line, SpecLoss::Capacity);
+            }
+        } else {
+            for (CoreId c = 0; c < params_.numCores; ++c) {
+                if (CacheLine *l1line = l1s_[c]->findLine(victim_la)) {
+                    backInvals_.inc();
+                    invalidateL1Line(c, *l1line, SpecLoss::Capacity);
+                }
             }
         }
     }
     l2_->fill(*victim, la, MesiState::Shared);
-    return false;
+    return victim;
 }
 
 void
-MemSystem::l1Fill(CoreId core, Addr la, MesiState state, bool prefetched)
+MemSystem::l1Fill(CoreId core, Addr la, MesiState state, bool prefetched,
+                  CacheLine *l2line)
 {
     Cache &l1 = *l1s_[core];
     CacheLine *victim = l1.victimFor(la);
@@ -115,6 +168,11 @@ MemSystem::l1Fill(CoreId core, Addr la, MesiState state, bool prefetched)
         evictL1Line(core, *victim);
     l1.fill(*victim, la, state);
     victim->prefetched = prefetched;
+    // Register the new copy in the L2 directory. The pointer from
+    // l2Fill stays valid across the intervening snoops: they touch
+    // L2 sharer bitmaps but never move or evict L2 lines.
+    HASTM_ASSERT(l2line != nullptr && l2line->tag == la);
+    l2line->sharers |= std::uint32_t(1) << core;
 }
 
 void
@@ -131,27 +189,24 @@ MemSystem::prefetch(CoreId core, Addr next_la, bool exclusive)
     // remote copies and discarding their marks.
     prefetches_.inc();
     AccessResult dummy;
-    l2Fill(next_la, dummy);
+    bool l2hit = false;
+    CacheLine *l2line = l2Fill(next_la, dummy, l2hit);
     bool shared_elsewhere = false;
-    for (CoreId c = 0; c < params_.numCores; ++c) {
-        if (c == core)
-            continue;
-        if (CacheLine *line = l1s_[c]->findLine(next_la)) {
-            if (exclusive) {
-                invalidateL1Line(c, *line, SpecLoss::Conflict);
-            } else {
-                shared_elsewhere = true;
-                if (line->state == MesiState::Modified ||
-                    line->state == MesiState::Exclusive) {
-                    line->state = MesiState::Shared;
-                }
+    forEachRemoteHolder(next_la, core, [&](CoreId c, CacheLine &line) {
+        if (exclusive) {
+            invalidateL1Line(c, line, SpecLoss::Conflict);
+        } else {
+            shared_elsewhere = true;
+            if (line.state == MesiState::Modified ||
+                line.state == MesiState::Exclusive) {
+                line.state = MesiState::Shared;
             }
         }
-    }
+    });
     MesiState fill_state = exclusive
         ? MesiState::Exclusive
         : (shared_elsewhere ? MesiState::Shared : MesiState::Exclusive);
-    l1Fill(core, next_la, fill_state, true);
+    l1Fill(core, next_la, fill_state, true, l2line);
 }
 
 void
@@ -175,12 +230,9 @@ MemSystem::accessLine(CoreId core, SmtId smt, Addr addr, unsigned len,
             // Ownership upgrade: invalidate every other copy.
             upgrades_.inc();
             res.latency += params_.upgradeLat;
-            for (CoreId c = 0; c < params_.numCores; ++c) {
-                if (c == core)
-                    continue;
-                if (CacheLine *other = l1s_[c]->findLine(la))
-                    invalidateL1Line(c, *other, SpecLoss::Conflict);
-            }
+            forEachRemoteHolder(la, core, [&](CoreId c, CacheLine &other) {
+                invalidateL1Line(c, other, SpecLoss::Conflict);
+            });
         }
         line->state = MesiState::Modified;
         res.latency += params_.storeHitLat;
@@ -209,26 +261,22 @@ MemSystem::accessLine(CoreId core, SmtId smt, Addr addr, unsigned len,
     // (its rollback happens synchronously inside invalidateL1Line via
     // the listener). A write also conflicts with remote spec reads.
     bool shared_elsewhere = false;
-    for (CoreId c = 0; c < params_.numCores; ++c) {
-        if (c == core)
-            continue;
-        CacheLine *remote = l1s_[c]->findLine(la);
-        if (!remote)
-            continue;
-        if (remote->state == MesiState::Modified ||
-            remote->state == MesiState::Exclusive) {
+    forEachRemoteHolder(la, core, [&](CoreId c, CacheLine &remote) {
+        if (remote.state == MesiState::Modified ||
+            remote.state == MesiState::Exclusive) {
             dirtyForwards_.inc();
             res.latency += params_.dirtyForwardLat;
         }
-        if (is_write || remote->specWrite) {
-            invalidateL1Line(c, *remote, SpecLoss::Conflict);
+        if (is_write || remote.specWrite) {
+            invalidateL1Line(c, remote, SpecLoss::Conflict);
         } else {
-            remote->state = MesiState::Shared;
+            remote.state = MesiState::Shared;
             shared_elsewhere = true;
         }
-    }
+    });
 
-    bool l2hit = l2Fill(la, res);
+    bool l2hit = false;
+    CacheLine *l2line = l2Fill(la, res, l2hit);
     if (l2hit) {
         l2Hits_[core].inc();
         res.latency += params_.l2HitLat;
@@ -240,7 +288,7 @@ MemSystem::accessLine(CoreId core, SmtId smt, Addr addr, unsigned len,
     MesiState fill_state = is_write
         ? MesiState::Modified
         : (shared_elsewhere ? MesiState::Shared : MesiState::Exclusive);
-    l1Fill(core, la, fill_state, false);
+    l1Fill(core, la, fill_state, false, l2line);
     res.latency += is_write ? params_.storeHitLat : params_.l1HitLat;
 
     if (params_.prefetchNextLine) {
@@ -289,8 +337,10 @@ MemSystem::setMarks(CoreId core, SmtId smt, Addr addr, unsigned len,
         Addr line_end = la + params_.l1.lineSize;
         unsigned chunk = static_cast<unsigned>(
             std::min<Addr>(remaining, line_end - cur));
-        if (CacheLine *line = l1.findLine(la))
+        if (CacheLine *line = l1.findLine(la)) {
             line->markBits[smt][filter] |= l1.subBlockMask(cur, chunk);
+            l1.noteMarked(*line);
+        }
         // If the line is absent the mark is simply not set; the
         // instruction's load component already reported the discard
         // accounting through the normal miss path.
@@ -349,7 +399,9 @@ void
 MemSystem::resetMarkAll(CoreId core, SmtId smt, unsigned filter)
 {
     HASTM_ASSERT(filter < kNumFilters);
-    l1s_[core]->forEachLine([smt, filter](CacheLine &line) {
+    // Visits only lines with live marks (per-transaction hot path)
+    // instead of scanning the whole L1 tag array.
+    l1s_[core]->forEachMarkedLine([smt, filter](CacheLine &line) {
         line.markBits[smt][filter] = 0;
     });
 }
@@ -371,6 +423,7 @@ MemSystem::setSpec(CoreId core, Addr addr, unsigned len, bool is_write)
                 line->specWrite = true;
             else
                 line->specRead = true;
+            l1.noteSpec(*line);
         } else {
             // The line was displaced between the access and the tag
             // attempt (e.g. by the prefetcher); the HTM machine must
@@ -386,7 +439,7 @@ MemSystem::setSpec(CoreId core, Addr addr, unsigned len, bool is_write)
 void
 MemSystem::clearSpecAll(CoreId core)
 {
-    l1s_[core]->forEachLine([](CacheLine &line) {
+    l1s_[core]->forEachSpecLine([](CacheLine &line) {
         line.specRead = line.specWrite = false;
     });
 }

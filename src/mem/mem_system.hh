@@ -8,6 +8,12 @@
  * store executes, which is exact under the deterministic single-host-
  * thread scheduler.
  *
+ * The inclusive L2 doubles as a directory: each L2 line carries a
+ * bitmap of the L1s holding a copy, so snoops, ownership upgrades,
+ * and inclusion back-invalidations visit only actual sharers instead
+ * of probing every core (MemParams::sharerDirectory gates the fast
+ * path; the reference all-cores scan is kept for equivalence tests).
+ *
  * The hierarchy is where the paper's hardware mechanisms live:
  *  - per-thread mark bits on L1 sub-blocks (§3.1, Fig 1), whose
  *    discard events (snoop invalidation, eviction, inclusive-L2
@@ -82,6 +88,15 @@ struct MemParams
      */
     bool prefetchExclusiveOnWrite = true;
     unsigned prefetchDegree = 1;   //!< next lines fetched per miss
+    /**
+     * Host-side fast path: snoops, upgrades, and back-invalidations
+     * consult the inclusive L2's per-line sharer bitmap and visit
+     * only the cores that actually hold the line, instead of probing
+     * every L1. Purely a host-time optimisation — coherence events
+     * and all counters are bit-identical either way (the reference
+     * all-cores scan stays available for equivalence tests).
+     */
+    bool sharerDirectory = true;
 };
 
 /** Result of one memory access. */
@@ -153,18 +168,38 @@ class MemSystem
     std::uint64_t l1Hits(CoreId c) const { return l1Hits_[c].value(); }
     std::uint64_t l1Misses(CoreId c) const { return l1Misses_[c].value(); }
 
+    /** Reset every coherence/event counter (cache contents stay). */
+    void resetCounters() { stats_.resetAll(); }
+
   private:
+    /**
+     * Call @p fn(core, line) for every L1 other than @p self holding
+     * @p la, in ascending core order. Uses the L2 sharer directory
+     * when enabled, else the reference scan over every core. @p fn
+     * may invalidate the line it is handed.
+     */
+    template <typename Fn>
+    void forEachRemoteHolder(Addr la, CoreId self, Fn &&fn);
     /** Invalidate @p line in @p core's L1, reporting mark/spec losses. */
     void invalidateL1Line(CoreId core, CacheLine &line, SpecLoss why);
 
     /** Evict (same reporting, Capacity reason). */
     void evictL1Line(CoreId core, CacheLine &line);
 
-    /** Ensure @p la is present in the L2, evicting inclusively. */
-    bool l2Fill(Addr la, AccessResult &res);
+    /**
+     * Ensure @p la is present in the L2, evicting inclusively. Sets
+     * @p hit if the line was already resident and returns the L2
+     * line (never null) so callers can update its sharer directory
+     * without a second tag lookup.
+     */
+    CacheLine *l2Fill(Addr la, AccessResult &res, bool &hit);
 
-    /** Fill @p la into @p core's L1 with @p state, evicting a victim. */
-    void l1Fill(CoreId core, Addr la, MesiState state, bool prefetched);
+    /**
+     * Fill @p la into @p core's L1 with @p state, evicting a victim.
+     * @p l2line is @p la's line in the inclusive L2 (from l2Fill).
+     */
+    void l1Fill(CoreId core, Addr la, MesiState state, bool prefetched,
+                CacheLine *l2line);
 
     /** One-line access (addr..addr+len within a single line). */
     void accessLine(CoreId core, SmtId smt, Addr addr, unsigned len,

@@ -1,12 +1,16 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace hastm {
 
 namespace {
-bool quietFlag = false;
+// Atomic so the parallel experiment runner's worker threads can call
+// warn()/inform() while the main thread flips quiet mode; this is the
+// only mutable host-global in the simulator (see harness/runner.hh).
+std::atomic<bool> quietFlag{false};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)

@@ -28,7 +28,11 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational message to stderr; simulation continues. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Globally silence warn()/inform() (used by benches for clean tables). */
+/**
+ * Globally silence warn()/inform() (used by benches for clean tables).
+ * Thread-safe: the flag is atomic, so it may be flipped while the
+ * parallel experiment runner's workers are active.
+ */
 void setQuiet(bool quiet);
 
 /**

@@ -301,12 +301,17 @@ TEST(Report, BenchReportWritesParsableDocument)
     Json doc = Json::parse(ss.str(), &err);
     ASSERT_TRUE(err.empty()) << err;
     EXPECT_EQ(doc.find("bench")->asString(), "unit");
-    EXPECT_EQ(doc.find("schemaVersion")->asUint(), 1u);
+    EXPECT_EQ(doc.find("schemaVersion")->asUint(), 2u);
     const Json *runs = doc.find("runs");
     ASSERT_NE(runs, nullptr);
     ASSERT_EQ(runs->size(), 2u);
     EXPECT_EQ(runs->at(0).find("label")->asString(), "lock/2");
-    ASSERT_NE(runs->at(0).find("result"), nullptr);
+    const Json *result = runs->at(0).find("result");
+    ASSERT_NE(result, nullptr);
+    // Schema v2 host-throughput fields.
+    ASSERT_NE(result->find("hostNanos"), nullptr);
+    EXPECT_GT(result->find("hostNanos")->asUint(), 0u);
+    ASSERT_NE(result->find("simInstrPerHostSec"), nullptr);
     EXPECT_EQ(runs->at(1).find("data")->find("note")->asString(),
               "custom payload");
 }
