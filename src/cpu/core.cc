@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace hastm {
@@ -57,6 +58,8 @@ Core::advance(Cycles c)
         sinceInterrupt_ += c;
     sched_.advance(c);
     maybeInterrupt();
+    if (totalCycles_ >= faultDue_)
+        maybeFault();
 }
 
 void
@@ -81,6 +84,49 @@ Core::maybeInterrupt()
     }
     for (unsigned f = 0; f < kNumFilters; ++f)
         bumpCounterSaturating(markCounter_[smt_][f], 1);
+    sched_.advance(cost);
+}
+
+void
+Core::maybeFault()
+{
+    // fire() recurses into advance() (stalls, injected switches, and
+    // evictions all charge cycles), so guard against re-entry; other
+    // cores reached through sched_.advance() fire their own injector
+    // state independently.
+    if (!fault_ || inFault_)
+        return;
+    inFault_ = true;
+    faultDue_ = fault_->fire(*this);
+    inFault_ = false;
+}
+
+void
+Core::setFaultInjector(FaultInjector *f, Cycles due)
+{
+    fault_ = f;
+    faultDue_ = f ? due : ~Cycles(0);
+}
+
+void
+Core::injectContextSwitch(Cycles cost)
+{
+    totalCycles_ += cost;
+    phaseCycles_[std::size_t(phaseStack_.back())] += cost;
+    // A full preemption (unlike maybeInterrupt()'s ring transition it
+    // descheduled every hardware context): all filters of all SMT
+    // contexts lose their marks and the counters record the loss...
+    if (fullMarkIsa_) {
+        for (SmtId t = 0; t < kMaxSmt; ++t)
+            for (unsigned f = 0; f < kNumFilters; ++f)
+                mem_.resetMarkAll(id_, t, f);
+    }
+    for (SmtId t = 0; t < kMaxSmt; ++t)
+        for (unsigned f = 0; f < kNumFilters; ++f)
+            bumpCounterSaturating(markCounter_[t][f], 1);
+    // ...and speculative state does not survive a switch either.
+    specLost(SpecLoss::Capacity);
+    mem_.clearSpecAll(id_);
     sched_.advance(cost);
 }
 

@@ -31,6 +31,8 @@
 
 namespace hastm {
 
+class FaultInjector;
+
 /** Execution phases for cycle attribution (Fig 12 categories + ours). */
 enum class Phase : std::uint8_t {
     App,          //!< application code inside / outside transactions
@@ -301,6 +303,22 @@ class Core : public MemListener
     /** HTM machine hook: receives spec-line losses for this core. */
     void setSpecHandler(std::function<void(SpecLoss)> handler);
 
+    /**
+     * Arm deterministic fault injection on this core: @p f fires once
+     * cycles() reaches @p due and returns the next due time. Pass
+     * nullptr to disarm. (sim/fault.hh.)
+     */
+    void setFaultInjector(FaultInjector *f, Cycles due);
+
+    /**
+     * Model an OS context switch hitting this core: charge @p cost
+     * cycles, wipe every SMT context's mark state (marks do not
+     * survive a switch, §3) and all speculative state, then yield.
+     * Unlike the quantum-based maybeInterrupt() path this clears all
+     * contexts/filters — a core-wide preemption, not a ring crossing.
+     */
+    void injectContextSwitch(Cycles cost);
+
     /** Reset all per-core counters (between experiment phases). */
     void resetCounters();
 
@@ -342,6 +360,9 @@ class Core : public MemListener
     /** Inject a pending OS interrupt (ring transition) if due. */
     void maybeInterrupt();
 
+    /** Fire the fault injector if its due time has passed. */
+    void maybeFault();
+
     CoreId id_;
     SmtId smt_ = 0;
     MemSystem &mem_;
@@ -365,6 +386,10 @@ class Core : public MemListener
     std::deque<Cycles> storeQueue_;   //!< retire times of in-flight stores
     unsigned metaDepth_ = 0;          //!< live MetaScope count
     Cycles sinceInterrupt_ = 0;
+
+    FaultInjector *fault_ = nullptr;  //!< armed injector (may be null)
+    Cycles faultDue_ = ~Cycles(0);    //!< next injection point
+    bool inFault_ = false;            //!< re-entrancy guard for fire()
 
     std::function<void(SpecLoss)> specHandler_;
 };

@@ -16,6 +16,12 @@ Machine::Machine(const MachineParams &params)
     for (CoreId c = 0; c < params_.mem.numCores; ++c)
         cores_.push_back(std::make_unique<Core>(c, *mem_, sched_,
                                                 params_.timing));
+    if (params_.fault.enabled) {
+        fault_ = std::make_unique<FaultInjector>(params_.fault,
+                                                 params_.mem.numCores);
+        for (CoreId c = 0; c < params_.mem.numCores; ++c)
+            cores_[c]->setFaultInjector(fault_.get(), fault_->arm(c, 0));
+    }
 }
 
 void
@@ -54,6 +60,15 @@ Machine::resetCounters()
     for (auto &core : cores_)
         core->resetCounters();
     mem_->resetCounters();
+    if (fault_) {
+        // Reports should describe the measured phase only; re-arm
+        // relative to each core's (freshly zeroed) cycle count so the
+        // campaign stays a pure function of (config, seed).
+        fault_->resetCounts();
+        for (CoreId c = 0; c < params_.mem.numCores; ++c)
+            cores_[c]->setFaultInjector(fault_.get(),
+                                        fault_->arm(c, cores_[c]->cycles()));
+    }
 }
 
 } // namespace hastm

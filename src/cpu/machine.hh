@@ -18,6 +18,7 @@
 #include "mem/alloc.hh"
 #include "mem/arena.hh"
 #include "mem/mem_system.hh"
+#include "sim/fault.hh"
 #include "sim/rng.hh"
 #include "sim/scheduler.hh"
 
@@ -30,6 +31,8 @@ struct MachineParams
     TimingParams timing;
     std::size_t arenaBytes = 64ull * 1024 * 1024;
     std::uint64_t seed = 1;
+    /** Fault-injection campaign (sim/fault.hh); disabled by default. */
+    FaultParams fault;
 };
 
 /** A complete simulated multi-core platform. */
@@ -50,6 +53,9 @@ class Machine
 
     unsigned numCores() const { return params_.mem.numCores; }
     Core &core(CoreId id) { return *cores_[id]; }
+
+    /** Fault injector, or nullptr when injection is disabled. */
+    FaultInjector *faults() { return fault_.get(); }
 
     /**
      * Run @p fns[i] on core i as a simulated thread; returns when all
@@ -77,6 +83,7 @@ class Machine
     Scheduler sched_;
     Rng rng_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<FaultInjector> fault_;
 };
 
 } // namespace hastm

@@ -39,6 +39,10 @@ gatherResult(Machine &machine, TmSession &session, ExperimentResult &r)
 {
     r.makespan = machine.maxCoreCycles();
     r.tm = session.totalStats();
+    if (const FaultInjector *fi = machine.faults()) {
+        for (unsigned k = 0; k < kNumFaultKinds; ++k)
+            r.tm.faultsInjected[k] = fi->count(FaultKind(k));
+    }
     for (unsigned c = 0; c < machine.numCores(); ++c) {
         Core &core = machine.core(c);
         for (std::size_t p = 0; p < std::size_t(Phase::NumPhases); ++p) {
@@ -78,6 +82,10 @@ runDataStructure(const ExperimentConfig &cfg)
     sc.numThreads = cfg.threads;
     sc.stm = cfg.stm;
     TmSession session(machine, sc);
+
+    // Per-thread op logs for the replay oracle (host-side only; no
+    // simulated cycles are charged for the recording itself).
+    std::vector<std::vector<OpRecord>> opLogs(cfg.threads);
 
     // ---- build + populate (thread 0), warming the caches ----
     std::unique_ptr<HashTable> ht;
@@ -152,7 +160,13 @@ runDataStructure(const ExperimentConfig &cfg)
         std::uint64_t inserted = 0;
         while (inserted < cfg.initialSize) {
             std::uint64_t key = rng.range(cfg.keyRange);
-            if (ops.insert(t, key, key * 3 + 1))
+            std::uint64_t val = key * 3 + 1;
+            bool fresh = ops.insert(t, key, val);
+            if (cfg.recordOps) {
+                opLogs[0].push_back({t.commitStamp(), 0, 0,
+                                     OpKind::Insert, key, val, fresh});
+            }
+            if (fresh)
                 ++inserted;
         }
     }});
@@ -167,18 +181,29 @@ runDataStructure(const ExperimentConfig &cfg)
         bodies.push_back([&, tid](Core &core) {
             TmThread &t = session.threadFor(core);
             Rng rng(cfg.seed + 104729ull * (tid + 1));
+            auto record = [&](OpKind kind, std::uint64_t key,
+                              std::uint64_t val, bool res) {
+                if (cfg.recordOps) {
+                    opLogs[tid].push_back({t.commitStamp(), tid, 1,
+                                           kind, key, val, res});
+                }
+            };
             for (std::uint64_t i = 0; i < per_thread; ++i) {
                 std::uint64_t key = rng.range(cfg.keyRange);
                 std::uint64_t dice = rng.range(100);
                 if (dice < cfg.updatePct) {
                     // Updates split between inserts and removes so
                     // the population stays near its initial size.
-                    if (rng.chancePct(50))
-                        ops.insert(t, key, key ^ dice);
-                    else
-                        ops.remove(t, key);
+                    if (rng.chancePct(50)) {
+                        record(OpKind::Insert, key, key ^ dice,
+                               ops.insert(t, key, key ^ dice));
+                    } else {
+                        record(OpKind::Remove, key, 0,
+                               ops.remove(t, key));
+                    }
                 } else {
-                    ops.contains(t, key);
+                    record(OpKind::Contains, key, 0,
+                           ops.contains(t, key));
                 }
             }
         });
@@ -198,6 +223,19 @@ runDataStructure(const ExperimentConfig &cfg)
         result.finalSize = ops.size(verifier);
         result.invariantOk = ops.invariant(verifier);
     }});
+
+    // ---- replay oracle: every observed result vs a sequential spec ----
+    if (cfg.recordOps) {
+        std::vector<OpRecord> log;
+        for (auto &l : opLogs)
+            log.insert(log.end(), l.begin(), l.end());
+        OracleOutcome verdict =
+            replayOps(std::move(log), result.checksum, result.finalSize,
+                      result.invariantOk, cfg.seed);
+        result.oracleChecked = true;
+        result.oracleOk = verdict.ok;
+        result.oracleDiag = std::move(verdict.diag);
+    }
     result.hostNanos = hostNowNanos() - host_start;
     return result;
 }

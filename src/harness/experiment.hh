@@ -15,8 +15,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "cpu/machine.hh"
+#include "harness/oracle.hh"
 #include "workloads/microbench.hh"
 #include "workloads/tm_api.hh"
 
@@ -41,6 +43,12 @@ struct ExperimentConfig
     unsigned hashBuckets = 256;
     MachineParams machine;          //!< mem.numCores overridden by threads
     StmConfig stm;
+    /**
+     * Record every committed operation and replay the log against the
+     * sequential specification after the run (harness/oracle.hh).
+     * Host-side only — recording charges no simulated cycles.
+     */
+    bool recordOps = false;
 };
 
 /** Measured outcome of one experiment. */
@@ -57,6 +65,11 @@ struct ExperimentResult
     std::uint64_t checksum = 0;      //!< final structure fingerprint
     std::uint64_t finalSize = 0;
     bool invariantOk = true;
+
+    // ---- oracle verdict (ExperimentConfig::recordOps runs only) ----
+    bool oracleChecked = false;
+    bool oracleOk = true;
+    std::string oracleDiag;          //!< first divergence, with the seed
 
     /**
      * Host wall time spent inside the run (steady_clock ns). The

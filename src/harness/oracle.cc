@@ -1,0 +1,100 @@
+#include "harness/oracle.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace hastm {
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Insert:   return "insert";
+      case OpKind::Remove:   return "remove";
+      case OpKind::Contains: return "contains";
+    }
+    return "?";
+}
+
+OracleOutcome
+replayOps(std::vector<OpRecord> log, std::uint64_t final_checksum,
+          std::uint64_t final_size, bool invariant_ok, std::uint64_t seed)
+{
+    OracleOutcome out;
+    auto fail = [&](const std::string &what) {
+        out.ok = false;
+        std::ostringstream ss;
+        ss << what << " [reproduce with seed=" << seed << "]";
+        out.diag = ss.str();
+    };
+
+    if (!invariant_ok) {
+        fail("structural invariant violated");
+        return out;
+    }
+
+    std::stable_sort(log.begin(), log.end(),
+                     [](const OpRecord &a, const OpRecord &b) {
+                         if (a.epoch != b.epoch)
+                             return a.epoch < b.epoch;
+                         if (a.stamp != b.stamp)
+                             return a.stamp < b.stamp;
+                         return a.core < b.core;
+                     });
+
+    std::map<std::uint64_t, std::uint64_t> spec;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const OpRecord &op = log[i];
+        bool expected;
+        switch (op.kind) {
+          case OpKind::Insert: {
+            auto [it, fresh] = spec.try_emplace(op.key, op.value);
+            if (!fresh)
+                it->second = op.value;
+            expected = fresh;
+            break;
+          }
+          case OpKind::Remove:
+            expected = spec.erase(op.key) != 0;
+            break;
+          case OpKind::Contains:
+          default:
+            expected = spec.count(op.key) != 0;
+            break;
+        }
+        if (expected != op.result) {
+            std::ostringstream ss;
+            ss << "op " << i << "/" << log.size() << " ("
+               << opKindName(op.kind) << " key=" << op.key << " core="
+               << op.core << " epoch=" << unsigned(op.epoch)
+               << " stamp=" << op.stamp << ") returned "
+               << (op.result ? "true" : "false")
+               << " but the sequential spec says "
+               << (expected ? "true" : "false");
+            fail(ss.str());
+            return out;
+        }
+    }
+
+    if (final_size != spec.size()) {
+        std::ostringstream ss;
+        ss << "final size " << final_size << " != spec size "
+           << spec.size();
+        fail(ss.str());
+        return out;
+    }
+    std::uint64_t checksum = 0;
+    for (const auto &[key, val] : spec)
+        checksum += key * 0x9e3779b97f4a7c15ull + val;
+    if (checksum != final_checksum) {
+        std::ostringstream ss;
+        ss << "final checksum " << final_checksum << " != spec checksum "
+           << checksum;
+        fail(ss.str());
+        return out;
+    }
+    return out;
+}
+
+} // namespace hastm

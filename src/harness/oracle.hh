@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Adversarial correctness oracle.
+ *
+ * Fault campaigns (sim/fault.hh) only prove something if a wrong
+ * answer is *detected*. The harness therefore records every committed
+ * map operation of a data-structure run — (commit stamp, core, kind,
+ * key, value, observed result) — and this oracle replays the log, in
+ * commit order, against a sequential specification (std::map). Any
+ * divergence (an operation's observed result, the final size, the
+ * final checksum, or a structural-invariant failure) is a
+ * serializability violation, reported loudly together with the seed
+ * that reproduces it.
+ *
+ * Soundness of the ordering: each scheme stamps at its serialization
+ * point (STM/HASTM: commit-time validation success while holding all
+ * written records; HyTM: hardware commit; lock: inside the critical
+ * section; sequential: commit), and the deterministic scheduler's
+ * global virtual time makes those stamps directly comparable across
+ * cores. Ties cannot involve two operations on the same key (a stamp
+ * tie means no conflict), so any deterministic tiebreak (core id)
+ * yields an equivalent serial order.
+ */
+
+#ifndef HASTM_HARNESS_ORACLE_HH
+#define HASTM_HARNESS_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hastm {
+
+/** The map operations the workloads expose. */
+enum class OpKind : std::uint8_t { Insert, Remove, Contains };
+
+const char *opKindName(OpKind k);
+
+/** One committed operation, as observed by the executing thread. */
+struct OpRecord
+{
+    std::uint64_t stamp = 0;  //!< TmThread::commitStamp() after the op
+    std::uint32_t core = 0;   //!< executing core (deterministic tiebreak)
+    /**
+     * Run phase (0 = populate, 1 = measured). Counter resets zero the
+     * cycle clocks between phases, so stamps only order within an
+     * epoch.
+     */
+    std::uint8_t epoch = 0;
+    OpKind kind = OpKind::Contains;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;  //!< inserts only
+    bool result = false;      //!< what the workload call returned
+};
+
+/** Verdict of a replay. */
+struct OracleOutcome
+{
+    bool ok = true;
+    std::string diag;  //!< empty when ok; else the first divergence
+};
+
+/**
+ * Replay @p log against std::map and check the final state.
+ *
+ * @param final_checksum  sum of key * 0x9e3779b97f4a7c15 + value over
+ *        the structure, as read by the harness's sequential verifier
+ * @param final_size      element count from the same verifier
+ * @param invariant_ok    the structure's own invariant check
+ * @param seed            experiment seed, echoed into the diagnostic
+ */
+OracleOutcome replayOps(std::vector<OpRecord> log,
+                        std::uint64_t final_checksum,
+                        std::uint64_t final_size, bool invariant_ok,
+                        std::uint64_t seed);
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_ORACLE_HH

@@ -50,13 +50,24 @@ toJson(const TmStats &s)
         .set("undoElided", s.undoElided)
         .set("aggressiveCommits", s.aggressiveCommits)
         .set("aggressiveAborts", s.aggressiveAborts)
-        .set("htmAborts", s.htmAborts);
+        .set("htmAborts", s.htmAborts)
+        .set("irrevocableEntries", s.irrevocableEntries);
     Json reasons = Json::object();
     reasons.set("conflict", s.aborts)
         .set("user", s.userAborts)
         .set("htmCapacity", s.htmCapacityAborts)
         .set("cmKill", s.cmKills);
     j.set("abortReasons", std::move(reasons));
+    // Schema v3: precise per-abort attribution (satellite of the
+    // robustness PR) and the injected-fault tally for the run.
+    Json kinds = Json::object();
+    for (unsigned k = 0; k < kNumAbortKinds; ++k)
+        kinds.set(abortKindName(AbortKind(k)), s.abortsByKind[k]);
+    j.set("abortKinds", std::move(kinds));
+    Json faults = Json::object();
+    for (unsigned k = 0; k < kNumFaultKinds; ++k)
+        faults.set(faultKindName(FaultKind(k)), s.faultsInjected[k]);
+    j.set("faultsInjected", std::move(faults));
     j.set("readSetAtCommit", toJson(s.readSetAtCommit))
         .set("undoLogAtCommit", toJson(s.undoLogAtCommit))
         .set("retriesPerCommit", toJson(s.retriesPerCommit));
@@ -74,7 +85,9 @@ toJson(const StmConfig &c)
         .set("filterReads", c.filterReads)
         .set("filterWrites", c.filterWrites)
         .set("policyWindow", c.policyWindow)
-        .set("aggressiveWatermark", c.aggressiveWatermark);
+        .set("aggressiveWatermark", c.aggressiveWatermark)
+        .set("watchdogConsecAborts", c.watchdogConsecAborts)
+        .set("watchdogRetriesPerCommit", c.watchdogRetriesPerCommit);
     if (!c.tracePath.empty())
         j.set("tracePath", c.tracePath);
     return j;
@@ -93,6 +106,9 @@ toJson(const ExperimentConfig &c)
         .set("keyRange", c.keyRange)
         .set("seed", c.seed)
         .set("hashBuckets", c.hashBuckets)
+        .set("faultProfile", c.machine.fault.profile)
+        .set("faultSeed", c.machine.fault.seed)
+        .set("recordOps", c.recordOps)
         .set("stm", toJson(c.stm));
     return j;
 }
@@ -110,6 +126,8 @@ toJson(const MicroConfig &c)
         .set("storeReusePct", c.mix.storeReusePct)
         .set("workingLines", std::uint64_t(c.workingLines))
         .set("seed", c.seed)
+        .set("faultProfile", c.machine.fault.profile)
+        .set("faultSeed", c.machine.fault.seed)
         .set("stm", toJson(c.stm));
     return j;
 }
@@ -125,7 +143,11 @@ toJson(const ExperimentResult &r)
         .set("l1HitLoads", r.l1HitLoads)
         .set("checksum", r.checksum)
         .set("finalSize", r.finalSize)
-        .set("invariantOk", r.invariantOk);
+        .set("invariantOk", r.invariantOk)
+        .set("oracleChecked", r.oracleChecked)
+        .set("oracleOk", r.oracleOk);
+    if (!r.oracleDiag.empty())
+        j.set("oracleDiag", r.oracleDiag);
     // Schema v2: host-side throughput. These are the only fields that
     // vary between runs of the same config — diff tools comparing
     // reports for determinism should ignore them.
@@ -230,7 +252,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 2)
+        .set("schemaVersion", 3)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

@@ -12,17 +12,20 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 2,
+ *     "schemaVersion": 3,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
  *                             "stores", "l1HitLoads", "checksum",
  *                             "finalSize", "invariantOk",
+ *                             "oracleChecked", "oracleOk",
  *                             "hostNanos", "simInstrPerHostSec",
  *                             "phases": {"<phaseName>": {"cycles",
  *                                        "instrs"}, ...},
  *                             "tm": { counters...,
  *                                     "abortReasons": {...},
+ *                                     "abortKinds": {...},
+ *                                     "faultsInjected": {...},
  *                                     "readSetAtCommit": {histogram},
  *                                     ... } } }, ... ]
  *   }
@@ -32,6 +35,14 @@
  * retired per host second). These vary run-to-run; every other field
  * is deterministic in the config, including under the parallel
  * experiment runner (see harness/runner.hh).
+ *
+ * v3 adds robustness provenance: every config carries "seed",
+ * "faultProfile", and "faultSeed" (so any run is reproducible from
+ * its report alone), StmConfig gains the starvation-watchdog
+ * thresholds, TmStats gains "irrevocableEntries" plus the
+ * "abortKinds" and "faultsInjected" breakdowns, and results of
+ * oracle-checked runs carry "oracleChecked" / "oracleOk" (and
+ * "oracleDiag" on failure).
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH

@@ -287,7 +287,7 @@ HastmThread::validate(bool at_commit)
         // No read set to fall back on: spurious or real, the loss of
         // a marked line aborts an aggressive transaction (§6).
         ++stats_.aggressiveAborts;
-        throw TxConflictAbort{};
+        throw TxConflictAbort{kNullAddr, AbortKind::SpuriousCounter};
     }
     ++stats_.fullValidations;
     if (at_commit) {
@@ -309,7 +309,10 @@ void
 HastmThread::beginTop()
 {
     commitCounterNonZero_ = false;
-    bool aggressive = policy_.chooseAggressive();
+    // Irrevocable mode must commit; an aggressive attempt can still
+    // be killed by a spurious counter bump (injected faults), so run
+    // cautious — the quiesced system makes its validation trivial.
+    bool aggressive = !irrevocable_ && policy_.chooseAggressive();
     desc_.setAggressive(aggressive);
     if (!g_.cfg().clearMarksAtEnd && !aggressive) {
         // Inter-atomic mark reuse (Fig 10) is only sound in

@@ -1,12 +1,28 @@
 #include "htm/hytm.hh"
 
 #include "sim/logging.hh"
+#include "stm/irrevocable.hh"
 
 namespace hastm {
 
 namespace {
+
 /** Entries the simulated record log can hold (2 words each). */
 constexpr std::size_t kRecLogEntries = 256;
+
+/** Attribution for a hardware abort cause. */
+AbortKind
+abortKindFor(HtmAbortCause cause)
+{
+    switch (cause) {
+      case HtmAbortCause::Conflict: return AbortKind::HtmConflict;
+      case HtmAbortCause::Capacity: return AbortKind::HtmCapacity;
+      case HtmAbortCause::Explicit: return AbortKind::HtmExplicit;
+      case HtmAbortCause::None:
+      default:                      return AbortKind::Unknown;
+    }
+}
+
 } // namespace
 
 HytmThread::HytmThread(Core &core, StmGlobals &globals)
@@ -28,8 +44,10 @@ HytmThread::recFor(Addr obj, Addr data) const
 void
 HytmThread::checkDoomed()
 {
-    if (htm_.doomed())
-        throw TxConflictAbort{};
+    if (htm_.doomed()) {
+        throw TxConflictAbort{kNullAddr,
+                              abortKindFor(htm_.lastAbortCause())};
+    }
 }
 
 // ----------------------------------------------------------- barriers
@@ -37,6 +55,14 @@ HytmThread::checkDoomed()
 std::uint64_t
 HytmThread::hybridRead(Addr data, Addr rec)
 {
+    if (irrevocable_) {
+        // Serial mode: no concurrent software transaction can start
+        // (quiesced) and plain coherence traffic conflict-aborts any
+        // hardware transaction sharing our lines, so the record check
+        // and speculation are unnecessary.
+        ++stats_.rdBarriers;
+        return core_.load<std::uint64_t>(data);
+    }
     // Fig 14 HybridRead: check the record is shared, then load.
     {
         Core::PhaseScope scope(core_, Phase::RdBarrier);
@@ -49,7 +75,7 @@ HytmThread::hybridRead(Addr data, Addr rec)
             // A software transaction owns the datum: contention
             // policy aborts the hardware transaction.
             htm_.txAbortExplicit();
-            throw TxConflictAbort{};
+            throw TxConflictAbort{rec, AbortKind::HtmExplicit};
         }
     }
     std::uint64_t v = htm_.specLoad(data);
@@ -60,6 +86,11 @@ HytmThread::hybridRead(Addr data, Addr rec)
 void
 HytmThread::hybridWrite(Addr data, Addr rec, std::uint64_t v)
 {
+    if (irrevocable_) {
+        ++stats_.wrBarriers;
+        core_.store<std::uint64_t>(data, v);
+        return;
+    }
     {
         Core::PhaseScope scope(core_, Phase::WrBarrier);
         Core::MetaScope meta(core_);
@@ -69,7 +100,7 @@ HytmThread::hybridWrite(Addr data, Addr rec, std::uint64_t v)
         checkDoomed();
         if (!txrec::isVersion(recval)) {
             htm_.txAbortExplicit();
-            throw TxConflictAbort{};
+            throw TxConflictAbort{rec, AbortKind::HtmExplicit};
         }
         // logWrite(txnrec, txnrecvalue): remember the record so commit
         // can bump its version and notify software transactions. One
@@ -127,11 +158,14 @@ HytmThread::begin()
 {
     HASTM_ASSERT(depth_ == 0);
     Core::PhaseScope scope(core_, Phase::TxBegin);
-    htm_.txBegin();
+    g_.gate().parkAtBegin(core_);
+    if (!irrevocable_)
+        htm_.txBegin();
     recLog_.clear();
     recLogged_.clear();
     txAllocs_.clear();
     txFrees_.clear();
+    g_.gate().noteActive(core_, true);
     depth_ = 1;
 }
 
@@ -139,6 +173,21 @@ bool
 HytmThread::commit()
 {
     HASTM_ASSERT(depth_ == 1);
+    if (irrevocable_) {
+        // Plain stores are already globally visible; nothing can have
+        // invalidated them (the system is quiesced), so the commit is
+        // the guaranteed no-op the escalation promised.
+        Core::PhaseScope scope(core_, Phase::Commit);
+        core_.execInstr(4);
+        commitStamp_ = core_.cycles();
+        for (Addr obj : txFrees_)
+            g_.machine().heap().free(obj);
+        txFrees_.clear();
+        depth_ = 0;
+        g_.gate().noteActive(core_, false);
+        ++stats_.commits;
+        return true;
+    }
     if (htm_.doomed()) {
         rollback();
         return false;
@@ -158,10 +207,13 @@ HytmThread::commit()
             rollback();
             return false;
         }
+        // Hardware commit succeeded: this is the serialization point.
+        commitStamp_ = core_.cycles();
     }
     for (Addr obj : txFrees_)
         g_.machine().heap().free(obj);
     depth_ = 0;
+    g_.gate().noteActive(core_, false);
     ++stats_.commits;
     return true;
 }
@@ -169,9 +221,19 @@ HytmThread::commit()
 void
 HytmThread::rollback()
 {
+    if (irrevocable_) {
+        // Plain stores cannot be undone. Unreachable from conflicts
+        // (nothing runs concurrently) — only a userAbort inside an
+        // escalated block could get here, which the irrevocable
+        // contract forbids.
+        panic("userAbort/conflict inside a serial-irrevocable HyTM "
+              "transaction");
+    }
     Core::PhaseScope scope(core_, Phase::Abort);
     core_.execInstr(20);
     ++stats_.htmAborts;
+    commitFailure_ = TxConflictAbort{kNullAddr,
+                                     abortKindFor(htm_.lastAbortCause())};
     if (htm_.lastAbortCause() == HtmAbortCause::Capacity)
         ++stats_.htmCapacityAborts;
     if (htm_.active() && !htm_.doomed()) {
@@ -188,6 +250,35 @@ HytmThread::rollback()
     txAllocs_.clear();
     txFrees_.clear();
     depth_ = 0;
+    g_.gate().noteActive(core_, false);
+}
+
+// ------------------------------------------- starvation watchdog
+
+void
+HytmThread::maybeEscalate(unsigned consec_aborts)
+{
+    if (irrevocable_)
+        return;
+    const StmConfig &cfg = g_.cfg();
+    bool starved =
+        (cfg.watchdogConsecAborts != 0 &&
+         consec_aborts >= cfg.watchdogConsecAborts) ||
+        (cfg.watchdogRetriesPerCommit != 0 &&
+         abortsSinceCommit_ >= cfg.watchdogRetriesPerCommit);
+    if (!starved)
+        return;
+    g_.gate().enter(core_);
+    irrevocable_ = true;
+    ++stats_.irrevocableEntries;
+}
+
+void
+HytmThread::leaveIrrevocable()
+{
+    HASTM_ASSERT(irrevocable_);
+    irrevocable_ = false;
+    g_.gate().exit(core_);
 }
 
 // ----------------------------------------------------------- allocation
@@ -198,7 +289,7 @@ HytmThread::txAlloc(std::size_t field_bytes, std::uint32_t ptr_mask)
     std::size_t total = kObjHeaderBytes + ((field_bytes + 15) & ~15ull);
     Addr obj = g_.machine().heap().alloc(total, 16);
     core_.execInstr(25);
-    if (inTx()) {
+    if (inTx() && !irrevocable_) {
         txAllocs_.push_back(obj);
         htm_.specStore(obj + kTxRecOff, txrec::kInitialVersion);
         htm_.specStore(obj + kGcMetaOff,

@@ -8,7 +8,11 @@
  * record so the hardware commit can bump its version number,
  * notifying concurrent software transactions. As in the paper's
  * evaluation, the comparator runs in its best case: a transaction
- * that aborts is retried in hardware, never falling back to software.
+ * that aborts is retried in hardware. The one exception is the
+ * starvation watchdog's serial-irrevocable fallback (required for
+ * progress under fault injection — HTM alone guarantees none): an
+ * escalated transaction takes the serial gate, quiesces everyone, and
+ * re-executes non-speculatively with plain loads/stores.
  *
  * Nested atomic blocks are flattened — one of the semantic
  * shortcomings of HyTM the paper calls out (§2).
@@ -40,6 +44,7 @@ class HytmThread : public TmThread
                  std::uint32_t ptr_mask = 0) override;
     void txFree(Addr obj) override;
     bool inTx() const override { return depth_ > 0; }
+    bool inIrrevocable() const override { return irrevocable_; }
 
     HtmMachine &htm() { return htm_; }
 
@@ -47,6 +52,8 @@ class HytmThread : public TmThread
     void begin() override;
     bool commit() override;
     void rollback() override;
+    void maybeEscalate(unsigned consec_aborts) override;
+    void leaveIrrevocable() override;
 
   private:
     /** Record address per the session's granularity. */
@@ -68,6 +75,16 @@ class HytmThread : public TmThread
     std::unordered_set<Addr> recLogged_;
     std::vector<Addr> txAllocs_;
     std::vector<Addr> txFrees_;
+
+    /**
+     * Serial-irrevocable fallback: while set, barriers bypass the
+     * hardware transaction and the record checks entirely — safe
+     * because the gate's quiescence keeps software transactions
+     * parked, and any still-running hardware transaction touching the
+     * same data is conflict-aborted by our plain stores' coherence
+     * traffic.
+     */
+    bool irrevocable_ = false;
 };
 
 } // namespace hastm

@@ -444,4 +444,54 @@ MemSystem::clearSpecAll(CoreId core)
     });
 }
 
+unsigned
+MemSystem::forceEvictMarked(CoreId core, unsigned max_lines, bool from_l2)
+{
+    // Collect victims first: forEachMarkedLine's callback must not
+    // invalidate lines mid-walk (it would mutate the interest list
+    // being iterated).
+    std::vector<Addr> tags;
+    tags.reserve(max_lines);
+    l1s_[core]->forEachMarkedLine([&](CacheLine &line) {
+        if (tags.size() < max_lines)
+            tags.push_back(line.tag);
+    });
+    unsigned evicted = 0;
+    for (Addr la : tags) {
+        if (!from_l2) {
+            if (CacheLine *line = l1s_[core]->findLine(la)) {
+                evictL1Line(core, *line);
+                ++evicted;
+            }
+            continue;
+        }
+        // L2-level displacement: inclusion forces every L1 copy out
+        // (the victim core's own, plus any sharer's).
+        CacheLine *l2line = l2_->findLine(la);
+        if (!l2line)
+            continue;
+        if (params_.sharerDirectory) {
+            std::uint32_t bits = l2line->sharers;
+            while (bits) {
+                CoreId c = static_cast<CoreId>(std::countr_zero(bits));
+                bits &= bits - 1;
+                CacheLine *l1line = l1s_[c]->findLine(la);
+                HASTM_ASSERT(l1line != nullptr);
+                backInvals_.inc();
+                invalidateL1Line(c, *l1line, SpecLoss::Capacity);
+            }
+        } else {
+            for (CoreId c = 0; c < params_.numCores; ++c) {
+                if (CacheLine *l1line = l1s_[c]->findLine(la)) {
+                    backInvals_.inc();
+                    invalidateL1Line(c, *l1line, SpecLoss::Capacity);
+                }
+            }
+        }
+        l2_->invalidate(*l2line);
+        ++evicted;
+    }
+    return evicted;
+}
+
 } // namespace hastm

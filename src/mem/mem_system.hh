@@ -157,6 +157,19 @@ class MemSystem
     /** Drop all speculative tags of @p core (commit or abort). */
     void clearSpecAll(CoreId core);
 
+    // ---- fault injection (used by sim::FaultInjector) ----
+
+    /**
+     * Force-evict up to @p max_lines currently *marked* lines from
+     * @p core's L1 — an adversarial stand-in for the §7.4 capacity /
+     * prefetch interference that displaces marked lines. With
+     * @p from_l2 the lines are evicted from the inclusive L2 instead,
+     * back-invalidating every sharer.
+     * @return the number of lines actually evicted.
+     */
+    unsigned forceEvictMarked(CoreId core, unsigned max_lines,
+                              bool from_l2);
+
     // ---- introspection ----
 
     MemArena &arena() { return arena_; }

@@ -1,0 +1,147 @@
+#include "sim/fault.hh"
+
+#include "cpu/core.hh"
+#include "mem/mem_system.hh"
+#include "sim/logging.hh"
+
+namespace hastm {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::CtxSwitch: return "ctxSwitch";
+      case FaultKind::EvictMarked: return "evictMarked";
+      case FaultKind::SpuriousHtmAbort: return "spuriousHtmAbort";
+      case FaultKind::SnoopDelay: return "snoopDelay";
+    }
+    return "?";
+}
+
+FaultParams
+faultProfile(const std::string &name)
+{
+    FaultParams p;
+    p.profile = name;
+    if (name == "off") {
+        p.enabled = false;
+        return p;
+    }
+    p.enabled = true;
+    if (name == "light") {
+        p.meanInterval = 60000;
+        p.weights = {2, 1, 1, 2};
+        p.evictLines = 2;
+        p.ctxSwitchCost = 1500;
+        p.snoopDelay = 300;
+    } else if (name == "heavy") {
+        p.meanInterval = 12000;
+        p.weights = {3, 3, 2, 2};
+        p.evictLines = 8;
+        p.evictFromL2 = true;
+        p.ctxSwitchCost = 2500;
+        p.snoopDelay = 600;
+    } else if (name == "ctx") {
+        p.meanInterval = 8000;
+        p.weights = {1, 0, 0, 0};
+    } else if (name == "evict") {
+        p.meanInterval = 6000;
+        p.weights = {0, 1, 0, 0};
+        p.evictLines = 4;
+    } else if (name == "spurious") {
+        p.meanInterval = 5000;
+        p.weights = {0, 0, 1, 0};
+    } else {
+        panic("unknown fault profile '%s'", name.c_str());
+    }
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultParams &params, unsigned num_cores)
+    : params_(params), cores_(num_cores)
+{
+    if (params_.meanInterval == 0)
+        panic("FaultParams::meanInterval must be > 0");
+    for (unsigned w : params_.weights)
+        weightSum_ += w;
+    if (params_.enabled && weightSum_ == 0)
+        panic("fault profile '%s' enables no fault kind",
+              params_.profile.c_str());
+    // Decorrelate the per-core streams with a fixed odd multiplier so
+    // core i's schedule does not shadow core i+1's.
+    for (unsigned c = 0; c < num_cores; ++c) {
+        cores_[c].rng =
+            Rng(params_.seed + 0x9e3779b97f4a7c15ull * (c + 1));
+    }
+}
+
+Cycles
+FaultInjector::interval(Rng &rng)
+{
+    // Uniform in [mean/2, mean/2 + mean): mean-ish spacing with
+    // enough jitter that cores drift out of phase.
+    return params_.meanInterval / 2 + rng.range(params_.meanInterval);
+}
+
+FaultKind
+FaultInjector::pickKind(Rng &rng)
+{
+    std::uint64_t pick = rng.range(weightSum_);
+    for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+        if (pick < params_.weights[k])
+            return FaultKind(k);
+        pick -= params_.weights[k];
+    }
+    panic("unreachable: fault weight overflow");
+}
+
+Cycles
+FaultInjector::arm(CoreId core, Cycles now)
+{
+    return now + interval(cores_[core].rng);
+}
+
+Cycles
+FaultInjector::fire(Core &core)
+{
+    PerCore &pc = cores_[core.id()];
+    FaultKind kind = pickKind(pc.rng);
+    switch (kind) {
+      case FaultKind::CtxSwitch:
+        core.injectContextSwitch(params_.ctxSwitchCost);
+        break;
+      case FaultKind::EvictMarked:
+        core.mem().forceEvictMarked(core.id(), params_.evictLines,
+                                    params_.evictFromL2);
+        break;
+      case FaultKind::SpuriousHtmAbort:
+        // Signal a capacity loss without actually losing anything.
+        // HtmMachine ignores it outside a transaction; software-only
+        // schemes have no spec-loss handler at all.
+        core.specLost(SpecLoss::Capacity);
+        core.mem().clearSpecAll(core.id());
+        break;
+      case FaultKind::SnoopDelay:
+        core.stall(params_.snoopDelay);
+        break;
+    }
+    ++totals_[std::size_t(kind)];
+    return core.cycles() + interval(pc.rng);
+}
+
+std::uint64_t
+FaultInjector::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t t : totals_)
+        sum += t;
+    return sum;
+}
+
+void
+FaultInjector::resetCounts()
+{
+    totals_ = {};
+}
+
+} // namespace hastm

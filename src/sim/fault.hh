@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * HASTM's central correctness claim is that mark bits are
+ * *non-persistent* (§3, §5): the hardware may drop them at any time —
+ * context switches, capacity evictions, snoops, paging — and the STM
+ * must stay correct, merely slower. The simulator only exercises that
+ * invariant when a bench's natural schedule happens to trigger a
+ * loss, so this subsystem manufactures hostile schedules on purpose:
+ * a FaultInjector, seeded from sim/rng and owned by the Machine,
+ * fires faults at pseudo-random (but fully replayable) cycle points
+ * on each core:
+ *
+ *  - CtxSwitch: a mid-transaction OS context switch that wipes the
+ *    core's mark state (resetmarkall semantics, §3) and aborts any
+ *    live hardware transaction (spec bits do not survive a switch);
+ *  - EvictMarked: forced capacity evictions of currently *marked* L1
+ *    lines (optionally through an inclusive-L2 back-invalidation) —
+ *    the §7.4 "destructive interference" at adversarial intensity;
+ *  - SpuriousHtmAbort: a capacity loss signalled to the HTM machine
+ *    with no data actually lost (no-op for software-only schemes);
+ *  - SnoopDelay: a delayed snoop response modelled as a stall,
+ *    perturbing timing (and therefore interleaving) without touching
+ *    any state.
+ *
+ * Everything is per-Machine and per-core: same seed => bit-identical
+ * campaign, independent of host threading (harness/runner.hh).
+ */
+
+#ifndef HASTM_SIM_FAULT_HH
+#define HASTM_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hastm {
+
+class Core;
+
+/** The injectable fault kinds. */
+enum class FaultKind : std::uint8_t {
+    CtxSwitch,         //!< context switch: wipe marks + spec state
+    EvictMarked,       //!< force-evict marked L1 lines
+    SpuriousHtmAbort,  //!< capacity signal to the HTM, no real loss
+    SnoopDelay,        //!< delayed snoop delivery (timing only)
+};
+
+constexpr unsigned kNumFaultKinds = 4;
+
+const char *faultKindName(FaultKind k);
+
+/** Injection campaign parameters (MachineParams::fault). */
+struct FaultParams
+{
+    bool enabled = false;
+    /** Profile name, recorded in reports for replayability. */
+    std::string profile = "off";
+    /** Campaign seed; per-core streams are derived from it. */
+    std::uint64_t seed = 1;
+    /** Mean cycles between faults on one core (must be > 0). */
+    Cycles meanInterval = 20000;
+    /** Relative weight per FaultKind (0 disables a kind). */
+    std::array<unsigned, kNumFaultKinds> weights{1, 1, 1, 1};
+    /** Marked lines displaced per EvictMarked fault. */
+    unsigned evictLines = 4;
+    /** Evict through the L2 (back-invalidating every sharer). */
+    bool evictFromL2 = false;
+    /** Cycles charged for an injected context switch. */
+    Cycles ctxSwitchCost = 2000;
+    /** Stall charged for a delayed snoop. */
+    Cycles snoopDelay = 400;
+};
+
+/**
+ * Named presets: "off", "light", "heavy", "ctx", "evict", "spurious".
+ * Unknown names are fatal. The caller typically overrides `seed`.
+ */
+FaultParams faultProfile(const std::string &name);
+
+/**
+ * Per-machine fault source. Cores poll their due time inside
+ * Core::advance() and call fire() when it passes; fire() performs one
+ * fault and returns the next due time. All randomness comes from
+ * per-core Rng streams derived from FaultParams::seed, so a campaign
+ * replays bit-identically from (config, seed) alone.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultParams &params, unsigned num_cores);
+
+    const FaultParams &params() const { return params_; }
+
+    /** (Re)draw the next due time for @p core from @p now. */
+    Cycles arm(CoreId core, Cycles now);
+
+    /** Inject one fault on @p core; returns the next due time. */
+    Cycles fire(Core &core);
+
+    /** Faults of kind @p k injected so far (all cores). */
+    std::uint64_t count(FaultKind k) const
+    {
+        return totals_[std::size_t(k)];
+    }
+
+    /** All faults injected so far. */
+    std::uint64_t total() const;
+
+    /** Zero the counters (between experiment phases). */
+    void resetCounts();
+
+  private:
+    Cycles interval(Rng &rng);
+    FaultKind pickKind(Rng &rng);
+
+    struct PerCore
+    {
+        Rng rng{0};
+    };
+
+    FaultParams params_;
+    unsigned weightSum_ = 0;
+    std::vector<PerCore> cores_;
+    std::array<std::uint64_t, kNumFaultKinds> totals_{};
+};
+
+} // namespace hastm
+
+#endif // HASTM_SIM_FAULT_HH

@@ -65,7 +65,17 @@ ContentionManager::handleContention(Addr rec, std::uint64_t investment)
     ++selfAborts_;
     if (stats_)
         ++stats_->cmKills;
-    throw TxConflictAbort{};
+    throw TxConflictAbort{rec, AbortKind::CmKill};
+}
+
+void
+ContentionManager::noteAbort(Addr rec, AbortKind kind)
+{
+    ++abortKinds_[std::size_t(kind)];
+    if (params_.diagnostics && rec != kNullAddr &&
+        kind != AbortKind::CmKill) {
+        ++profile_[rec];
+    }
 }
 
 std::vector<std::pair<Addr, std::uint64_t>>

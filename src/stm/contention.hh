@@ -12,17 +12,18 @@
 #ifndef HASTM_STM_CONTENTION_HH
 #define HASTM_STM_CONTENTION_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
+#include "stm/tm_iface.hh"
 
 namespace hastm {
 
 class Core;
 class TraceSink;
-struct TmStats;
 
 /** Available contention policies. */
 enum class CmPolicy : std::uint8_t {
@@ -79,6 +80,22 @@ class ContentionManager
     std::uint64_t selfAborts() const { return selfAborts_; }
 
     /**
+     * Attribute a top-level abort of the owning thread: fed by
+     * TmThread::noteAbort with the conflicting record and kind. Kinds
+     * are always counted; the per-record profile additionally charges
+     * the record under diagnostics (CmKill conflicts were already
+     * profiled inside handleContention, so they are not re-charged).
+     */
+    void noteAbort(Addr rec, AbortKind kind);
+
+    /** Aborts of @p kind this manager has been told about. */
+    std::uint64_t
+    abortsOfKind(AbortKind kind) const
+    {
+        return abortKinds_[std::size_t(kind)];
+    }
+
+    /**
      * Conflict counts per transaction-record address (object mode:
      * the object's address — directly meaningful to the programmer,
      * unlike an HTM's physical cache-line conflicts). Empty unless
@@ -101,6 +118,7 @@ class ContentionManager
     std::uint64_t conflicts_ = 0;
     std::uint64_t selfAborts_ = 0;
     std::unordered_map<Addr, std::uint64_t> profile_;
+    std::array<std::uint64_t, kNumAbortKinds> abortKinds_{};
 };
 
 } // namespace hastm

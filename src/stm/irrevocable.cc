@@ -1,0 +1,84 @@
+#include "stm/irrevocable.hh"
+
+#include "cpu/machine.hh"
+#include "sim/logging.hh"
+
+namespace hastm {
+
+SerialGate::SerialGate(Machine &machine) : machine_(machine)
+{
+    // Token and per-core flags each get a full line so the parked
+    // cores' polling does not false-share with anything.
+    tokenAddr_ = machine_.heap().allocZeroed(64, 64);
+    activeAddr_.reserve(machine_.numCores());
+    for (unsigned c = 0; c < machine_.numCores(); ++c)
+        activeAddr_.push_back(machine_.heap().allocZeroed(64, 64));
+}
+
+SerialGate::~SerialGate()
+{
+    machine_.heap().free(tokenAddr_);
+    for (Addr a : activeAddr_)
+        machine_.heap().free(a);
+}
+
+void
+SerialGate::parkAtBegin(Core &core)
+{
+    std::uint64_t own = core.id() + 1;
+    Cycles wait = 64;
+    for (;;) {
+        std::uint64_t holder = core.load<std::uint64_t>(tokenAddr_);
+        core.execInstrIlp(2);
+        if (holder == 0 || holder == own)
+            return;
+        core.stall(wait);
+        if (wait < 16 * 1024)
+            wait *= 2;
+    }
+}
+
+void
+SerialGate::noteActive(Core &core, bool active)
+{
+    core.store<std::uint64_t>(activeAddr_[core.id()], active ? 1 : 0);
+}
+
+void
+SerialGate::enter(Core &core)
+{
+    std::uint64_t own = core.id() + 1;
+    Cycles wait = 64;
+    // Acquire the token...
+    for (;;) {
+        std::uint64_t old = core.cas<std::uint64_t>(tokenAddr_, 0, own);
+        core.execInstrIlp(1);
+        if (old == 0)
+            break;
+        HASTM_ASSERT(old != own);  // no recursive escalation
+        core.stall(wait);
+        if (wait < 16 * 1024)
+            wait *= 2;
+    }
+    // ...then drain every in-flight transaction. Each finishes its
+    // current (bounded) attempt: it commits or aborts, clearing its
+    // flag, and its next begin parks on the token we now hold.
+    for (unsigned c = 0; c < activeAddr_.size(); ++c) {
+        if (c == core.id())
+            continue;
+        Cycles qwait = 64;
+        while (core.load<std::uint64_t>(activeAddr_[c]) != 0) {
+            core.stall(qwait);
+            if (qwait < 16 * 1024)
+                qwait *= 2;
+        }
+    }
+}
+
+void
+SerialGate::exit(Core &core)
+{
+    core.store<std::uint64_t>(tokenAddr_, 0);
+}
+
+} // namespace hastm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Serial-irrevocable execution: the graceful-degradation backstop.
+ *
+ * A transaction that keeps aborting (adversarial fault injection,
+ * pathological contention) eventually starves; HyTM theory (Brown &
+ * Ravi; Alistarh et al.) shows a robust software fallback is required
+ * for progress. The starvation watchdog (StmConfig thresholds,
+ * TmThread::maybeEscalate) escalates such a transaction into
+ * *serial-irrevocable* mode: it takes a global token, waits for every
+ * in-flight transaction to drain, and then runs alone — no concurrent
+ * writer exists, so its commit-time validation cannot fail and its
+ * commit is guaranteed. Other threads park at transaction begin while
+ * the token is held.
+ *
+ * The gate is two pieces of simulated shared memory:
+ *  - a token word (0 = free, else holder's core id + 1), acquired by
+ *    CAS with backoff;
+ *  - one cache line per core holding an "in transaction" flag,
+ *    maintained by every begin/commit/rollback so the holder can
+ *    quiesce by spinning until all other flags clear.
+ *
+ * Deadlock-freedom: escalation happens *after* rollback (the
+ * escalating thread's own flag is already clear), parked threads have
+ * not yet set their flag, and a thread that slipped past the park
+ * before the token was taken finishes one bounded attempt — it either
+ * commits or aborts, clearing its flag either way. A token holder
+ * must never wait voluntarily (retry()); the atomic() driver drops
+ * the token before any waitForChange.
+ */
+
+#ifndef HASTM_STM_IRREVOCABLE_HH
+#define HASTM_STM_IRREVOCABLE_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hastm {
+
+class Core;
+class Machine;
+
+/** The global serialization token plus per-core activity flags. */
+class SerialGate
+{
+  public:
+    explicit SerialGate(Machine &machine);
+    ~SerialGate();
+
+    SerialGate(const SerialGate &) = delete;
+    SerialGate &operator=(const SerialGate &) = delete;
+
+    /**
+     * Called at every transaction begin, before any per-transaction
+     * state is touched: spins while another core holds the token.
+     */
+    void parkAtBegin(Core &core);
+
+    /** Maintain @p core's in-transaction flag. */
+    void noteActive(Core &core, bool active);
+
+    /**
+     * Acquire the token (CAS with backoff) and quiesce: returns once
+     * every other core's activity flag is clear. Must be called
+     * outside a transaction (after rollback).
+     */
+    void enter(Core &core);
+
+    /** Release the token. */
+    void exit(Core &core);
+
+  private:
+    Machine &machine_;
+    Addr tokenAddr_;
+    std::vector<Addr> activeAddr_;  //!< one line per core
+};
+
+} // namespace hastm
+
+#endif // HASTM_STM_IRREVOCABLE_HH

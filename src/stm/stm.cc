@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "stm/irrevocable.hh"
 
 namespace hastm {
 
@@ -9,6 +10,7 @@ StmGlobals::StmGlobals(Machine &machine, const StmConfig &cfg)
     : machine_(machine), cfg_(cfg),
       recTable_(machine.arena(), machine.heap())
 {
+    gate_ = std::make_unique<SerialGate>(machine);
     if (!cfg_.tracePath.empty())
         trace_ = std::make_unique<TraceSink>(cfg_.tracePath);
 }
@@ -306,7 +308,7 @@ StmThread::fullValidation(bool remark)
             ok = false;
         }
         if (!ok)
-            throw TxConflictAbort{};
+            throw TxConflictAbort{rec, AbortKind::Validation};
     });
 }
 
@@ -325,6 +327,11 @@ StmThread::begin()
 {
     HASTM_ASSERT(depth_ == 0);
     Core::PhaseScope scope(core_, Phase::TxBegin);
+    // Park while an escalated thread holds the serial token (our own
+    // token lets us straight through), then advertise that we are in
+    // flight — in that order, so a quiescing holder never waits on a
+    // thread that is itself parked.
+    g_.gate().parkAtBegin(core_);
     txStartCycles_ = core_.cycles();
     core_.execInstr(10);
     desc_.resetForTxn();
@@ -332,6 +339,7 @@ StmThread::begin()
     sinceValidate_ = 0;
     retryWatch_.clear();
     beginTop();
+    g_.gate().noteActive(core_, true);
     depth_ = 1;
 }
 
@@ -339,12 +347,18 @@ bool
 StmThread::commit()
 {
     HASTM_ASSERT(depth_ == 1);
-    try {
-        validate(true);
-    } catch (const TxConflictAbort &) {
-        rollback();
-        return false;
+    if (!g_.cfg().testSkipCommitValidation) {
+        try {
+            validate(true);
+        } catch (const TxConflictAbort &e) {
+            commitFailure_ = e;
+            rollback();
+            return false;
+        }
     }
+    // The serialization point: validation saw every read at its
+    // logged version while we hold every written record.
+    commitStamp_ = core_.cycles();
     std::uint64_t read_set = desc_.readSet().entries();
     std::uint64_t undo_len = desc_.undoLog().entries();
     {
@@ -359,6 +373,7 @@ StmThread::commit()
     desc_.txFrees.clear();
     commitHook();
     depth_ = 0;
+    g_.gate().noteActive(core_, false);
     ++stats_.commits;
     stats_.readSetAtCommit.record(read_set);
     stats_.undoLogAtCommit.record(undo_len);
@@ -443,6 +458,7 @@ StmThread::rollback()
     desc_.txFrees.clear();
     abortHook();
     depth_ = 0;
+    g_.gate().noteActive(core_, false);
     if (TraceSink *t = g_.trace()) {
         Json args = Json::object();
         args.set("outcome", retryRollback_ ? "retry" : "abort");
@@ -493,6 +509,57 @@ StmThread::waitForChange(unsigned attempt)
     }
     // Give up waiting and re-execute anyway (spurious wake-ups are
     // always safe; blocking forever on a missed update is not).
+}
+
+// ------------------------------------------- starvation watchdog
+
+void
+StmThread::noteAbort(const TxConflictAbort &abort)
+{
+    cm_.noteAbort(abort.rec, abort.kind);
+    if (TraceSink *t = g_.trace()) {
+        Json args = Json::object();
+        args.set("kind", abortKindName(abort.kind));
+        if (abort.rec != kNullAddr)
+            args.set("rec", abort.rec);
+        t->instant(core_.id(), core_.cycles(), "abortKind",
+                   std::move(args));
+    }
+}
+
+void
+StmThread::maybeEscalate(unsigned consec_aborts)
+{
+    if (irrevocable_)
+        return;
+    const StmConfig &cfg = g_.cfg();
+    bool starved =
+        (cfg.watchdogConsecAborts != 0 &&
+         consec_aborts >= cfg.watchdogConsecAborts) ||
+        (cfg.watchdogRetriesPerCommit != 0 &&
+         abortsSinceCommit_ >= cfg.watchdogRetriesPerCommit);
+    if (!starved)
+        return;
+    // Runs outside a transaction (atomic() calls this after the
+    // rollback), so our own activity flag is already clear and the
+    // gate's quiescence cannot wait on us.
+    g_.gate().enter(core_);
+    irrevocable_ = true;
+    ++stats_.irrevocableEntries;
+    if (TraceSink *t = g_.trace()) {
+        Json args = Json::object();
+        args.set("consecAborts", std::uint64_t(consec_aborts));
+        t->instant(core_.id(), core_.cycles(), "irrevocable",
+                   std::move(args));
+    }
+}
+
+void
+StmThread::leaveIrrevocable()
+{
+    HASTM_ASSERT(irrevocable_);
+    irrevocable_ = false;
+    g_.gate().exit(core_);
 }
 
 // ----------------------------------------------------------- nesting

@@ -50,6 +50,20 @@ struct StmConfig
     unsigned policyWindow = 32;      //!< mode-policy sliding window
     double aggressiveWatermark = 0.10;
     /**
+     * Starvation watchdog (graceful degradation): escalate into
+     * serial-irrevocable mode after this many consecutive aborts of
+     * one atomic block (0 disables). See stm/irrevocable.hh.
+     */
+    unsigned watchdogConsecAborts = 64;
+    /** Same, for total aborts since the last successful commit. */
+    unsigned watchdogRetriesPerCommit = 256;
+    /**
+     * TEST-ONLY: skip commit-time validation, making the STM
+     * deliberately unsound so the adversarial oracle can prove it
+     * detects broken runtimes. Never enable outside tests.
+     */
+    bool testSkipCommitValidation = false;
+    /**
      * When non-empty, collect per-transaction events (begin/commit/
      * abort spans, validation and contention instants) and write them
      * here in Chrome trace_event JSON on teardown (load the file in
@@ -60,6 +74,7 @@ struct StmConfig
 };
 
 class TraceSink;
+class SerialGate;
 
 /**
  * State shared by all threads of one STM instance: the machine, the
@@ -75,6 +90,9 @@ class StmGlobals
     const StmConfig &cfg() const { return cfg_; }
     TxRecordTable &recTable() { return recTable_; }
 
+    /** Serial-irrevocable gate shared by all of this instance's threads. */
+    SerialGate &gate() { return *gate_; }
+
     /** Event sink, or null when StmConfig::tracePath is empty. */
     TraceSink *trace() { return trace_.get(); }
 
@@ -82,6 +100,7 @@ class StmGlobals
     Machine &machine_;
     StmConfig cfg_;
     TxRecordTable recTable_;
+    std::unique_ptr<SerialGate> gate_;
     std::unique_ptr<TraceSink> trace_;
 };
 
@@ -107,6 +126,7 @@ class StmThread : public TmThread
     void txFree(Addr obj) override;
     void validateNow() override;
     bool inTx() const override { return depth_ > 0; }
+    bool inIrrevocable() const override { return irrevocable_; }
 
     Descriptor &descriptor() { return desc_; }
     StmGlobals &globals() { return g_; }
@@ -144,6 +164,9 @@ class StmThread : public TmThread
     void rollbackForRetry() override;
     void waitForChange(unsigned attempt) override;
     bool nestedAtomic(const std::function<void()> &fn) override;
+    void noteAbort(const TxConflictAbort &abort) override;
+    void maybeEscalate(unsigned consec_aborts) override;
+    void leaveIrrevocable() override;
 
     // ---- pieces HastmThread overrides ----
 
@@ -234,6 +257,9 @@ class StmThread : public TmThread
 
     /** True while rolling back for a retry() (HASTM keeps marks). */
     bool retryRollback_ = false;
+
+    /** Serial-irrevocable mode (holds the gate token; see above). */
+    bool irrevocable_ = false;
 };
 
 } // namespace hastm

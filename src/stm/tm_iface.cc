@@ -22,6 +22,21 @@ tmSchemeName(TmScheme s)
 }
 
 const char *
+abortKindName(AbortKind k)
+{
+    switch (k) {
+      case AbortKind::Unknown:         return "unknown";
+      case AbortKind::Validation:      return "validation";
+      case AbortKind::CmKill:          return "cmKill";
+      case AbortKind::SpuriousCounter: return "spuriousCounter";
+      case AbortKind::HtmConflict:     return "htmConflict";
+      case AbortKind::HtmCapacity:     return "htmCapacity";
+      case AbortKind::HtmExplicit:     return "htmExplicit";
+      default:                         return "?";
+    }
+}
+
+const char *
 granularityName(Granularity g)
 {
     switch (g) {
@@ -46,23 +61,42 @@ TmThread::atomic(const std::function<void()> &fn)
             fn();
             if (commit()) {
                 stats_.retriesPerCommit.record(attempt);
+                abortsSinceCommit_ = 0;
+                if (inIrrevocable())
+                    leaveIrrevocable();
                 return true;
             }
             // Commit-time conflict: state already rolled back by the
-            // scheme's commit(); back off and re-execute.
+            // scheme's commit(), attribution stashed in
+            // commitFailure_; back off and re-execute.
             ++stats_.aborts;
+            ++stats_.abortsByKind[std::size_t(commitFailure_.kind)];
+            ++abortsSinceCommit_;
+            noteAbort(commitFailure_);
             onConflict(attempt++);
-        } catch (const TxConflictAbort &) {
+            maybeEscalate(attempt);
+        } catch (const TxConflictAbort &e) {
             rollback();
             ++stats_.aborts;
+            ++stats_.abortsByKind[std::size_t(e.kind)];
+            ++abortsSinceCommit_;
+            noteAbort(e);
             onConflict(attempt++);
+            maybeEscalate(attempt);
         } catch (const TxUserAbort &) {
             rollback();
             ++stats_.userAborts;
+            if (inIrrevocable())
+                leaveIrrevocable();
             return false;
         } catch (const TxRetryRequest &) {
             rollbackForRetry();
             ++stats_.retries;
+            // A voluntary wait must not hold the serial token: every
+            // other thread is quiesced and could never produce the
+            // awaited change.
+            if (inIrrevocable())
+                leaveIrrevocable();
             waitForChange(retry_attempt++);
         }
     }

@@ -17,9 +17,11 @@
 #ifndef HASTM_STM_TM_IFACE_HH
 #define HASTM_STM_TM_IFACE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -98,8 +100,32 @@ inline bool forwarded(std::uint64_t m) { return (m & kForwarded) != 0; }
 
 } // namespace objmeta
 
-/** Thrown when a transaction must abort due to a conflict. */
-struct TxConflictAbort {};
+/** Why a transaction aborted (attribution for diagnostics/traces). */
+enum class AbortKind : std::uint8_t {
+    Unknown,          //!< scheme could not attribute the abort
+    Validation,       //!< read-set validation found a stale read
+    CmKill,           //!< contention manager self-abort
+    SpuriousCounter,  //!< HASTM aggressive abort on counter != 0
+    HtmConflict,      //!< hardware conflict abort
+    HtmCapacity,      //!< hardware capacity abort
+    HtmExplicit,      //!< explicit xabort (e.g. HyTM record owned)
+};
+
+constexpr unsigned kNumAbortKinds = 7;
+
+const char *abortKindName(AbortKind k);
+
+/**
+ * Thrown when a transaction must abort due to a conflict. Carries the
+ * conflicting transaction record (kNullAddr when there is none, e.g.
+ * spurious aborts) and the abort kind so contention diagnostics and
+ * fault traces can attribute every abort.
+ */
+struct TxConflictAbort
+{
+    Addr rec = kNullAddr;
+    AbortKind kind = AbortKind::Unknown;
+};
 
 /** Thrown by retry(): roll back and wait for the read set to change. */
 struct TxRetryRequest {};
@@ -128,6 +154,17 @@ struct TmStats
     std::uint64_t htmAborts = 0;        //!< hardware conflicts/capacity
     std::uint64_t htmCapacityAborts = 0; //!< capacity subset of the above
     std::uint64_t cmKills = 0;          //!< contention-manager self-aborts
+    std::uint64_t irrevocableEntries = 0; //!< serial-irrevocable escalations
+
+    /** Top-level aborts attributed by kind (sums to `aborts`). */
+    std::array<std::uint64_t, kNumAbortKinds> abortsByKind{};
+
+    /**
+     * Injected faults by FaultKind. Only the harness fills this (from
+     * the machine-wide injector, on the session-total stats); the
+     * per-thread entries stay zero.
+     */
+    std::array<std::uint64_t, kNumFaultKinds> faultsInjected{};
 
     // ---- distributions (Fig 12/17-style diagnostics, JSON reports) ----
     Histogram readSetAtCommit;  //!< read-set entries per committed txn
@@ -156,6 +193,11 @@ struct TmStats
         htmAborts += s.htmAborts;
         htmCapacityAborts += s.htmCapacityAborts;
         cmKills += s.cmKills;
+        irrevocableEntries += s.irrevocableEntries;
+        for (unsigned k = 0; k < kNumAbortKinds; ++k)
+            abortsByKind[k] += s.abortsByKind[k];
+        for (unsigned k = 0; k < kNumFaultKinds; ++k)
+            faultsInjected[k] += s.faultsInjected[k];
         readSetAtCommit.merge(s.readSetAtCommit);
         undoLogAtCommit.merge(s.undoLogAtCommit);
         retriesPerCommit.merge(s.retriesPerCommit);
@@ -242,6 +284,16 @@ class TmThread
     /** Zero the outcome counters (harness: after the populate phase). */
     void resetStats() { stats_ = TmStats{}; }
 
+    /**
+     * Cycle stamp taken at the last successful commit's serialization
+     * point (validation success / hardware commit / lock release).
+     * The oracle (harness/oracle.hh) orders operations by it.
+     */
+    Cycles commitStamp() const { return commitStamp_; }
+
+    /** True while this thread runs in serial-irrevocable mode. */
+    virtual bool inIrrevocable() const { return false; }
+
   protected:
     // ---- scheme hooks driven by the atomic() loop ----
 
@@ -256,6 +308,28 @@ class TmThread
 
     /** Backoff between re-executions. */
     virtual void onConflict(unsigned attempt);
+
+    /**
+     * Abort attribution hook: called by atomic() with the conflict's
+     * record/kind before the backoff. Schemes with a contention
+     * manager feed their diagnostics from this.
+     */
+    virtual void noteAbort(const TxConflictAbort &abort) { (void)abort; }
+
+    /**
+     * Starvation watchdog hook: called after every conflict abort
+     * with the consecutive-abort count of the current atomic block.
+     * Schemes supporting serial-irrevocable mode escalate here when
+     * the StmConfig thresholds are exceeded; the next begin() then
+     * runs the transaction alone (see stm/irrevocable.hh).
+     */
+    virtual void maybeEscalate(unsigned consec_aborts)
+    {
+        (void)consec_aborts;
+    }
+
+    /** Drop serial-irrevocable mode (after the guaranteed commit). */
+    virtual void leaveIrrevocable() {}
 
     /**
      * Roll back after a retry(); schemes that can watch their read
@@ -283,6 +357,20 @@ class TmThread
 
     Core &core_;
     TmStats stats_;
+
+    /** Serialization-point stamp of the last successful commit. */
+    Cycles commitStamp_ = 0;
+
+    /**
+     * Attribution of the last commit() == false outcome. commit()
+     * returns plain false on a commit-time conflict, which would
+     * otherwise lose the record/kind; schemes stash it here for
+     * atomic() to account.
+     */
+    TxConflictAbort commitFailure_{kNullAddr, AbortKind::Validation};
+
+    /** Conflict aborts since the last successful commit (watchdog). */
+    unsigned abortsSinceCommit_ = 0;
 };
 
 } // namespace hastm

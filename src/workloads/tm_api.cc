@@ -56,6 +56,7 @@ SeqThread::txFree(Addr obj)
 bool
 SeqThread::commit()
 {
+    commitStamp_ = core_.cycles();
     depth_ = 0;
     ++stats_.commits;
     return true;
@@ -103,6 +104,10 @@ LockThread::begin()
 bool
 LockThread::commit()
 {
+    // Stamp before the release: the critical section's effects are
+    // ordered by lock-hold intervals, and cycles() still lies inside
+    // ours here.
+    commitStamp_ = core_.cycles();
     release();
     depth_ = 0;
     ++stats_.commits;
