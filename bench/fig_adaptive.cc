@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Adaptive-runtime evaluation on a phase-shifting workload.
+ *
+ * One run executes four back-to-back phases whose best fixed scheme
+ * differs: "small" (tiny read-mostly transactions — HyTM's hardware
+ * path wins), "bigread" (transactions whose read sets overflow the L1
+ * way budget — HyTM capacity-aborts into serial escalation while
+ * HASTM's mark filter shines), "evict" (a working set far past the L1
+ * so marks are evicted and re-validated — plain STM is competitive),
+ * then "small" again (tests online recovery back to hardware). Each
+ * fixed scheme runs the same phases; the adaptive runtime must track
+ * the per-phase winner without knowing the schedule.
+ *
+ * Self-checked acceptance criteria (exit non-zero on violation):
+ *  - adaptive commits/sec >= 90 % of the best fixed scheme in every
+ *    phase;
+ *  - adaptive overall throughput strictly beats the worst fixed
+ *    scheme;
+ *  - the arbiter performs >= 2 scheme switches per run;
+ *  - an adaptive rerun with the same seed is bit-identical (the
+ *    parallel runner preserves this for any --jobs).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+namespace {
+
+std::vector<PhaseMix>
+phaseSchedule()
+{
+    PhaseMix small;
+    small.name = "small";
+    small.txnsPerThread = 400;
+    small.accessesPerTx = 8;
+    small.loadPct = 80;
+    small.reusePct = 60;
+    small.privateLines = 256;
+
+    PhaseMix bigread;
+    bigread.name = "bigread";
+    bigread.txnsPerThread = 150;
+    bigread.accessesPerTx = 192;
+    bigread.loadPct = 97;
+    bigread.reusePct = 50;
+    bigread.privateLines = 4096;
+
+    PhaseMix evict;
+    evict.name = "evict";
+    evict.txnsPerThread = 300;
+    evict.accessesPerTx = 48;
+    evict.loadPct = 85;
+    evict.reusePct = 10;
+    evict.privateLines = 16384;
+
+    PhaseMix small2 = small;
+    small2.name = "small2";
+
+    return {small, bigread, evict, small2};
+}
+
+PhasedConfig
+phasedCfg(TmScheme scheme)
+{
+    PhasedConfig cfg;
+    cfg.scheme = scheme;
+    cfg.threads = 4;
+    cfg.phases = phaseSchedule();
+    cfg.seed = 42;
+    cfg.machine.arenaBytes = 64ull * 1024 * 1024;
+    // A tight watchdog for every scheme alike: a capacity-doomed
+    // hardware transaction escalates after 8 retries instead of 64,
+    // which bounds both fixed HyTM's worst case and the adaptive
+    // runtime's exploration cost at the hardware rung.
+    cfg.stm.watchdogConsecAborts = 8;
+    cfg.stm.watchdogRetriesPerCommit = 32;
+    return cfg;
+}
+
+/** Everything deterministic about a phased run, as a comparable blob. */
+std::string
+fingerprint(const PhasedResult &r)
+{
+    ExperimentResult total = r.total;
+    total.hostNanos = 0;
+    std::ostringstream os;
+    for (const PhaseOutcome &p : r.phases)
+        os << p.name << ":" << p.cycles << ":" << p.commits << ":"
+           << p.aborts << ":" << p.switches << ":" << p.probes << "\n";
+    toJson(total).dump(os, 0);
+    return os.str();
+}
+
+double
+overallCommitsPerMcycle(const PhasedResult &r)
+{
+    std::uint64_t cycles = 0, commits = 0;
+    for (const PhaseOutcome &p : r.phases) {
+        cycles += p.cycles;
+        commits += p.commits;
+    }
+    return cycles ? double(commits) * 1e6 / double(cycles) : 0.0;
+}
+
+Json
+phasedJson(const PhasedConfig &cfg, const PhasedResult &r)
+{
+    Json j = Json::object();
+    j.set("scheme", tmSchemeName(cfg.scheme))
+        .set("threads", cfg.threads)
+        .set("seed", cfg.seed);
+    Json phases = Json::array();
+    for (const PhaseOutcome &p : r.phases) {
+        Json one = Json::object();
+        one.set("name", p.name)
+            .set("cycles", std::uint64_t(p.cycles))
+            .set("commits", p.commits)
+            .set("aborts", p.aborts)
+            .set("switches", p.switches)
+            .set("probes", p.probes)
+            .set("commitsPerMcycle", p.commitsPerMcycle());
+        phases.push(std::move(one));
+    }
+    j.set("phases", std::move(phases));
+    j.set("overallCommitsPerMcycle", overallCommitsPerMcycle(r));
+    j.set("result", toJson(r.total));
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    BenchReport report("adaptive", argc, argv);
+    ExperimentRunner runner(argc, argv);
+    std::cout << "Adaptive runtime vs fixed schemes on a "
+                 "phase-shifting workload\n(phases: small -> bigread "
+                 "-> evict -> small2; 4 threads, seed 42)\n\n";
+
+    const TmScheme schemes[] = {TmScheme::Adaptive, TmScheme::Hytm,
+                                TmScheme::Hastm, TmScheme::Stm};
+    constexpr unsigned kSchemes = 4;
+    // One extra adaptive run at the end: the determinism self-check.
+    std::vector<PhasedConfig> cfgs;
+    for (TmScheme s : schemes)
+        cfgs.push_back(phasedCfg(s));
+    cfgs.push_back(phasedCfg(TmScheme::Adaptive));
+
+    // PhasedResult does not fit ExperimentRunner's result type, so
+    // tasks write their own pre-sized slot and return the totals.
+    std::vector<PhasedResult> results(cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        runner.add([&cfgs, &results, i] {
+            results[i] = runPhased(cfgs[i]);
+            return results[i].total;
+        });
+    }
+    runner.runAll();
+
+    const std::size_t num_phases = cfgs[0].phases.size();
+    Table table({"scheme", "phase", "cycles", "commits", "aborts",
+                 "switch", "probe", "commits/Mcyc"});
+    for (unsigned si = 0; si < kSchemes; ++si) {
+        for (const PhaseOutcome &p : results[si].phases)
+            table.addRow({tmSchemeName(schemes[si]), p.name,
+                          fmt(std::uint64_t(p.cycles)), fmt(p.commits),
+                          fmt(p.aborts), fmt(p.switches), fmt(p.probes),
+                          fmt(p.commitsPerMcycle(), 2)});
+        table.addRow({tmSchemeName(schemes[si]), "overall", "", "", "",
+                      "", "",
+                      fmt(overallCommitsPerMcycle(results[si]), 2)});
+    }
+    table.print(std::cout);
+
+    const PhasedResult &adaptive = results[0];
+    std::cout << "\nadaptive decisions: "
+              << adaptive.total.tm.adaptiveSwitches << " switches, "
+              << adaptive.total.tm.adaptiveProbes << " probes\n";
+
+    for (unsigned si = 0; si < kSchemes; ++si)
+        report.addCustom(std::string("phased/") +
+                             tmSchemeName(schemes[si]),
+                         phasedJson(cfgs[si], results[si]));
+
+    // ------------------------------------------ acceptance criteria
+    std::vector<std::string> violations;
+
+    for (std::size_t pi = 0; pi < num_phases; ++pi) {
+        double best = 0.0;
+        for (unsigned si = 1; si < kSchemes; ++si)
+            best = std::max(best,
+                            results[si].phases[pi].commitsPerMcycle());
+        double got = adaptive.phases[pi].commitsPerMcycle();
+        if (got < 0.9 * best) {
+            std::ostringstream os;
+            os << "phase '" << adaptive.phases[pi].name
+               << "': adaptive " << got << " commits/Mcyc < 90% of best "
+               << "fixed scheme (" << best << ")";
+            violations.push_back(os.str());
+        }
+    }
+
+    double adaptive_overall = overallCommitsPerMcycle(adaptive);
+    double worst = adaptive_overall;
+    std::string worst_name = "adaptive";
+    for (unsigned si = 1; si < kSchemes; ++si) {
+        double v = overallCommitsPerMcycle(results[si]);
+        if (v < worst) {
+            worst = v;
+            worst_name = tmSchemeName(schemes[si]);
+        }
+    }
+    if (worst_name == "adaptive")
+        violations.push_back(
+            "adaptive does not strictly beat the worst fixed scheme "
+            "overall");
+    else
+        std::cout << "adaptive overall " << adaptive_overall
+                  << " commits/Mcyc vs worst fixed (" << worst_name
+                  << ") " << worst << "\n";
+
+    if (adaptive.total.tm.adaptiveSwitches < 2) {
+        std::ostringstream os;
+        os << "only " << adaptive.total.tm.adaptiveSwitches
+           << " scheme switches (expected >= 2)";
+        violations.push_back(os.str());
+    }
+
+    if (fingerprint(adaptive) != fingerprint(results[kSchemes]))
+        violations.push_back(
+            "adaptive rerun with the same seed is not bit-identical");
+
+    if (!violations.empty()) {
+        std::cout << "\nACCEPTANCE VIOLATIONS (" << violations.size()
+                  << "):\n";
+        for (const std::string &v : violations)
+            std::cout << "  - " << v << "\n";
+        return 1;
+    }
+    std::cout << "all acceptance criteria hold\n";
+    return 0;
+}

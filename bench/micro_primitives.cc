@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -290,14 +291,24 @@ BENCHMARK(BM_WriteBarrier_Stm);
  * Custom main so this binary honours the repo-wide `--json <path>`
  * convention (and $HASTM_BENCH_JSON): the flag is translated to
  * google-benchmark's own JSON reporter before the usual argument
- * handling runs. `--jobs N` is likewise stripped for driver
- * uniformity but ignored: google-benchmark's timing loops must run
- * sequentially or the host measurements would contend.
+ * handling runs. google-benchmark's timing loops must run
+ * sequentially or the host measurements would contend, so an
+ * explicit `--jobs N` with N > 1 is rejected up front (exit 2)
+ * rather than silently ignored; a parallel $HASTM_BENCH_JOBS alone
+ * only warns, since sweep drivers export it process-wide.
  */
 int
 main(int argc, char **argv)
 {
-    (void)hastm::ExperimentRunner::resolveJobs(argc, argv);
+    std::string jobs_msg;
+    if (!hastm::ExperimentRunner::sequentialJobsOk(argc, argv,
+                                                   &jobs_msg)) {
+        std::fprintf(stderr, "micro_primitives: %s\n", jobs_msg.c_str());
+        return 2;
+    }
+    if (!jobs_msg.empty())
+        std::fprintf(stderr, "micro_primitives: warning: %s\n",
+                     jobs_msg.c_str());
     std::vector<char *> args;
     std::string out_flag, fmt_flag = "--benchmark_out_format=json";
     std::string json_path;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The adaptive TM runtime (TmScheme::Adaptive).
+ *
+ * AdaptiveThread is a composite TmThread: it owns one inner thread
+ * per execution rung (HyTM hardware, HASTM, HASTM-cautious, base
+ * STM — the Serial rung is the STM inner behind the serial gate) and
+ * routes every top-level atomic block to the rung its per-site
+ * Arbiter picked. All inner threads share this thread's core and the
+ * session's StmGlobals, so the record table, contention manager
+ * policy, serial gate, and trace sink are common across rungs and
+ * different threads of one session can safely run *different* rungs
+ * concurrently: the hardware rung checks the shared transaction
+ * records (HyTM barriers, Fig 14) and the software rungs own them.
+ *
+ * The PR-3 starvation watchdog remains armed inside every inner
+ * scheme, so even a mid-stream pathological transaction escalates to
+ * serial-irrevocable without waiting for the arbiter's (windowed)
+ * Serial rung — the watchdog is the final escalation rung, the
+ * arbiter's ladder just gets there earlier when a whole site is
+ * drowning.
+ *
+ * Not supported: moving-GC workloads (gcRelocate/gcFixup are not
+ * forwarded to the inner rungs).
+ */
+
+#ifndef HASTM_ADAPTIVE_ADAPTIVE_HH
+#define HASTM_ADAPTIVE_ADAPTIVE_HH
+
+#include "adaptive/arbiter.hh"
+#include "hastm/hastm.hh"
+#include "htm/hytm.hh"
+#include "stm/stm.hh"
+
+namespace hastm {
+
+/** A thread of the adaptive runtime: arbiter + one thread per rung. */
+class AdaptiveThread : public TmThread
+{
+  public:
+    AdaptiveThread(Core &core, StmGlobals &globals,
+                   unsigned num_threads = 1);
+
+    // ---- dispatch ----
+    bool atomic(const std::function<void()> &fn) override;
+    bool atomicOrElse(const std::function<void()> &first,
+                      const std::function<void()> &second) override;
+
+    // ---- data interface: forwarded to the rung running the txn ----
+    std::uint64_t readWord(Addr a) override;
+    void writeWord(Addr a, std::uint64_t v, bool is_ptr = false) override;
+    std::uint64_t readField(Addr obj, unsigned off) override;
+    void writeField(Addr obj, unsigned off, std::uint64_t v,
+                    bool is_ptr = false) override;
+    Addr txAlloc(std::size_t field_bytes,
+                 std::uint32_t ptr_mask = 0) override;
+    void txFree(Addr obj) override;
+    void validateNow() override;
+    bool inTx() const override;
+    bool inIrrevocable() const override;
+
+    /** Own decision counters merged with every rung's counters. */
+    const TmStats &stats() const override;
+    void resetStats() override;
+
+    const Arbiter &arbiter() const { return arbiter_; }
+
+    /** Per-site decision summary (Arbiter::toJson) for the reports. */
+    Json decisionJson() const { return arbiter_.toJson(); }
+
+  protected:
+    // The atomic() override dispatches whole transactions; the
+    // per-transaction hooks of the base driver never run.
+    void begin() override;
+    bool commit() override;
+    void rollback() override;
+
+  private:
+    TmThread &rungFor(AdaptiveMode m);
+
+    /** Counter snapshot of @p t feeding the arbiter's TxSample. */
+    static TxSample snapshot(const TmThread &t);
+
+    /** Shared dispatch wrapper for atomic / atomicOrElse. */
+    bool dispatch(const std::function<bool(TmThread &)> &run);
+
+    StmGlobals &g_;
+    HytmThread hytm_;
+    HastmThread hastm_;
+    HastmThread cautious_;
+    StmThread stm_;
+
+    /** Rung executing the current top-level txn (null outside). */
+    TmThread *current_ = nullptr;
+
+    Arbiter arbiter_;
+
+    /** Scratch for stats(): own counters + all rungs, merged. */
+    mutable TmStats merged_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_ADAPTIVE_ADAPTIVE_HH

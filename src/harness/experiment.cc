@@ -39,6 +39,21 @@ gatherResult(Machine &machine, TmSession &session, ExperimentResult &r)
 {
     r.makespan = machine.maxCoreCycles();
     r.tm = session.totalStats();
+    if (session.scheme() == TmScheme::Adaptive) {
+        std::vector<const Arbiter *> arbs;
+        Json per_thread = Json::array();
+        for (unsigned i = 0; i < session.numThreads(); ++i) {
+            if (auto *a =
+                    dynamic_cast<AdaptiveThread *>(&session.thread(i))) {
+                arbs.push_back(&a->arbiter());
+                per_thread.push(a->decisionJson());
+            }
+        }
+        Json adaptive = Json::object();
+        adaptive.set("sites", Arbiter::aggregate(arbs));
+        adaptive.set("perThread", std::move(per_thread));
+        r.adaptive = std::move(adaptive);
+    }
     if (const FaultInjector *fi = machine.faults()) {
         for (unsigned k = 0; k < kNumFaultKinds; ++k)
             r.tm.faultsInjected[k] = fi->count(FaultKind(k));
@@ -278,6 +293,74 @@ runMicro(const MicroConfig &cfg)
     gatherResult(machine, session, result);
     result.checksum = work.rawSum();
     result.hostNanos = hostNowNanos() - host_start;
+    return result;
+}
+
+PhasedResult
+runPhased(const PhasedConfig &cfg)
+{
+    std::uint64_t host_start = hostNowNanos();
+    HASTM_ASSERT(cfg.threads >= 1);
+    HASTM_ASSERT(!cfg.phases.empty());
+    MachineParams mp = cfg.machine;
+    mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
+    mp.seed = cfg.seed;
+    Machine machine(mp);
+
+    SessionConfig sc;
+    sc.scheme = cfg.scheme;
+    sc.numThreads = cfg.threads;
+    sc.stm = cfg.stm;
+    TmSession session(machine, sc);
+
+    std::size_t max_priv = 2, max_shared = 2;
+    for (const PhaseMix &m : cfg.phases) {
+        max_priv = std::max(max_priv, m.privateLines);
+        max_shared = std::max(max_shared, m.sharedLines);
+    }
+    PhaseShiftWorkload work(machine, max_priv, max_shared, cfg.threads);
+
+    // Warm-up transaction per thread under the first phase's mix.
+    machine.runOnCores(cfg.threads, [&](Core &core) {
+        TmThread &t = session.threadFor(core);
+        t.setSite(txsite::kPhaseShift);
+        Rng rng(cfg.seed + core.id());
+        work.runTx(t, core.id(), cfg.phases.front(), rng);
+    });
+    machine.resetCounters();
+    session.resetStats();
+
+    // Generator state persists across phases (one long access stream
+    // per thread, shifting its character at the barriers).
+    std::vector<Rng> rngs;
+    for (unsigned tid = 0; tid < cfg.threads; ++tid)
+        rngs.emplace_back(cfg.seed + 31337ull * (tid + 1));
+
+    PhasedResult result;
+    for (const PhaseMix &mix : cfg.phases) {
+        Cycles c0 = machine.maxCoreCycles();
+        TmStats s0 = session.totalStats();
+        machine.runOnCores(cfg.threads, [&](Core &core) {
+            TmThread &t = session.threadFor(core);
+            t.setSite(txsite::kPhaseShift);
+            Rng &rng = rngs[core.id()];
+            for (unsigned i = 0; i < mix.txnsPerThread; ++i)
+                work.runTx(t, core.id(), mix, rng);
+        });
+        TmStats s1 = session.totalStats();
+        PhaseOutcome po;
+        po.name = mix.name;
+        po.cycles = machine.maxCoreCycles() - c0;
+        po.commits = s1.commits - s0.commits;
+        po.aborts = s1.aborts - s0.aborts;
+        po.switches = s1.adaptiveSwitches - s0.adaptiveSwitches;
+        po.probes = s1.adaptiveProbes - s0.adaptiveProbes;
+        result.phases.push_back(std::move(po));
+    }
+
+    gatherResult(machine, session, result.total);
+    result.total.checksum = work.rawSum();
+    result.total.hostNanos = hostNowNanos() - host_start;
     return result;
 }
 

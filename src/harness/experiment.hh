@@ -16,10 +16,13 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cpu/machine.hh"
 #include "harness/oracle.hh"
+#include "sim/json.hh"
 #include "workloads/microbench.hh"
+#include "workloads/phase_shift.hh"
 #include "workloads/tm_api.hh"
 
 namespace hastm {
@@ -72,6 +75,13 @@ struct ExperimentResult
     std::string oracleDiag;          //!< first divergence, with the seed
 
     /**
+     * Per-site decision summary (TmScheme::Adaptive runs only, null
+     * otherwise): Arbiter::aggregate over every thread plus each
+     * thread's own site profiles.
+     */
+    Json adaptive;
+
+    /**
      * Host wall time spent inside the run (steady_clock ns). The
      * only field that varies run-to-run: everything simulated above
      * is deterministic in the config.
@@ -97,6 +107,50 @@ struct MicroConfig
 
 /** Run one synthetic-microbenchmark experiment. */
 ExperimentResult runMicro(const MicroConfig &cfg);
+
+/**
+ * Configuration of one phase-shifting run (bench/fig_adaptive): one
+ * machine + session executes the phases back to back, with a barrier
+ * and a cycle/commit snapshot at every phase boundary. All phases
+ * run under the same transaction site so the adaptive runtime has to
+ * re-learn each shift online.
+ */
+struct PhasedConfig
+{
+    TmScheme scheme = TmScheme::Adaptive;
+    unsigned threads = 4;
+    std::vector<PhaseMix> phases;
+    std::uint64_t seed = 42;
+    MachineParams machine;
+    StmConfig stm;
+};
+
+/** Per-phase slice of a phased run. */
+struct PhaseOutcome
+{
+    std::string name;
+    Cycles cycles = 0;           //!< makespan growth over the phase
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t switches = 0;  //!< adaptive rung changes in-phase
+    std::uint64_t probes = 0;    //!< adaptive probes begun in-phase
+
+    double
+    commitsPerMcycle() const
+    {
+        return cycles ? double(commits) * 1e6 / double(cycles) : 0.0;
+    }
+};
+
+/** Outcome of a phased run: the slices plus the usual totals. */
+struct PhasedResult
+{
+    std::vector<PhaseOutcome> phases;
+    ExperimentResult total;
+};
+
+/** Run one phase-shifting experiment. */
+PhasedResult runPhased(const PhasedConfig &cfg);
 
 } // namespace hastm
 

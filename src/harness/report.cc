@@ -68,6 +68,17 @@ toJson(const TmStats &s)
     for (unsigned k = 0; k < kNumFaultKinds; ++k)
         faults.set(faultKindName(FaultKind(k)), s.faultsInjected[k]);
     j.set("faultsInjected", std::move(faults));
+    // Schema v4: adaptive-runtime decision counters (all zero for the
+    // fixed schemes).
+    Json adaptive = Json::object();
+    adaptive.set("switches", s.adaptiveSwitches)
+        .set("probes", s.adaptiveProbes);
+    Json dispatch = Json::object();
+    for (unsigned m = 0; m < kNumAdaptiveModes; ++m)
+        dispatch.set(adaptiveModeName(AdaptiveMode(m)),
+                     s.adaptiveDispatch[m]);
+    adaptive.set("dispatch", std::move(dispatch));
+    j.set("adaptive", std::move(adaptive));
     j.set("readSetAtCommit", toJson(s.readSetAtCommit))
         .set("undoLogAtCommit", toJson(s.undoLogAtCommit))
         .set("retriesPerCommit", toJson(s.retriesPerCommit));
@@ -88,6 +99,24 @@ toJson(const StmConfig &c)
         .set("aggressiveWatermark", c.aggressiveWatermark)
         .set("watchdogConsecAborts", c.watchdogConsecAborts)
         .set("watchdogRetriesPerCommit", c.watchdogRetriesPerCommit);
+    Json adaptive = Json::object();
+    adaptive.set("window", c.adaptive.window)
+        .set("probeEpoch", c.adaptive.probeEpoch)
+        .set("probeLen", c.adaptive.probeLen)
+        .set("probeAbortBudget", c.adaptive.probeAbortBudget)
+        .set("probeBackoff", c.adaptive.probeBackoff)
+        .set("ewmaAlpha", c.adaptive.ewmaAlpha)
+        .set("switchMargin", c.adaptive.switchMargin)
+        .set("shiftFactor", c.adaptive.shiftFactor)
+        .set("demoteHysteresis", c.adaptive.demoteHysteresis)
+        .set("stormAborts", c.adaptive.stormAborts)
+        .set("demoteAbortRate", c.adaptive.demoteAbortRate)
+        .set("demoteCapacityFrac", c.adaptive.demoteCapacityFrac)
+        .set("demoteSpuriousFrac", c.adaptive.demoteSpuriousFrac)
+        .set("markHitFloor", c.adaptive.markHitFloor)
+        .set("serialRetries", c.adaptive.serialRetries)
+        .set("serialBudget", c.adaptive.serialBudget);
+    j.set("adaptive", std::move(adaptive));
     if (!c.tracePath.empty())
         j.set("tracePath", c.tracePath);
     return j;
@@ -165,6 +194,9 @@ toJson(const ExperimentResult &r)
     }
     j.set("phases", std::move(phases));
     j.set("tm", toJson(r.tm));
+    // Schema v4: per-site decision summary of adaptive runs.
+    if (!r.adaptive.isNull())
+        j.set("adaptive", r.adaptive);
     return j;
 }
 
@@ -252,7 +284,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 3)
+        .set("schemaVersion", 4)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

@@ -12,7 +12,7 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 3,
+ *     "schemaVersion": 4,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
@@ -43,6 +43,16 @@
  * "abortKinds" and "faultsInjected" breakdowns, and results of
  * oracle-checked runs carry "oracleChecked" / "oracleOk" (and
  * "oracleDiag" on failure).
+ *
+ * v4 adds the adaptive runtime: TmStats gains the "adaptive" block
+ * (decision counters "switches" / "probes" and the per-rung
+ * "dispatch" tally — all zero for fixed schemes), StmConfig gains
+ * the "adaptive" arbitration knobs, and results of
+ * TmScheme::Adaptive runs carry a top-level "adaptive" object with
+ * per-site decision summaries ("sites": dispatch counts and
+ * fractions per rung, switch/probe totals, final steady rungs;
+ * "perThread": each thread's own site profiles including learned
+ * cycles-per-commit scores).
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH

@@ -43,6 +43,51 @@ ExperimentRunner::resolveJobs(int argc, char **argv)
     return 1;
 }
 
+bool
+ExperimentRunner::sequentialJobsOk(int argc, char **argv,
+                                   std::string *message)
+{
+    HASTM_ASSERT(message != nullptr);
+    message->clear();
+    auto parse = [](const std::string &s, long &v) {
+        char *end = nullptr;
+        v = std::strtol(s.c_str(), &end, 10);
+        return end && *end == '\0' && v >= 1 && v <= 1024;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--jobs")
+            continue;
+        if (i + 1 >= argc) {
+            *message = "--jobs requires an argument";
+            return false;
+        }
+        std::string arg = argv[i + 1];
+        long v = 0;
+        if (!parse(arg, v)) {
+            *message =
+                "--jobs: job count '" + arg + "' is not in [1, 1024]";
+            return false;
+        }
+        if (v != 1) {
+            *message = "--jobs " + arg +
+                       ": this bench's host timing loops must run "
+                       "sequentially; rerun without --jobs (or with "
+                       "--jobs 1)";
+            return false;
+        }
+        return true;
+    }
+    if (const char *env = std::getenv("HASTM_BENCH_JOBS")) {
+        std::string s(env);
+        long v = 0;
+        if (!s.empty() && parse(s, v) && v != 1)
+            *message = "HASTM_BENCH_JOBS=" + s +
+                       " ignored: this bench's host timing loops run "
+                       "sequentially";
+    }
+    return true;
+}
+
 ExperimentRunner::Handle
 ExperimentRunner::add(const ExperimentConfig &cfg)
 {

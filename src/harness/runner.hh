@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hh"
@@ -65,6 +66,24 @@ class ExperimentRunner
      * resolve the count themselves.
      */
     static unsigned resolveJobs(int argc, char **argv);
+
+    /**
+     * Job policy for benches that must run sequentially (the
+     * google-benchmark drivers: their host timing loops contend if
+     * anything else runs on the machine). Reads the same sources as
+     * resolveJobs() but never spawns workers:
+     *
+     *  - explicit `--jobs N` with N != 1 (or an unparsable count) is
+     *    an error: *message gets the reason, the call returns false,
+     *    and the driver should exit non-zero;
+     *  - `--jobs 1` and no flag at all are fine (empty *message);
+     *  - a parallel count coming only from $HASTM_BENCH_JOBS is
+     *    tolerated — sweep drivers export it process-wide — but
+     *    downgraded to a warning in *message; the bench still runs
+     *    sequentially and the call returns true.
+     */
+    static bool sequentialJobsOk(int argc, char **argv,
+                                 std::string *message);
 
     unsigned jobs() const { return jobs_; }
 

@@ -88,6 +88,10 @@ HytmThread::hybridWrite(Addr data, Addr rec, std::uint64_t v)
 {
     if (irrevocable_) {
         ++stats_.wrBarriers;
+        // Save the old value (the load is the store's own demand miss
+        // at worst) so a userAbort/retry inside the escalated block
+        // can restore memory; see rollback().
+        irrevUndo_.emplace_back(data, core_.load<std::uint64_t>(data));
         core_.store<std::uint64_t>(data, v);
         return;
     }
@@ -165,6 +169,7 @@ HytmThread::begin()
     recLogged_.clear();
     txAllocs_.clear();
     txFrees_.clear();
+    irrevUndo_.clear();
     g_.gate().noteActive(core_, true);
     depth_ = 1;
 }
@@ -183,6 +188,8 @@ HytmThread::commit()
         for (Addr obj : txFrees_)
             g_.machine().heap().free(obj);
         txFrees_.clear();
+        txAllocs_.clear();
+        irrevUndo_.clear();
         depth_ = 0;
         g_.gate().noteActive(core_, false);
         ++stats_.commits;
@@ -222,12 +229,27 @@ void
 HytmThread::rollback()
 {
     if (irrevocable_) {
-        // Plain stores cannot be undone. Unreachable from conflicts
-        // (nothing runs concurrently) — only a userAbort inside an
-        // escalated block could get here, which the irrevocable
-        // contract forbids.
-        panic("userAbort/conflict inside a serial-irrevocable HyTM "
-              "transaction");
+        // A userAbort()/retry() inside an escalated block (conflicts
+        // cannot reach here: the system is quiesced). Restore the
+        // plain stores from the undo log, newest first, and release
+        // the transactional allocations. The gate token itself is
+        // dropped afterwards by the atomic() driver via
+        // leaveIrrevocable() (user aborts and retries must not park
+        // the whole system on a waiting thread).
+        Core::PhaseScope scope(core_, Phase::Abort);
+        core_.execInstr(8);
+        for (auto it = irrevUndo_.rbegin(); it != irrevUndo_.rend(); ++it)
+            core_.store<std::uint64_t>(it->first, it->second);
+        irrevUndo_.clear();
+        for (Addr obj : txAllocs_)
+            g_.machine().heap().free(obj);
+        txAllocs_.clear();
+        txFrees_.clear();
+        recLog_.clear();
+        recLogged_.clear();
+        depth_ = 0;
+        g_.gate().noteActive(core_, false);
+        return;
     }
     Core::PhaseScope scope(core_, Phase::Abort);
     core_.execInstr(20);
@@ -298,6 +320,10 @@ HytmThread::txAlloc(std::size_t field_bytes, std::uint32_t ptr_mask)
             htm_.specStore(a, 0);
         checkDoomed();
     } else {
+        // Track irrevocable in-transaction allocations too, so a
+        // userAbort/retry rollback can release them.
+        if (inTx())
+            txAllocs_.push_back(obj);
         core_.store<std::uint64_t>(obj + kTxRecOff,
                                    txrec::kInitialVersion);
         core_.store<std::uint64_t>(obj + kGcMetaOff,

@@ -77,6 +77,16 @@ class HytmThread : public TmThread
     std::vector<Addr> txFrees_;
 
     /**
+     * Undo log for the serial-irrevocable fallback's plain stores.
+     * "Irrevocable" promises the transaction cannot lose a conflict,
+     * not that the program cannot abort it: userAbort()/retry()
+     * inside an escalated block must still roll back cleanly, so the
+     * old value of every plain store is saved here and restored in
+     * reverse on rollback.
+     */
+    std::vector<std::pair<Addr, std::uint64_t>> irrevUndo_;
+
+    /**
      * Serial-irrevocable fallback: while set, barriers bypass the
      * hardware transaction and the record checks entirely — safe
      * because the gate's quiescence keeps software transactions

@@ -562,6 +562,23 @@ StmThread::leaveIrrevocable()
     g_.gate().exit(core_);
 }
 
+void
+StmThread::escalateBeforeAtomic()
+{
+    HASTM_ASSERT(depth_ == 0);
+    if (irrevocable_)
+        return;
+    g_.gate().enter(core_);
+    irrevocable_ = true;
+    ++stats_.irrevocableEntries;
+    if (TraceSink *t = g_.trace()) {
+        Json args = Json::object();
+        args.set("preemptive", true);
+        t->instant(core_.id(), core_.cycles(), "irrevocable",
+                   std::move(args));
+    }
+}
+
 // ----------------------------------------------------------- nesting
 
 bool

@@ -71,6 +71,9 @@ struct StmConfig
      * charges no simulated cycles and does not perturb results.
      */
     std::string tracePath;
+
+    /** Arbitration knobs, used only under TmScheme::Adaptive. */
+    AdaptiveParams adaptive;
 };
 
 class TraceSink;
@@ -133,6 +136,14 @@ class StmThread : public TmThread
 
     /** Contention manager (conflict stats + §2 diagnostics). */
     const ContentionManager &contention() const { return cm_; }
+
+    /**
+     * Enter serial-irrevocable mode *before* the transaction starts
+     * (the watchdog path escalates mid-retry instead). The adaptive
+     * runtime's Serial rung uses this: the subsequent atomic() runs
+     * alone and releases the gate after its guaranteed commit.
+     */
+    void escalateBeforeAtomic();
 
     // ---- GC integration (§2, §5) ----
 

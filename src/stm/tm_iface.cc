@@ -17,7 +17,21 @@ tmSchemeName(TmScheme s)
       case TmScheme::HastmNoReuse:  return "hastm-noreuse";
       case TmScheme::HastmNaive:    return "naive-aggressive";
       case TmScheme::Hytm:          return "hytm";
+      case TmScheme::Adaptive:      return "adaptive";
       default:                      return "unknown";
+    }
+}
+
+const char *
+adaptiveModeName(AdaptiveMode m)
+{
+    switch (m) {
+      case AdaptiveMode::Hytm:          return "hytm";
+      case AdaptiveMode::Hastm:         return "hastm";
+      case AdaptiveMode::HastmCautious: return "hastm-cautious";
+      case AdaptiveMode::Stm:           return "stm";
+      case AdaptiveMode::Serial:        return "serial";
+      default:                          return "?";
     }
 }
 

@@ -50,9 +50,57 @@ enum class TmScheme : std::uint8_t {
     HastmNoReuse,   //!< HASTM without read-barrier filtering (Fig 17)
     HastmNaive,     //!< always aggressive first, cautious on abort (§7.4)
     Hytm,           //!< hybrid TM, best-case all-hardware (Fig 14)
+    Adaptive,       //!< online per-site arbitration (adaptive/adaptive.hh)
 };
 
 const char *tmSchemeName(TmScheme s);
+
+/**
+ * Execution rungs the adaptive runtime arbitrates between, ordered
+ * from most optimistic (hardware-first) to most conservative. The
+ * hardware rung is the HyTM comparator — in this codebase the
+ * "HTM-first" and "HyTM" policies coincide, because every hardware
+ * transaction already carries the record-check barriers that make it
+ * safe to run concurrently with any software rung. Serial is the
+ * guaranteed-progress backstop (stm/irrevocable.hh).
+ */
+enum class AdaptiveMode : std::uint8_t {
+    Hytm,           //!< hardware execution (HyTM barriers)
+    Hastm,          //!< HASTM, §6 cautious/aggressive policy
+    HastmCautious,  //!< HASTM pinned cautious (no spurious aborts)
+    Stm,            //!< base STM (no mark maintenance at all)
+    Serial,         //!< serial-irrevocable from the first instruction
+};
+
+constexpr unsigned kNumAdaptiveModes = 5;
+
+const char *adaptiveModeName(AdaptiveMode m);
+
+/**
+ * Arbitration knobs for TmScheme::Adaptive (adaptive/arbiter.hh).
+ * Windows and epochs are counted in transactions dispatched at one
+ * txn site by one thread, so decisions are deterministic in the
+ * simulated execution alone.
+ */
+struct AdaptiveParams
+{
+    unsigned window = 8;         //!< txns per decision window at a site
+    unsigned probeEpoch = 25;    //!< txns between re-probes of rivals
+    unsigned probeLen = 3;       //!< txns per bounded-regret probe
+    unsigned probeAbortBudget = 8; //!< aborts ending a probe early
+    unsigned probeBackoff = 8;   //!< max epoch multiplier (failed probes)
+    double ewmaAlpha = 0.5;      //!< weight of the newest window
+    double switchMargin = 0.2;   //!< a probe must win by this fraction
+    double shiftFactor = 2.0;    //!< window/EWMA ratio flagging a shift
+    unsigned demoteHysteresis = 2; //!< consecutive bad windows to demote
+    unsigned stormAborts = 8;    //!< in-window aborts forcing demotion
+    double demoteAbortRate = 0.5;  //!< abort-rate demotion trigger
+    double demoteCapacityFrac = 0.25; //!< HTM capacity-abort trigger
+    double demoteSpuriousFrac = 0.25; //!< HASTM spurious-abort trigger
+    double markHitFloor = 0.02;  //!< mark-filter hit floor (cautious→stm)
+    double serialRetries = 8.0;  //!< aborts-per-commit serial trigger
+    unsigned serialBudget = 4;   //!< committed serial txns before retreat
+};
 
 /** Object layout constants. */
 constexpr unsigned kObjHeaderBytes = 16;  //!< [txrec 8][gc meta 8]
@@ -156,6 +204,13 @@ struct TmStats
     std::uint64_t cmKills = 0;          //!< contention-manager self-aborts
     std::uint64_t irrevocableEntries = 0; //!< serial-irrevocable escalations
 
+    // ---- adaptive-runtime decision counters (TmScheme::Adaptive) ----
+    std::uint64_t adaptiveSwitches = 0; //!< steady-state mode changes
+    std::uint64_t adaptiveProbes = 0;   //!< bounded-regret probe windows
+
+    /** Transactions dispatched to each AdaptiveMode rung. */
+    std::array<std::uint64_t, kNumAdaptiveModes> adaptiveDispatch{};
+
     /** Top-level aborts attributed by kind (sums to `aborts`). */
     std::array<std::uint64_t, kNumAbortKinds> abortsByKind{};
 
@@ -194,6 +249,10 @@ struct TmStats
         htmCapacityAborts += s.htmCapacityAborts;
         cmKills += s.cmKills;
         irrevocableEntries += s.irrevocableEntries;
+        adaptiveSwitches += s.adaptiveSwitches;
+        adaptiveProbes += s.adaptiveProbes;
+        for (unsigned m = 0; m < kNumAdaptiveModes; ++m)
+            adaptiveDispatch[m] += s.adaptiveDispatch[m];
         for (unsigned k = 0; k < kNumAbortKinds; ++k)
             abortsByKind[k] += s.abortsByKind[k];
         for (unsigned k = 0; k < kNumFaultKinds; ++k)
@@ -203,6 +262,28 @@ struct TmStats
         retriesPerCommit.merge(s.retriesPerCommit);
     }
 };
+
+/**
+ * Well-known transaction-site identifiers. A "site" is the static
+ * atomic block a transaction was issued from; the adaptive runtime
+ * keeps one profile per site so structurally different transactions
+ * (a read-only lookup vs. a full-table checksum) are arbitrated
+ * independently. Workloads tag the site with TmThread::setSite()
+ * right before the atomic block; untagged blocks share kGeneric.
+ */
+namespace txsite {
+
+constexpr std::uint32_t kGeneric = 0;
+constexpr std::uint32_t kDsContains = 1;
+constexpr std::uint32_t kDsInsert = 2;
+constexpr std::uint32_t kDsRemove = 3;
+constexpr std::uint32_t kDsChecksum = 4;
+constexpr std::uint32_t kDsSize = 5;
+constexpr std::uint32_t kDsInvariant = 6;
+constexpr std::uint32_t kMicro = 7;
+constexpr std::uint32_t kPhaseShift = 8;
+
+} // namespace txsite
 
 /**
  * One thread's view of the TM runtime. All methods must be called
@@ -218,18 +299,19 @@ class TmThread
 
     /**
      * Run @p fn atomically, re-executing on conflicts until it
-     * commits (or leaves via userAbort()).
+     * commits (or leaves via userAbort()). Virtual so the adaptive
+     * front-end can route whole transactions to an inner scheme.
      * @return true if committed, false if user-aborted.
      */
-    bool atomic(const std::function<void()> &fn);
+    virtual bool atomic(const std::function<void()> &fn);
 
     /**
      * Composable alternative: run @p first; if it calls retry(), roll
      * it back and run @p second instead; if both retry, wait for a
      * change and re-execute (the retry-orElse of [11], §5).
      */
-    bool atomicOrElse(const std::function<void()> &first,
-                      const std::function<void()> &second);
+    virtual bool atomicOrElse(const std::function<void()> &first,
+                              const std::function<void()> &second);
 
     // ---- data access inside a transaction ----
 
@@ -279,10 +361,23 @@ class TmThread
     virtual bool inTx() const = 0;
 
     Core &core() { return core_; }
-    const TmStats &stats() const { return stats_; }
+
+    /**
+     * Outcome counters. Virtual so composite schemes (adaptive) can
+     * merge their inner threads' counters on demand.
+     */
+    virtual const TmStats &stats() const { return stats_; }
 
     /** Zero the outcome counters (harness: after the populate phase). */
-    void resetStats() { stats_ = TmStats{}; }
+    virtual void resetStats() { stats_ = TmStats{}; }
+
+    /**
+     * Tag the static transaction site the next atomic blocks belong
+     * to (txsite constants). Only the adaptive runtime reads it; the
+     * tag is free for every other scheme.
+     */
+    void setSite(std::uint32_t site) { site_ = site; }
+    std::uint32_t site() const { return site_; }
 
     /**
      * Cycle stamp taken at the last successful commit's serialization
@@ -354,6 +449,9 @@ class TmThread
 
     /** Depth of dynamically nested atomic blocks (0 = not in tx). */
     unsigned depth_ = 0;
+
+    /** Current transaction-site tag (txsite::kGeneric by default). */
+    std::uint32_t site_ = txsite::kGeneric;
 
     Core &core_;
     TmStats stats_;

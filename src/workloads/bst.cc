@@ -122,6 +122,7 @@ Bst::containsOp(TmThread &t, std::uint64_t key)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsContains);
     t.atomic([&] { result = contains(t, key); });
     return result;
 }
@@ -131,6 +132,7 @@ Bst::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsInsert);
     t.atomic([&] { result = insert(t, key, value); });
     return result;
 }
@@ -140,6 +142,7 @@ Bst::removeOp(TmThread &t, std::uint64_t key)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsRemove);
     t.atomic([&] { result = remove(t, key); });
     return result;
 }
@@ -148,6 +151,7 @@ std::uint64_t
 Bst::sizeOp(TmThread &t)
 {
     std::uint64_t count = 0;
+    t.setSite(txsite::kDsSize);
     t.atomic([&] {
         count = 0;
         std::uint64_t steps = 0;
@@ -174,6 +178,7 @@ std::uint64_t
 Bst::checksumOp(TmThread &t)
 {
     std::uint64_t sum = 0;
+    t.setSite(txsite::kDsChecksum);
     t.atomic([&] {
         sum = 0;
         std::uint64_t steps = 0;
@@ -201,6 +206,7 @@ bool
 Bst::checkInvariantOp(TmThread &t)
 {
     bool ok = true;
+    t.setSite(txsite::kDsInvariant);
     t.atomic([&] {
         ok = true;
         std::uint64_t steps = 0;

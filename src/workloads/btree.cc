@@ -242,6 +242,7 @@ Btree::containsOp(TmThread &t, std::uint64_t key)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsContains);
     t.atomic([&] { result = contains(t, key); });
     return result;
 }
@@ -251,6 +252,7 @@ Btree::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsInsert);
     t.atomic([&] { result = insert(t, key, value); });
     return result;
 }
@@ -260,6 +262,7 @@ Btree::removeOp(TmThread &t, std::uint64_t key)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsRemove);
     t.atomic([&] { result = remove(t, key); });
     return result;
 }
@@ -268,6 +271,7 @@ std::uint64_t
 Btree::sizeOp(TmThread &t)
 {
     std::uint64_t count = 0;
+    t.setSite(txsite::kDsSize);
     t.atomic([&] {
         count = 0;
         std::uint64_t steps = 0;
@@ -284,6 +288,7 @@ std::uint64_t
 Btree::checksumOp(TmThread &t)
 {
     std::uint64_t sum = 0;
+    t.setSite(txsite::kDsChecksum);
     t.atomic([&] {
         sum = 0;
         std::uint64_t steps = 0;
@@ -306,6 +311,7 @@ bool
 Btree::checkInvariantOp(TmThread &t)
 {
     bool ok = true;
+    t.setSite(txsite::kDsInvariant);
     t.atomic([&] {
         ok = true;
         std::uint64_t steps = 0;

@@ -101,6 +101,7 @@ HashTable::containsOp(TmThread &t, std::uint64_t key)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsContains);
     t.atomic([&] { result = contains(t, key); });
     return result;
 }
@@ -110,6 +111,7 @@ HashTable::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsInsert);
     t.atomic([&] { result = insert(t, key, value); });
     return result;
 }
@@ -119,6 +121,7 @@ HashTable::removeOp(TmThread &t, std::uint64_t key)
 {
     t.core().execInstrIlp(60);  // call/marshalling prologue
     bool result = false;
+    t.setSite(txsite::kDsRemove);
     t.atomic([&] { result = remove(t, key); });
     return result;
 }
@@ -127,6 +130,7 @@ std::uint64_t
 HashTable::sizeOp(TmThread &t)
 {
     std::uint64_t count = 0;
+    t.setSite(txsite::kDsSize);
     t.atomic([&] {
         count = 0;
         std::uint64_t steps = 0;
@@ -145,6 +149,7 @@ std::uint64_t
 HashTable::checksumOp(TmThread &t)
 {
     std::uint64_t sum = 0;
+    t.setSite(txsite::kDsChecksum);
     t.atomic([&] {
         sum = 0;
         std::uint64_t steps = 0;

@@ -32,6 +32,7 @@ void
 MicroWorkload::runTx(TmThread &t, unsigned thread, const MicroParams &p,
                      Rng &rng)
 {
+    t.setSite(txsite::kMicro);
     t.atomic([&] {
         // Lines touched so far in this critical section, loads and
         // stores tracked separately so the reuse knobs match the

@@ -1,0 +1,73 @@
+#include "workloads/phase_shift.hh"
+
+#include "cpu/machine.hh"
+#include "sim/logging.hh"
+
+namespace hastm {
+
+PhaseShiftWorkload::PhaseShiftWorkload(Machine &machine,
+                                       std::size_t max_private_lines,
+                                       std::size_t max_shared_lines,
+                                       unsigned num_threads)
+    : machine_(machine), maxPrivateLines_(max_private_lines),
+      maxSharedLines_(max_shared_lines), numThreads_(num_threads)
+{
+    HASTM_ASSERT(max_private_lines >= 2 && max_shared_lines >= 2);
+    privateBase_ =
+        machine.heap().allocZeroed(max_private_lines * 64 * num_threads, 64);
+    sharedBase_ = machine.heap().allocZeroed(max_shared_lines * 64, 64);
+}
+
+PhaseShiftWorkload::~PhaseShiftWorkload()
+{
+    machine_.heap().free(privateBase_);
+    machine_.heap().free(sharedBase_);
+}
+
+void
+PhaseShiftWorkload::runTx(TmThread &t, unsigned thread, const PhaseMix &mix,
+                          Rng &rng)
+{
+    HASTM_ASSERT(mix.privateLines <= maxPrivateLines_);
+    HASTM_ASSERT(mix.sharedLines <= maxSharedLines_);
+    t.atomic([&] {
+        // Addresses touched so far in this transaction; reuse draws
+        // from this history so the reuse knob controls how much the
+        // mark-bit / HTM read-set filters can help within one txn.
+        std::vector<Addr> touched;
+        for (unsigned i = 0; i < mix.accessesPerTx; ++i) {
+            Addr addr;
+            if (!touched.empty() && rng.chancePct(mix.reusePct)) {
+                addr = touched[rng.range(touched.size())];
+            } else if (rng.chancePct(mix.sharedPct)) {
+                addr = sharedBase_ + rng.range(mix.sharedLines) * 64 +
+                       8 * rng.range(8);
+                touched.push_back(addr);
+            } else {
+                addr = privateBase_ +
+                       (thread * maxPrivateLines_ +
+                        rng.range(mix.privateLines)) * 64 +
+                       8 * rng.range(8);
+                touched.push_back(addr);
+            }
+            if (rng.chancePct(mix.loadPct))
+                t.readWord(addr);
+            else
+                t.writeWord(addr, rng.next());
+        }
+    });
+}
+
+std::uint64_t
+PhaseShiftWorkload::rawSum() const
+{
+    std::uint64_t sum = 0;
+    Addr priv_end = privateBase_ + maxPrivateLines_ * 64 * numThreads_;
+    for (Addr a = privateBase_; a < priv_end; a += 8)
+        sum += machine_.arena().read<std::uint64_t>(a);
+    for (Addr a = sharedBase_; a < sharedBase_ + maxSharedLines_ * 64; a += 8)
+        sum += machine_.arena().read<std::uint64_t>(a);
+    return sum;
+}
+
+} // namespace hastm

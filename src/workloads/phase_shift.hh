@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Phase-shifting synthetic workload for the adaptive runtime.
+ *
+ * A run is a sequence of phases; each phase fixes an access mix the
+ * way MicroWorkload does (load fraction, within-transaction line
+ * reuse) plus the knobs that move the best-scheme frontier the
+ * paper's own figures expose:
+ *
+ *  - accessesPerTx and privateLines push transactions past the
+ *    hardware's speculative capacity (HTM capacity aborts, Fig 14's
+ *    weakness) and past the L1 (mark-bit survival, Figs 18-20);
+ *  - sharedPct steers accesses into one hot shared region to dial
+ *    true data conflicts up and down.
+ *
+ * The regions are allocated once at the maximum footprint so phase
+ * transitions change behaviour, not addresses.
+ */
+
+#ifndef HASTM_WORKLOADS_PHASE_SHIFT_HH
+#define HASTM_WORKLOADS_PHASE_SHIFT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stm/tm_iface.hh"
+
+namespace hastm {
+
+class Machine;
+
+/** Access mix of one workload phase. */
+struct PhaseMix
+{
+    std::string name;
+    unsigned txnsPerThread = 256;
+    unsigned accessesPerTx = 16;
+    unsigned loadPct = 80;       //!< loads as % of accesses
+    unsigned reusePct = 50;      //!< accesses reusing a line touched
+                                 //!< earlier in the same transaction
+    unsigned sharedPct = 0;      //!< accesses aimed at the shared region
+    std::size_t privateLines = 512;  //!< per-thread working set (lines)
+    std::size_t sharedLines = 64;    //!< hot shared region (lines)
+};
+
+/** Per-thread private regions plus one shared hot region. */
+class PhaseShiftWorkload
+{
+  public:
+    /**
+     * @p max_private_lines / @p max_shared_lines bound every phase's
+     * privateLines / sharedLines (the backing store is sized once).
+     */
+    PhaseShiftWorkload(Machine &machine, std::size_t max_private_lines,
+                       std::size_t max_shared_lines, unsigned num_threads);
+    ~PhaseShiftWorkload();
+    PhaseShiftWorkload(const PhaseShiftWorkload &) = delete;
+    PhaseShiftWorkload &operator=(const PhaseShiftWorkload &) = delete;
+
+    /** Run one transaction of phase @p mix on @p thread. */
+    void runTx(TmThread &t, unsigned thread, const PhaseMix &mix,
+               Rng &rng);
+
+    /** Sum of every word (raw reads; determinism checks). */
+    std::uint64_t rawSum() const;
+
+  private:
+    Machine &machine_;
+    std::size_t maxPrivateLines_;
+    std::size_t maxSharedLines_;
+    unsigned numThreads_;
+    Addr privateBase_;
+    Addr sharedBase_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_WORKLOADS_PHASE_SHIFT_HH

@@ -175,6 +175,10 @@ TmSession::TmSession(Machine &machine, const SessionConfig &cfg)
             threads_.push_back(
                 std::make_unique<HytmThread>(core, *globals_));
             break;
+          case TmScheme::Adaptive:
+            threads_.push_back(std::make_unique<AdaptiveThread>(
+                core, *globals_, cfg_.numThreads));
+            break;
           default:
             panic("unknown TM scheme");
         }

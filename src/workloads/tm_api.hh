@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "adaptive/adaptive.hh"
 #include "cpu/machine.hh"
 #include "hastm/hastm.hh"
 #include "htm/hytm.hh"

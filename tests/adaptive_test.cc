@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests for the adaptive TM runtime:
+ *
+ *  - Arbiter unit tests: the demotion ladder with hysteresis, the
+ *    abort-storm fast path, bounded-regret probing (epoch, abort
+ *    budget, switch margin), and the serial rung's budget/retreat;
+ *  - end-to-end: TmScheme::Adaptive runs real workloads, reports its
+ *    per-site decision summary, and its decision sequences are
+ *    deterministic — identical at --jobs 1 vs --jobs N, across
+ *    repeated runs of a seed, and under the `ctx` and `evict` fault
+ *    profiles;
+ *  - HyTM serial-irrevocable rollback regression: userAbort()/retry()
+ *    inside an escalated block must restore memory and release the
+ *    token instead of panicking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adaptive/arbiter.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "htm/hytm.hh"
+#include "sim/fault.hh"
+
+namespace hastm {
+namespace {
+
+// ------------------------------------------------------ arbiter unit
+
+/** Params with every timer tame so each rule can be tested alone. */
+AdaptiveParams
+quietParams()
+{
+    AdaptiveParams p;
+    p.window = 2;
+    p.probeEpoch = 1000000;  // no spontaneous probes
+    p.stormAborts = 0;       // no storm fast path
+    p.shiftFactor = 0;       // no phase-shift detector
+    p.demoteHysteresis = 2;
+    p.serialBudget = 2;
+    return p;
+}
+
+TxSample
+goodTx(std::uint64_t cycles = 100)
+{
+    TxSample s;
+    s.commits = 1;
+    s.cycles = cycles;
+    return s;
+}
+
+TxSample
+abortyTx(std::uint64_t aborts)
+{
+    TxSample s;
+    s.commits = 1;
+    s.aborts = aborts;
+    s.cycles = 100 * (aborts + 1);
+    return s;
+}
+
+TEST(Arbiter, StartsAtHardwareRung)
+{
+    Arbiter a(quietParams());
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hytm);
+}
+
+TEST(Arbiter, DemotesAfterConsecutiveBadWindowsOnly)
+{
+    Arbiter a(quietParams());
+    // One bad window (abort rate 2/3 > 0.5)...
+    a.finish(0, abortyTx(2));
+    a.finish(0, abortyTx(2));
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hytm) << "hysteresis is 2";
+    // ...then a good window resets the count...
+    a.finish(0, goodTx());
+    a.finish(0, goodTx());
+    // ...so one more bad window still does not demote...
+    a.finish(0, abortyTx(2));
+    a.finish(0, abortyTx(2));
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hytm);
+    // ...but the second consecutive bad window does.
+    ArbiterDecision d;
+    d = a.finish(0, abortyTx(2));
+    d = a.finish(0, abortyTx(2));
+    EXPECT_TRUE(d.switched);
+    EXPECT_EQ(d.from, AdaptiveMode::Hytm);
+    EXPECT_EQ(d.to, AdaptiveMode::Hastm);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hastm);
+}
+
+TEST(Arbiter, AbortStormDemotesWithoutWaitingForTheWindow)
+{
+    AdaptiveParams p = quietParams();
+    p.window = 64;  // the storm must not need a window boundary
+    p.stormAborts = 8;
+    Arbiter a(p);
+    ArbiterDecision d = a.finish(0, abortyTx(10));
+    EXPECT_TRUE(d.switched);
+    EXPECT_EQ(d.to, AdaptiveMode::Hastm);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hastm);
+}
+
+TEST(Arbiter, SitesAreIndependent)
+{
+    AdaptiveParams p = quietParams();
+    p.stormAborts = 8;
+    Arbiter a(p);
+    a.finish(1, abortyTx(10));
+    EXPECT_EQ(a.modeFor(1), AdaptiveMode::Hastm);
+    EXPECT_EQ(a.modeFor(2), AdaptiveMode::Hytm);
+}
+
+TEST(Arbiter, ProbeSwitchesToClearlyFasterRung)
+{
+    AdaptiveParams p = quietParams();
+    p.probeEpoch = 4;
+    p.probeLen = 2;
+    p.switchMargin = 0.2;
+    Arbiter a(p);
+    // Four steady transactions at 100 cycles each: the incumbent
+    // (hytm) earns a score and the probe epoch elapses.
+    ArbiterDecision d;
+    for (int i = 0; i < 4; ++i)
+        d = a.finish(0, goodTx(100));
+    ASSERT_TRUE(d.probeStarted);
+    // Rotation starts above the incumbent: first rival is hastm.
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hastm);
+    // The rival measures 10x cheaper: after probeLen samples the
+    // site must switch.
+    d = a.finish(0, goodTx(10));
+    EXPECT_FALSE(d.switched) << "probe still has a transaction left";
+    d = a.finish(0, goodTx(10));
+    EXPECT_TRUE(d.switched);
+    EXPECT_EQ(d.to, AdaptiveMode::Hastm);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hastm);
+}
+
+TEST(Arbiter, ProbeLosesWhenNotBeatingTheMargin)
+{
+    AdaptiveParams p = quietParams();
+    p.probeEpoch = 4;
+    p.probeLen = 2;
+    p.switchMargin = 0.2;
+    Arbiter a(p);
+    ArbiterDecision d;
+    for (int i = 0; i < 4; ++i)
+        d = a.finish(0, goodTx(100));
+    ASSERT_TRUE(d.probeStarted);
+    // 95 cycles is faster, but not by the 20 % margin.
+    a.finish(0, goodTx(95));
+    d = a.finish(0, goodTx(95));
+    EXPECT_FALSE(d.switched);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hytm);
+}
+
+TEST(Arbiter, ProbeAbortBudgetEndsTheProbeEarly)
+{
+    AdaptiveParams p = quietParams();
+    p.probeEpoch = 4;
+    p.probeLen = 100;
+    p.probeAbortBudget = 4;
+    Arbiter a(p);
+    ArbiterDecision d;
+    for (int i = 0; i < 4; ++i)
+        d = a.finish(0, goodTx(100));
+    ASSERT_TRUE(d.probeStarted);
+    // One catastrophic probe transaction exhausts the budget: the
+    // probe ends after 1 of its 100 transactions, rejected.
+    d = a.finish(0, abortyTx(10));
+    EXPECT_FALSE(d.switched);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Hytm)
+        << "probe must be over despite probeLen = 100";
+}
+
+TEST(Arbiter, SerialRungIsABudgetThenRetreatsToStm)
+{
+    AdaptiveParams p = quietParams();
+    p.stormAborts = 4;
+    p.serialBudget = 2;
+    Arbiter a(p);
+    // Storm all the way down the ladder.
+    a.finish(0, abortyTx(5));  // hytm -> hastm
+    a.finish(0, abortyTx(5));  // hastm -> hastm-cautious
+    a.finish(0, abortyTx(5));  // -> stm
+    ArbiterDecision d = a.finish(0, abortyTx(5));  // -> serial
+    EXPECT_TRUE(d.switched);
+    EXPECT_EQ(d.to, AdaptiveMode::Serial);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Serial);
+    // Two guaranteed commits consume the budget, then the site
+    // retreats to stm rather than camping on the global token.
+    d = a.finish(0, goodTx());
+    EXPECT_FALSE(d.switched);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Serial);
+    d = a.finish(0, goodTx());
+    EXPECT_TRUE(d.switched);
+    EXPECT_EQ(d.to, AdaptiveMode::Stm);
+    EXPECT_EQ(a.modeFor(0), AdaptiveMode::Stm);
+}
+
+// --------------------------------------------------- end-to-end runs
+
+/** Everything deterministic about a result, as one comparable blob. */
+std::string
+fingerprint(ExperimentResult r)
+{
+    r.hostNanos = 0;
+    std::ostringstream os;
+    toJson(r).dump(os, 0);
+    return os.str();
+}
+
+ExperimentConfig
+adaptiveCfg(const std::string &fault_profile, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Bst;
+    cfg.scheme = TmScheme::Adaptive;
+    cfg.threads = 4;
+    cfg.totalOps = 384;
+    cfg.initialSize = 128;
+    cfg.keyRange = 512;
+    cfg.seed = seed;
+    cfg.machine.arenaBytes = 8ull * 1024 * 1024;
+    cfg.machine.fault = faultProfile(fault_profile);
+    cfg.machine.fault.seed = seed * 7919 + 3;
+    return cfg;
+}
+
+TEST(AdaptiveRuntime, RunsDataStructureAndReportsDecisions)
+{
+    ExperimentConfig cfg = adaptiveCfg("off", 42);
+    ExperimentResult r = runDataStructure(cfg);
+    EXPECT_TRUE(r.invariantOk);
+    EXPECT_GT(r.tm.commits, 0u);
+    ASSERT_FALSE(r.adaptive.isNull())
+        << "adaptive runs must carry the decision summary";
+    // Every top-level dispatch ran on exactly one rung and ended in
+    // exactly one commit (the workload never userAborts).
+    std::uint64_t dispatched = 0;
+    for (unsigned m = 0; m < kNumAdaptiveModes; ++m)
+        dispatched += r.tm.adaptiveDispatch[m];
+    EXPECT_EQ(dispatched, r.tm.commits);
+    // Fixed schemes must NOT carry the summary.
+    cfg.scheme = TmScheme::Hastm;
+    ExperimentResult fixed = runDataStructure(cfg);
+    EXPECT_TRUE(fixed.adaptive.isNull());
+    std::uint64_t fixed_dispatched = 0;
+    for (unsigned m = 0; m < kNumAdaptiveModes; ++m)
+        fixed_dispatched += fixed.tm.adaptiveDispatch[m];
+    EXPECT_EQ(fixed_dispatched, 0u);
+}
+
+TEST(AdaptiveRuntime, OracleCleanUnderFaults)
+{
+    ExperimentConfig cfg = adaptiveCfg("ctx", 7);
+    cfg.recordOps = true;
+    ExperimentResult r = runDataStructure(cfg);
+    EXPECT_TRUE(r.oracleChecked);
+    EXPECT_TRUE(r.oracleOk) << r.oracleDiag;
+}
+
+TEST(AdaptiveRuntime, DeterministicAcrossJobsSeedsAndFaultProfiles)
+{
+    // The satellite contract: identical decision sequences and stats
+    // at --jobs 1 vs --jobs N and across repeated runs of a seed,
+    // including under the ctx and evict fault profiles. The adaptive
+    // JSON (dispatch counts, switch totals, learned scores) is part
+    // of the fingerprint, so divergent decisions fail loudly.
+    std::vector<ExperimentConfig> cfgs;
+    for (const char *profile : {"off", "ctx", "evict"})
+        for (std::uint64_t seed : {1ull, 2ull})
+            cfgs.push_back(adaptiveCfg(profile, seed));
+
+    std::vector<std::string> ref;
+    for (const ExperimentConfig &cfg : cfgs) {
+        std::string a = fingerprint(runDataStructure(cfg));
+        std::string b = fingerprint(runDataStructure(cfg));
+        ASSERT_EQ(a, b) << "sequential rerun diverged";
+        ref.push_back(a);
+    }
+
+    ExperimentRunner runner(4);
+    std::vector<ExperimentRunner::Handle> handles;
+    for (const ExperimentConfig &cfg : cfgs)
+        handles.push_back(runner.add(cfg));
+    runner.runAll();
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        EXPECT_EQ(fingerprint(runner.result(handles[i])), ref[i])
+            << "adaptive run " << i
+            << " diverged under the parallel runner";
+}
+
+TEST(AdaptiveRuntime, PhasedRunIsDeterministic)
+{
+    PhasedConfig cfg;
+    cfg.threads = 2;
+    cfg.seed = 9;
+    cfg.machine.arenaBytes = 16ull * 1024 * 1024;
+    PhaseMix a;
+    a.name = "a";
+    a.txnsPerThread = 48;
+    a.accessesPerTx = 8;
+    a.privateLines = 64;
+    PhaseMix b;
+    b.name = "b";
+    b.txnsPerThread = 24;
+    b.accessesPerTx = 96;
+    b.loadPct = 95;
+    b.privateLines = 2048;
+    cfg.phases = {a, b, a};
+
+    PhasedResult r1 = runPhased(cfg);
+    PhasedResult r2 = runPhased(cfg);
+    ASSERT_EQ(r1.phases.size(), r2.phases.size());
+    for (std::size_t i = 0; i < r1.phases.size(); ++i) {
+        EXPECT_EQ(r1.phases[i].cycles, r2.phases[i].cycles);
+        EXPECT_EQ(r1.phases[i].commits, r2.phases[i].commits);
+        EXPECT_EQ(r1.phases[i].aborts, r2.phases[i].aborts);
+        EXPECT_EQ(r1.phases[i].switches, r2.phases[i].switches);
+        EXPECT_EQ(r1.phases[i].probes, r2.phases[i].probes);
+    }
+    EXPECT_EQ(fingerprint(r1.total), fingerprint(r2.total));
+    EXPECT_GT(r1.total.tm.commits, 0u);
+}
+
+// ------------------------------- HyTM irrevocable rollback (satellite)
+
+MachineParams
+smallParams(unsigned cores = 1)
+{
+    MachineParams p;
+    p.mem.numCores = cores;
+    p.arenaBytes = 8 * 1024 * 1024;
+    return p;
+}
+
+/** Exposes the protected watchdog hook so tests can escalate at will. */
+class EscalatingHytm : public HytmThread
+{
+  public:
+    using HytmThread::HytmThread;
+
+    void
+    forceEscalate()
+    {
+        maybeEscalate(~0u);
+    }
+};
+
+TEST(HytmIrrevocable, UserAbortRestoresMemoryAndReleasesToken)
+{
+    Machine m(smallParams());
+    StmConfig cfg;
+    StmGlobals globals(m, cfg);
+    Addr word = m.heap().allocZeroed(64, 64);
+    m.run({[&](Core &core) {
+        EscalatingHytm t(core, globals);
+        t.atomic([&] { t.writeWord(word, 7); });
+
+        t.forceEscalate();
+        ASSERT_TRUE(t.inIrrevocable());
+        bool committed = t.atomic([&] {
+            t.writeWord(word, 99);
+            t.writeWord(word + 8, 1);
+            t.userAbort();
+        });
+        EXPECT_FALSE(committed);
+        EXPECT_FALSE(t.inIrrevocable()) << "token must be released";
+
+        // The escalated block's plain stores must have been undone.
+        std::uint64_t v = 0, w = 0;
+        t.atomic([&] {
+            v = t.readWord(word);
+            w = t.readWord(word + 8);
+        });
+        EXPECT_EQ(v, 7u);
+        EXPECT_EQ(w, 0u);
+
+        // And the thread is healthy afterwards.
+        EXPECT_TRUE(t.atomic([&] { t.writeWord(word, 123); }));
+        t.atomic([&] { v = t.readWord(word); });
+        EXPECT_EQ(v, 123u);
+        EXPECT_GE(t.stats().irrevocableEntries, 1u);
+    }});
+}
+
+TEST(HytmIrrevocable, RetryInsideEscalationDropsTokenAndReexecutes)
+{
+    Machine m(smallParams());
+    StmConfig cfg;
+    StmGlobals globals(m, cfg);
+    Addr word = m.heap().allocZeroed(64, 64);
+    m.run({[&](Core &core) {
+        EscalatingHytm t(core, globals);
+        t.atomic([&] { t.writeWord(word, 5); });
+
+        t.forceEscalate();
+        ASSERT_TRUE(t.inIrrevocable());
+        unsigned attempts = 0;
+        bool committed = t.atomic([&] {
+            ++attempts;
+            t.writeWord(word, 100 + attempts);
+            if (attempts == 1) {
+                // First execution runs escalated; the retry must
+                // undo its store and drop the token before waiting.
+                EXPECT_TRUE(t.inIrrevocable());
+                t.retry();
+            }
+        });
+        EXPECT_TRUE(committed);
+        EXPECT_EQ(attempts, 2u);
+        EXPECT_FALSE(t.inIrrevocable());
+        EXPECT_GE(t.stats().retries, 1u);
+
+        std::uint64_t v = 0;
+        t.atomic([&] { v = t.readWord(word); });
+        EXPECT_EQ(v, 102u) << "second (non-escalated) attempt's value";
+    }});
+}
+
+} // namespace
+} // namespace hastm

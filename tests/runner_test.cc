@@ -72,6 +72,52 @@ TEST(Runner, ResolveJobsParsing)
     ASSERT_EQ(unsetenv("HASTM_BENCH_JOBS"), 0);
 }
 
+TEST(Runner, SequentialJobsPolicy)
+{
+    ASSERT_EQ(unsetenv("HASTM_BENCH_JOBS"), 0);
+    std::string msg;
+
+    // No flag, no env: fine and silent.
+    const char *plain[] = {"bench"};
+    EXPECT_TRUE(ExperimentRunner::sequentialJobsOk(
+        1, const_cast<char **>(plain), &msg));
+    EXPECT_TRUE(msg.empty());
+
+    // Explicit --jobs 1 is the sequential default spelled out.
+    const char *one[] = {"bench", "--jobs", "1"};
+    EXPECT_TRUE(ExperimentRunner::sequentialJobsOk(
+        3, const_cast<char **>(one), &msg));
+    EXPECT_TRUE(msg.empty());
+
+    // Explicit parallelism is an error, with the reason in the text.
+    const char *four[] = {"bench", "--jobs", "4"};
+    EXPECT_FALSE(ExperimentRunner::sequentialJobsOk(
+        3, const_cast<char **>(four), &msg));
+    EXPECT_NE(msg.find("sequential"), std::string::npos);
+
+    // Unparsable and missing counts are errors too.
+    const char *bad[] = {"bench", "--jobs", "zebra"};
+    EXPECT_FALSE(ExperimentRunner::sequentialJobsOk(
+        3, const_cast<char **>(bad), &msg));
+    EXPECT_FALSE(msg.empty());
+    const char *missing[] = {"bench", "--jobs"};
+    EXPECT_FALSE(ExperimentRunner::sequentialJobsOk(
+        2, const_cast<char **>(missing), &msg));
+    EXPECT_FALSE(msg.empty());
+
+    // Parallel env var alone: tolerated with a warning.
+    ASSERT_EQ(setenv("HASTM_BENCH_JOBS", "8", 1), 0);
+    EXPECT_TRUE(ExperimentRunner::sequentialJobsOk(
+        1, const_cast<char **>(plain), &msg));
+    EXPECT_NE(msg.find("HASTM_BENCH_JOBS"), std::string::npos);
+
+    // Explicit --jobs 1 silences the env warning (command line wins).
+    EXPECT_TRUE(ExperimentRunner::sequentialJobsOk(
+        3, const_cast<char **>(one), &msg));
+    EXPECT_TRUE(msg.empty());
+    ASSERT_EQ(unsetenv("HASTM_BENCH_JOBS"), 0);
+}
+
 TEST(Runner, ParallelMatchesSequential)
 {
     std::vector<ExperimentConfig> cfgs = {

@@ -229,7 +229,8 @@ INSTANTIATE_TEST_SUITE_P(
         SchemeCase{TmScheme::HastmNoReuse, Granularity::Object},
         SchemeCase{TmScheme::HastmNaive, Granularity::CacheLine},
         SchemeCase{TmScheme::Hytm, Granularity::CacheLine},
-        SchemeCase{TmScheme::Hytm, Granularity::Object}),
+        SchemeCase{TmScheme::Hytm, Granularity::Object},
+        SchemeCase{TmScheme::Adaptive, Granularity::CacheLine}),
     [](const ::testing::TestParamInfo<SchemeCase> &info) {
         std::string name = tmSchemeName(info.param.scheme);
         for (auto &c : name)
