@@ -15,10 +15,17 @@ ManagedHeap::ManagedHeap(Machine &machine, std::size_t half_bytes)
     fromBase_ = spaceA_;
     fromEnd_ = spaceA_ + half_bytes;
     bump_ = fromBase_;
+    // The semispaces partition the managed address range; register
+    // them so a sharded record table keys word-granularity metadata
+    // by space (object granularity embeds records and ignores this).
+    machine.arena().defineRegion(spaceA_, half_bytes);
+    machine.arena().defineRegion(spaceB_, half_bytes);
 }
 
 ManagedHeap::~ManagedHeap()
 {
+    machine_.arena().undefineRegion(spaceA_);
+    machine_.arena().undefineRegion(spaceB_);
     machine_.heap().free(spaceA_);
     machine_.heap().free(spaceB_);
 }

@@ -271,7 +271,8 @@ runMicro(const MicroConfig &cfg)
     sc.stm = cfg.stm;
     TmSession session(machine, sc);
 
-    MicroWorkload work(machine, cfg.workingLines, cfg.threads, true);
+    MicroWorkload work(machine, cfg.workingLines, cfg.threads,
+                       cfg.disjoint);
 
     // Warm-up transaction per thread, then measure.
     machine.runOnCores(cfg.threads, [&](Core &core) {

@@ -100,6 +100,13 @@ struct MicroConfig
     unsigned transactions = 256;    //!< per thread
     MicroParams mix;
     std::size_t workingLines = 4096;
+    /**
+     * Per-thread disjoint working sets (the seed's behaviour). False
+     * shares one region between all threads — the data-conflict
+     * counterpart used by bench/fig_shard to separate aliased
+     * (metadata-only) conflicts from true sharing.
+     */
+    bool disjoint = true;
     std::uint64_t seed = 42;
     MachineParams machine;
     StmConfig stm;

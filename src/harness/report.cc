@@ -52,6 +52,14 @@ toJson(const TmStats &s)
         .set("aggressiveAborts", s.aggressiveAborts)
         .set("htmAborts", s.htmAborts)
         .set("irrevocableEntries", s.irrevocableEntries);
+    // Schema v5: false-conflict accounting for the sharded record
+    // table. trueSharing + aliased + unclassified covers every
+    // conflict abort that named a record.
+    Json conflicts = Json::object();
+    conflicts.set("trueSharing", s.conflictsTrue)
+        .set("aliased", s.conflictsAliased)
+        .set("unclassified", s.conflictsUnclassified);
+    j.set("conflicts", std::move(conflicts));
     Json reasons = Json::object();
     reasons.set("conflict", s.aborts)
         .set("user", s.userAborts)
@@ -81,7 +89,8 @@ toJson(const TmStats &s)
     j.set("adaptive", std::move(adaptive));
     j.set("readSetAtCommit", toJson(s.readSetAtCommit))
         .set("undoLogAtCommit", toJson(s.undoLogAtCommit))
-        .set("retriesPerCommit", toJson(s.retriesPerCommit));
+        .set("retriesPerCommit", toJson(s.retriesPerCommit))
+        .set("aliasedLinesAtAbort", toJson(s.aliasedLinesAtAbort));
     return j;
 }
 
@@ -98,7 +107,10 @@ toJson(const StmConfig &c)
         .set("policyWindow", c.policyWindow)
         .set("aggressiveWatermark", c.aggressiveWatermark)
         .set("watchdogConsecAborts", c.watchdogConsecAborts)
-        .set("watchdogRetriesPerCommit", c.watchdogRetriesPerCommit);
+        .set("watchdogRetriesPerCommit", c.watchdogRetriesPerCommit)
+        .set("recShardLog2Records", c.recShardLog2Records)
+        .set("recHashMix", c.recHashMix)
+        .set("recShardPerArena", c.recShardPerArena);
     Json adaptive = Json::object();
     adaptive.set("window", c.adaptive.window)
         .set("probeEpoch", c.adaptive.probeEpoch)
@@ -154,6 +166,7 @@ toJson(const MicroConfig &c)
         .set("loadReusePct", c.mix.loadReusePct)
         .set("storeReusePct", c.mix.storeReusePct)
         .set("workingLines", std::uint64_t(c.workingLines))
+        .set("disjoint", c.disjoint)
         .set("seed", c.seed)
         .set("faultProfile", c.machine.fault.profile)
         .set("faultSeed", c.machine.fault.seed)
@@ -284,7 +297,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 4)
+        .set("schemaVersion", 5)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

@@ -12,7 +12,7 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 4,
+ *     "schemaVersion": 5,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
@@ -53,6 +53,14 @@
  * fractions per rung, switch/probe totals, final steady rungs;
  * "perThread": each thread's own site profiles including learned
  * cycles-per-commit scores).
+ *
+ * v5 adds the sharded record table: StmConfig gains the geometry
+ * knobs "recShardLog2Records" / "recHashMix" / "recShardPerArena",
+ * MicroConfig gains "disjoint" (per-thread vs shared working sets),
+ * and TmStats gains the false-conflict accounting block "conflicts"
+ * ({"trueSharing", "aliased", "unclassified"} — conflict aborts that
+ * named a record, classified by whether the parties' 64-byte-line
+ * sets overlap) plus the "aliasedLinesAtAbort" histogram.
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH

@@ -34,11 +34,7 @@ HytmThread::HytmThread(Core &core, StmGlobals &globals)
 Addr
 HytmThread::recFor(Addr obj, Addr data) const
 {
-    if (g_.cfg().gran == Granularity::Object && obj != kNullAddr)
-        return obj + kTxRecOff;
-    if (g_.cfg().gran == Granularity::Word)
-        return g_.recTable().recordForWord(data);
-    return g_.recTable().recordFor(data);
+    return g_.recordFor(obj, data);
 }
 
 void
@@ -64,6 +60,7 @@ HytmThread::hybridRead(Addr data, Addr rec)
         return core_.load<std::uint64_t>(data);
     }
     // Fig 14 HybridRead: check the record is shared, then load.
+    footprint_.noteRead(rec, data);
     {
         Core::PhaseScope scope(core_, Phase::RdBarrier);
         Core::MetaScope meta(core_);
@@ -95,6 +92,7 @@ HytmThread::hybridWrite(Addr data, Addr rec, std::uint64_t v)
         core_.store<std::uint64_t>(data, v);
         return;
     }
+    footprint_.noteWrite(rec, data);
     {
         Core::PhaseScope scope(core_, Phase::WrBarrier);
         Core::MetaScope meta(core_);
@@ -165,6 +163,7 @@ HytmThread::begin()
     g_.gate().parkAtBegin(core_);
     if (!irrevocable_)
         htm_.txBegin();
+    footprint_.reset();
     recLog_.clear();
     recLogged_.clear();
     txAllocs_.clear();
@@ -216,6 +215,13 @@ HytmThread::commit()
         }
         // Hardware commit succeeded: this is the serialization point.
         commitStamp_ = core_.cycles();
+        // The version bumps just became visible; publish the lines
+        // written under each bumped record so software transactions
+        // aborted by them can classify the conflict.
+        for (auto &[rec, ver] : recLog_) {
+            g_.classifier().publishRelease(recLogArea_, rec,
+                                           footprint_.writeLines(rec));
+        }
     }
     for (Addr obj : txFrees_)
         g_.machine().heap().free(obj);
@@ -273,6 +279,20 @@ HytmThread::rollback()
     txFrees_.clear();
     depth_ = 0;
     g_.gate().noteActive(core_, false);
+}
+
+void
+HytmThread::noteAbort(const TxConflictAbort &abort)
+{
+    // Only explicit aborts name a record (a software owner made the
+    // barrier bail); hardware conflict/capacity aborts carry no
+    // record semantics to classify.
+    if (abort.rec == kNullAddr || abort.kind != AbortKind::HtmExplicit)
+        return;
+    accountConflictClass(
+        stats_, g_.classifier().classify(footprint_, recLogArea_,
+                                         abort.rec,
+                                         g_.machine().arena()));
 }
 
 // ------------------------------------------- starvation watchdog

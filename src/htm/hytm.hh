@@ -52,6 +52,7 @@ class HytmThread : public TmThread
     void begin() override;
     bool commit() override;
     void rollback() override;
+    void noteAbort(const TxConflictAbort &abort) override;
     void maybeEscalate(unsigned consec_aborts) override;
     void leaveIrrevocable() override;
 
@@ -70,6 +71,13 @@ class HytmThread : public TmThread
 
     StmGlobals &g_;
     HtmMachine htm_;
+
+    /** Per-record line footprint of the current attempt (host-side;
+     *  feeds the shared false-conflict classifier). recLogArea_
+     *  doubles as this thread's publisher identity — it is a unique
+     *  even heap address, disjoint from every descriptor. */
+    TxFootprint footprint_;
+
     Addr recLogArea_;   //!< simulated buffer for the record log
     std::vector<std::pair<Addr, std::uint64_t>> recLog_;
     std::unordered_set<Addr> recLogged_;

@@ -14,13 +14,28 @@
 #define HASTM_MEM_ARENA_HH
 
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace hastm {
+
+/**
+ * A named span of the simulated address space. Workloads and the
+ * managed heap register the arenas they carve out (per-thread working
+ * sets, GC semispaces) so address-keyed metadata — notably the
+ * sharded transaction-record table — can be partitioned by region
+ * instead of hashed through one global map.
+ */
+struct MemRegion
+{
+    Addr base = kNullAddr;
+    std::size_t bytes = 0;
+};
 
 /** Flat byte-addressable simulated memory. */
 class MemArena
@@ -64,6 +79,31 @@ class MemArena
 
     std::size_t size() const { return size_; }
 
+    // ---- region registry (host-side metadata, no simulated cost) ----
+
+    /**
+     * Register the span [base, base+bytes) as a distinct region and
+     * notify listeners. Registration order is the simulated program
+     * order (single-host-threaded), so everything derived from it is
+     * deterministic. Re-defining an identical region is a no-op.
+     */
+    void defineRegion(Addr base, std::size_t bytes);
+
+    /** Forget a region (its owner freed the memory). Listeners are
+     *  not notified: consumers that materialised per-region state
+     *  keep it, preserving a stable address→metadata mapping. */
+    void undefineRegion(Addr base);
+
+    const std::vector<MemRegion> &regions() const { return regions_; }
+
+    using RegionListener = std::function<void(const MemRegion &)>;
+
+    /** Subscribe to future defineRegion calls; returns a token. */
+    std::size_t addRegionListener(RegionListener fn);
+
+    /** Unsubscribe (pass the addRegionListener token). */
+    void removeRegionListener(std::size_t token);
+
   private:
     void
     checkRange(Addr a, std::size_t len) const
@@ -75,6 +115,9 @@ class MemArena
 
     std::unique_ptr<std::uint8_t[]> data_;
     std::size_t size_;
+    std::vector<MemRegion> regions_;
+    std::vector<std::pair<std::size_t, RegionListener>> listeners_;
+    std::size_t nextListener_ = 0;
 };
 
 } // namespace hastm

@@ -1,0 +1,66 @@
+#include "stm/conflict_class.hh"
+
+#include <algorithm>
+
+#include "mem/arena.hh"
+#include "stm/tx_record.hh"
+
+namespace hastm {
+
+std::vector<Addr>
+TxFootprint::linesUnder(Addr rec) const
+{
+    auto it = byRec_.find(rec);
+    if (it == byRec_.end())
+        return {};
+    std::vector<Addr> lines = it->second.rd;
+    for (Addr l : it->second.wr) {
+        if (std::find(lines.begin(), lines.end(), l) == lines.end())
+            lines.push_back(l);
+    }
+    return lines;
+}
+
+ConflictClassifier::Verdict
+ConflictClassifier::classify(const TxFootprint &mine, Addr self,
+                             Addr rec, const MemArena &arena) const
+{
+    Verdict v;
+    std::vector<Addr> my_lines = mine.linesUnder(rec);
+    v.myLines = my_lines.size();
+    if (my_lines.empty())
+        return v;
+
+    // The other side's written lines: prefer the live owner (the
+    // conflicting transaction is usually still holding the record
+    // when the loser classifies), fall back to the last release.
+    const std::vector<Addr> *theirs = nullptr;
+    std::uint64_t recval = arena.read<std::uint64_t>(rec);
+    if (!txrec::isVersion(recval) && recval != self) {
+        auto owner = owners_.find(recval);
+        if (owner != owners_.end()) {
+            const std::vector<Addr> &wr = owner->second->writeLines(rec);
+            if (!wr.empty())
+                theirs = &wr;
+        }
+    }
+    if (!theirs) {
+        auto last = lastWrite_.find(rec);
+        if (last != lastWrite_.end() && last->second.publisher != self)
+            theirs = &last->second.lines;
+    }
+    if (!theirs || theirs->empty())
+        return v;
+
+    for (Addr l : *theirs) {
+        if (std::find(my_lines.begin(), my_lines.end(), l) !=
+            my_lines.end()) {
+            v.cls = ConflictClass::True;
+            return v;
+        }
+    }
+    v.cls = ConflictClass::Aliased;
+    return v;
+}
+
+} // namespace hastm

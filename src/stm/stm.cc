@@ -8,7 +8,9 @@ namespace hastm {
 
 StmGlobals::StmGlobals(Machine &machine, const StmConfig &cfg)
     : machine_(machine), cfg_(cfg),
-      recTable_(machine.arena(), machine.heap())
+      recTable_(machine.arena(), machine.heap(),
+                TxRecGeometry{cfg.recShardLog2Records, cfg.recHashMix,
+                              cfg.recShardPerArena})
 {
     gate_ = std::make_unique<SerialGate>(machine);
     if (!cfg_.tracePath.empty())
@@ -35,10 +37,12 @@ StmThread::StmThread(Core &core, StmGlobals &globals)
     // The TLS slot holding the descriptor address gets its own line.
     tlsAddr_ = g_.machine().heap().allocZeroed(64, 64);
     g_.machine().arena().write<std::uint64_t>(tlsAddr_, desc_.addr());
+    g_.classifier().registerOwner(desc_.addr(), &footprint_);
 }
 
 StmThread::~StmThread()
 {
+    g_.classifier().unregisterOwner(desc_.addr());
     g_.machine().heap().free(tlsAddr_);
 }
 
@@ -47,17 +51,13 @@ StmThread::~StmThread()
 Addr
 StmThread::recForWord(Addr data)
 {
-    if (g_.cfg().gran == Granularity::Word)
-        return g_.recTable().recordForWord(data);
-    return g_.recTable().recordFor(data);
+    return g_.recordFor(kNullAddr, data);
 }
 
 Addr
 StmThread::recForField(Addr obj, Addr data)
 {
-    if (g_.cfg().gran == Granularity::Object)
-        return obj + kTxRecOff;  // free: the object address is at hand
-    return recForWord(data);
+    return g_.recordFor(obj, data);
 }
 
 void
@@ -65,12 +65,21 @@ StmThread::chargeRecCompute()
 {
     // rec = TxRecTableBase + (addr & 0x3ffc0): three ALU instructions
     // (mov/and/add, §4); the word-keyed hash needs a couple more.
-    // Object granularity gets the record address for free — the
-    // object reference is already in a register.
-    if (g_.cfg().gran == Granularity::CacheLine)
-        core_.execInstrIlp(3);
-    else if (g_.cfg().gran == Granularity::Word)
-        core_.execInstrIlp(5);
+    // Non-default geometry costs extra: the region→shard directory
+    // load (shift/load-index/select) and the multiplicative line mix
+    // each add two instructions. Object granularity gets the record
+    // address for free — the object reference is already in a
+    // register.
+    unsigned extra = 0;
+    if (g_.recTable().numShards() > 1)
+        extra += 2;
+    if (g_.cfg().gran == Granularity::CacheLine) {
+        if (g_.recTable().hashMix())
+            extra += 2;
+        core_.execInstrIlp(3 + extra);
+    } else if (g_.cfg().gran == Granularity::Word) {
+        core_.execInstrIlp(5 + extra);
+    }
 }
 
 void
@@ -132,6 +141,7 @@ StmThread::readWord(Addr a)
     guardAddr(a, 8);
     ++stats_.rdBarriers;
     Addr rec = recForWord(a);
+    footprint_.noteRead(rec, a);
     std::uint64_t v = readShared(a, rec);
     maybeValidate();
     return v;
@@ -145,6 +155,7 @@ StmThread::readField(Addr obj, unsigned off)
     guardAddr(data, 8);
     ++stats_.rdBarriers;
     Addr rec = recForField(obj, data);
+    footprint_.noteRead(rec, data);
     std::uint64_t v = readShared(data, rec);
     maybeValidate();
     return v;
@@ -180,6 +191,7 @@ StmThread::writeWord(Addr a, std::uint64_t v, bool is_ptr)
     guardAddr(a, 8);
     ++stats_.wrBarriers;
     Addr rec = recForWord(a);
+    footprint_.noteWrite(rec, a);
     writeShared(a, rec, v, is_ptr);
 }
 
@@ -191,6 +203,7 @@ StmThread::writeField(Addr obj, unsigned off, std::uint64_t v, bool is_ptr)
     guardAddr(data, 8);
     ++stats_.wrBarriers;
     Addr rec = recForField(obj, data);
+    footprint_.noteWrite(rec, data);
     writeShared(data, rec, v, is_ptr);
 }
 
@@ -337,6 +350,7 @@ StmThread::begin()
     desc_.resetForTxn();
     desc_.setStatus(desc::kStatusActive);
     sinceValidate_ = 0;
+    footprint_.reset();
     retryWatch_.clear();
     beginTop();
     g_.gate().noteActive(core_, true);
@@ -399,6 +413,12 @@ StmThread::releaseOwned(bool bump)
         core_.execInstrIlp(2);
         core_.store<std::uint64_t>(rec,
                                    bump ? txrec::nextVersion(old) : old);
+        // Publish the lines written under this record for the
+        // false-conflict classifier. Both commit and rollback count:
+        // versioning is eager, so concurrent readers can have seen
+        // the in-flight values either way.
+        g_.classifier().publishRelease(desc_.addr(), rec,
+                                       footprint_.writeLines(rec));
     });
     desc_.ownedVersions.clear();
 }
@@ -514,9 +534,29 @@ StmThread::waitForChange(unsigned attempt)
 // ------------------------------------------- starvation watchdog
 
 void
+StmThread::classifyAbort(const TxConflictAbort &abort)
+{
+    if (abort.rec == kNullAddr)
+        return;
+    switch (abort.kind) {
+      case AbortKind::Validation:
+      case AbortKind::CmKill:
+      case AbortKind::HtmExplicit:
+        break;
+      default:
+        return;  // no record semantics to classify
+    }
+    accountConflictClass(
+        stats_, g_.classifier().classify(footprint_, desc_.addr(),
+                                         abort.rec,
+                                         g_.machine().arena()));
+}
+
+void
 StmThread::noteAbort(const TxConflictAbort &abort)
 {
     cm_.noteAbort(abort.rec, abort.kind);
+    classifyAbort(abort);
     if (TraceSink *t = g_.trace()) {
         Json args = Json::object();
         args.set("kind", abortKindName(abort.kind));

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cpu/machine.hh"
+#include "stm/conflict_class.hh"
 #include "stm/contention.hh"
 #include "stm/descriptor.hh"
 #include "stm/tm_iface.hh"
@@ -63,6 +64,23 @@ struct StmConfig
      * detects broken runtimes. Never enable outside tests.
      */
     bool testSkipCommitValidation = false;
+    // ---- record-table geometry (stm/tx_record.hh) ----
+    /**
+     * log2 of the records per table shard. The default (12: 4096
+     * records spanning 256 KiB) is the paper's exact bits-6..17
+     * table, so fig11-fig22 reproduce the paper unchanged. The log2
+     * encoding makes non-power-of-two shard sizes unrepresentable;
+     * out-of-range values are a fatal config error (CLI front ends
+     * converting record counts use txrec::log2ForRecords, which
+     * rejects non-powers-of-two the same way).
+     */
+    unsigned recShardLog2Records = txrec::kDefaultLog2Records;
+    /** Multiplicatively mix the line index before slicing record
+     *  bits (see TxRecGeometry::hashMix). */
+    bool recHashMix = false;
+    /** One record-table shard per registered MemArena region instead
+     *  of one global table (see TxRecGeometry::perArenaShards). */
+    bool recShardPerArena = false;
     /**
      * When non-empty, collect per-transaction events (begin/commit/
      * abort spans, validation and contention instants) and write them
@@ -93,6 +111,25 @@ class StmGlobals
     const StmConfig &cfg() const { return cfg_; }
     TxRecordTable &recTable() { return recTable_; }
 
+    /**
+     * Record address for datum @p data per the configured
+     * granularity; @p obj is the owning object (kNullAddr for raw
+     * words). The one sharded-lookup dispatch shared by the software
+     * (StmThread) and hardware (HytmThread) barrier paths.
+     */
+    Addr
+    recordFor(Addr obj, Addr data) const
+    {
+        if (cfg_.gran == Granularity::Object && obj != kNullAddr)
+            return obj + kTxRecOff;  // free: the object is at hand
+        if (cfg_.gran == Granularity::Word)
+            return recTable_.recordForWord(data);
+        return recTable_.recordFor(data);
+    }
+
+    /** False-conflict accounting shared by every scheme. */
+    ConflictClassifier &classifier() { return classifier_; }
+
     /** Serial-irrevocable gate shared by all of this instance's threads. */
     SerialGate &gate() { return *gate_; }
 
@@ -103,6 +140,7 @@ class StmGlobals
     Machine &machine_;
     StmConfig cfg_;
     TxRecordTable recTable_;
+    ConflictClassifier classifier_;
     std::unique_ptr<SerialGate> gate_;
     std::unique_ptr<TraceSink> trace_;
 };
@@ -211,6 +249,13 @@ class StmThread : public TmThread
     Addr recForWord(Addr data);
     Addr recForField(Addr obj, Addr data);
 
+    /**
+     * Classify a conflict abort as true vs aliased and fold the
+     * verdict into stats_. Called from noteAbort (after rollback; the
+     * footprint survives until the next begin()).
+     */
+    void classifyAbort(const TxConflictAbort &abort);
+
     /** Charge the record-address computation (cache-line mode only). */
     void chargeRecCompute();
 
@@ -259,6 +304,10 @@ class StmThread : public TmThread
     ContentionManager cm_;
     Addr tlsAddr_;
     unsigned sinceValidate_ = 0;
+
+    /** This attempt's per-record line footprint (host-side; feeds the
+     *  false-conflict classifier, charges no simulated cycles). */
+    TxFootprint footprint_;
 
     /** Top-level begin timestamp for the trace span. */
     Cycles txStartCycles_ = 0;

@@ -204,6 +204,15 @@ struct TmStats
     std::uint64_t cmKills = 0;          //!< contention-manager self-aborts
     std::uint64_t irrevocableEntries = 0; //!< serial-irrevocable escalations
 
+    // ---- false-conflict accounting (stm/conflict_class.hh) ----
+    // Conflict aborts that named a record, classified by whether the
+    // parties' 64-byte-line sets actually overlap. Aliased conflicts
+    // are artifacts of the record-table geometry; sharding the table
+    // (StmConfig::recShardPerArena) is the cure being measured.
+    std::uint64_t conflictsTrue = 0;         //!< lines overlap
+    std::uint64_t conflictsAliased = 0;      //!< same record, disjoint lines
+    std::uint64_t conflictsUnclassified = 0; //!< no footprint info
+
     // ---- adaptive-runtime decision counters (TmScheme::Adaptive) ----
     std::uint64_t adaptiveSwitches = 0; //!< steady-state mode changes
     std::uint64_t adaptiveProbes = 0;   //!< bounded-regret probe windows
@@ -225,6 +234,8 @@ struct TmStats
     Histogram readSetAtCommit;  //!< read-set entries per committed txn
     Histogram undoLogAtCommit;  //!< undo-log entries per committed txn
     Histogram retriesPerCommit; //!< conflict re-executions per commit
+    Histogram aliasedLinesAtAbort; //!< aborter's lines under the record
+                                   //!< at each aliased conflict
 
     /** Accumulate @p s into this (session totals). */
     void
@@ -249,6 +260,9 @@ struct TmStats
         htmCapacityAborts += s.htmCapacityAborts;
         cmKills += s.cmKills;
         irrevocableEntries += s.irrevocableEntries;
+        conflictsTrue += s.conflictsTrue;
+        conflictsAliased += s.conflictsAliased;
+        conflictsUnclassified += s.conflictsUnclassified;
         adaptiveSwitches += s.adaptiveSwitches;
         adaptiveProbes += s.adaptiveProbes;
         for (unsigned m = 0; m < kNumAdaptiveModes; ++m)
@@ -260,6 +274,7 @@ struct TmStats
         readSetAtCommit.merge(s.readSetAtCommit);
         undoLogAtCommit.merge(s.undoLogAtCommit);
         retriesPerCommit.merge(s.retriesPerCommit);
+        aliasedLinesAtAbort.merge(s.aliasedLinesAtAbort);
     }
 };
 

@@ -1,19 +1,100 @@
 #include "stm/tx_record.hh"
 
+#include <bit>
+
 #include "mem/alloc.hh"
 #include "mem/arena.hh"
+#include "sim/logging.hh"
 
 namespace hastm {
 
-TxRecordTable::TxRecordTable(MemArena &arena, SimAllocator &heap)
+namespace txrec {
+
+unsigned
+log2ForRecords(std::size_t records)
 {
-    base_ = heap.allocZeroed(txrec::kTableBytes, 64);
+    if (records == 0 || (records & (records - 1)) != 0)
+        fatal("record-table shard size %zu is not a power of two",
+              records);
+    unsigned log2 = unsigned(std::bit_width(records) - 1);
+    if (log2 < kMinLog2Records || log2 > kMaxLog2Records)
+        fatal("record-table shard size %zu outside [2^%u, 2^%u]",
+              records, kMinLog2Records, kMaxLog2Records);
+    return log2;
+}
+
+} // namespace txrec
+
+TxRecordTable::TxRecordTable(MemArena &arena, SimAllocator &heap,
+                             TxRecGeometry geo)
+    : arena_(arena), heap_(heap), hashMix_(geo.hashMix),
+      perArena_(geo.perArenaShards)
+{
+    if (geo.log2Records < txrec::kMinLog2Records ||
+        geo.log2Records > txrec::kMaxLog2Records) {
+        fatal("recShardLog2Records=%u outside [%u, %u] (shard sizes "
+              "must be powers of two in range)",
+              geo.log2Records, txrec::kMinLog2Records,
+              txrec::kMaxLog2Records);
+    }
+    mask_ = txrec::maskFor(geo.log2Records);
+    shardBytes_ = txrec::bytesFor(geo.log2Records);
+    bases_.push_back(allocShard());
+    if (!perArena_)
+        return;
+    // Adopt regions defined before this table existed, then listen
+    // for the ones workloads define later (sessions are typically
+    // built before their workloads allocate).
+    for (const MemRegion &r : arena_.regions())
+        coverRegion(r.base, r.bytes);
+    listenerId_ = arena_.addRegionListener(
+        [this](const MemRegion &r) { coverRegion(r.base, r.bytes); });
+    listening_ = true;
+}
+
+TxRecordTable::~TxRecordTable()
+{
+    if (listening_)
+        arena_.removeRegionListener(listenerId_);
+}
+
+Addr
+TxRecordTable::allocShard()
+{
+    Addr base = heap_.allocZeroed(shardBytes_, 64);
     // Initialise every record slot to the first shared version. This
     // is setup, not simulated execution, so it writes the arena
     // directly. Only every 64th word is a live record (one per line);
     // initialising the padding words too is harmless.
-    for (Addr off = 0; off < txrec::kTableBytes; off += 64)
-        arena.write<std::uint64_t>(base_ + off, txrec::kInitialVersion);
+    for (Addr off = 0; off < shardBytes_; off += 64)
+        arena_.write<std::uint64_t>(base + off, txrec::kInitialVersion);
+    return base;
+}
+
+void
+TxRecordTable::coverRegion(Addr base, std::size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    // The directory index type caps the shard count; further regions
+    // keep resolving to shard 0, which is always correct (it is the
+    // mapping every address starts with).
+    if (bases_.size() >= 255)
+        return;
+    if (dir_.empty()) {
+        // One entry per arena line, sized to a power of two so the
+        // lookup can mask instead of bounds-check (see header).
+        std::size_t lines = (arena_.size() + 63) >> txrec::kLineLog2;
+        std::size_t cap = std::bit_ceil(lines);
+        dir_.assign(cap, 0);
+        dirMask_ = Addr(cap - 1);
+    }
+    auto shard = std::uint8_t(bases_.size());
+    bases_.push_back(allocShard());
+    Addr first = base >> txrec::kLineLog2;
+    Addr last = (base + bytes - 1) >> txrec::kLineLog2;
+    for (Addr line = first; line <= last; ++line)
+        dir_[line & dirMask_] = shard;
 }
 
 } // namespace hastm

@@ -14,10 +14,19 @@ MicroWorkload::MicroWorkload(Machine &machine, std::size_t lines,
     std::size_t regions = disjoint_ ? num_threads : 1;
     regionBytes_ = lines_ * 64;
     base_ = machine.heap().allocZeroed(regionBytes_ * regions, 64);
+    // Each carved-out span is a distinct arena region, so a sharded
+    // record table (StmConfig::recShardPerArena) gives every
+    // per-thread working set its own shard.
+    for (std::size_t r = 0; r < regions; ++r)
+        machine.arena().defineRegion(base_ + r * regionBytes_,
+                                     regionBytes_);
 }
 
 MicroWorkload::~MicroWorkload()
 {
+    std::size_t regions = disjoint_ ? numThreads_ : 1;
+    for (std::size_t r = 0; r < regions; ++r)
+        machine_.arena().undefineRegion(base_ + r * regionBytes_);
     machine_.heap().free(base_);
 }
 

@@ -16,10 +16,21 @@ PhaseShiftWorkload::PhaseShiftWorkload(Machine &machine,
     privateBase_ =
         machine.heap().allocZeroed(max_private_lines * 64 * num_threads, 64);
     sharedBase_ = machine.heap().allocZeroed(max_shared_lines * 64, 64);
+    // Register per-thread private spans and the shared span as arena
+    // regions for the sharded record table.
+    for (unsigned t = 0; t < num_threads; ++t)
+        machine.arena().defineRegion(
+            privateBase_ + t * maxPrivateLines_ * 64,
+            maxPrivateLines_ * 64);
+    machine.arena().defineRegion(sharedBase_, maxSharedLines_ * 64);
 }
 
 PhaseShiftWorkload::~PhaseShiftWorkload()
 {
+    for (unsigned t = 0; t < numThreads_; ++t)
+        machine_.arena().undefineRegion(privateBase_ +
+                                        t * maxPrivateLines_ * 64);
+    machine_.arena().undefineRegion(sharedBase_);
     machine_.heap().free(privateBase_);
     machine_.heap().free(sharedBase_);
 }
