@@ -1,14 +1,21 @@
 /**
  * @file
- * Host-performance benchmark for the parallel experiment runner: runs
- * a Fig 18-20-style sweep once sequentially (--jobs 1) and once under
- * the thread pool, measures both wall times, and proves the parallel
- * pass produced bit-identical simulation results.
+ * Host-performance benchmark, two modes selected by --backend:
  *
- * The parallel job count comes from --jobs / $HASTM_BENCH_JOBS, else
- * min(4, host cores). On a single-core host the pool cannot win and
- * the speedup honestly reports ~1.0; the committed baseline records
- * `hostCores` so readers can tell.
+ * Default (sim): runs a Fig 18-20-style sweep once sequentially
+ * (--jobs 1) and once under the thread pool, measures both wall
+ * times, and proves the parallel pass produced bit-identical
+ * simulation results. The parallel job count comes from --jobs /
+ * $HASTM_BENCH_JOBS, else min(4, host cores). On a single-core host
+ * the pool cannot win and the speedup honestly reports ~1.0; the
+ * committed baseline records `hostCores` so readers can tell.
+ *
+ * --backend native: runs the data-structure workloads on real host
+ * threads through the native STM backend, sweeping thread counts and
+ * reporting wall-clock ops/sec, then cross-validates the substrates
+ * by replaying recorded native op logs through the simulator (three
+ * seeds per workload; any divergence fails the run). Emits
+ * BENCH_host_native.json under $HASTM_BENCH_JSON.
  */
 
 #include <chrono>
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/native_experiment.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
@@ -95,12 +103,114 @@ runSweep(const std::vector<ExperimentConfig> &cfgs, unsigned jobs,
     return results;
 }
 
+/**
+ * --backend native: host-thread throughput sweep plus the
+ * sim-vs-native cross-validation. Exits non-zero if any run breaks an
+ * invariant or any recorded log fails to replay through the simulator.
+ */
+int
+runNativeMode(int argc, char **argv)
+{
+    BenchReport report("host_native", argc, argv);
+    unsigned host_cores = std::thread::hardware_concurrency();
+
+    const WorkloadKind workloads[] = {WorkloadKind::Bst,
+                                      WorkloadKind::Btree,
+                                      WorkloadKind::HashTable};
+    const unsigned thread_counts[] = {1, 2, 4};
+
+    std::cout << "Host-perf (native backend): ops/sec vs threads "
+              << "(host cores: " << host_cores << ")\n\n";
+
+    bool ok = true;
+    Table table({"workload", "threads", "mops_per_sec", "commits",
+                 "aborts", "invariant"});
+    for (WorkloadKind w : workloads) {
+        double base = 0.0;
+        for (unsigned th : thread_counts) {
+            NativeExperimentConfig cfg;
+            cfg.workload = w;
+            cfg.threads = th;
+            cfg.totalOps = 200000;
+            cfg.updatePct = 20;
+            cfg.initialSize = 4096;
+            cfg.keyRange = 16384;
+            cfg.hashBuckets = 1024;
+            NativeExperimentResult r = runNativeDataStructure(cfg);
+            if (!r.invariantOk || r.opsPerSec <= 0.0) {
+                ok = false;
+                warn("host_perf: native %s x%u broke its invariant "
+                     "or measured no throughput", workloadName(w), th);
+            }
+            if (th == 1)
+                base = r.opsPerSec;
+            std::string label = std::string("native/") +
+                workloadName(w) + "/t" + std::to_string(th);
+            report.add(label, cfg, r);
+            table.addRow({workloadName(w), fmt(std::uint64_t(th)),
+                          fmt(r.opsPerSec * 1e-6),
+                          fmt(r.tm.commits), fmt(r.tm.aborts),
+                          r.invariantOk ? "ok" : "BROKEN"});
+        }
+        (void)base;
+    }
+    table.print(std::cout);
+
+    // ---- cross-validation: native logs must replay through the sim ----
+    std::cout << "\nCross-validation (native op logs replayed through "
+                 "the simulated backend):\n";
+    unsigned passed = 0, total = 0;
+    for (WorkloadKind w : workloads) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            NativeExperimentConfig cfg;
+            cfg.workload = w;
+            cfg.threads = 4;
+            cfg.totalOps = 2000;
+            cfg.updatePct = 30;
+            cfg.initialSize = 512;
+            cfg.keyRange = 2048;
+            cfg.hashBuckets = 128;
+            cfg.seed = seed;
+            CrossCheckOutcome v = crossValidateNative(cfg);
+            ++total;
+            if (v.ok) {
+                ++passed;
+            } else {
+                ok = false;
+                warn("host_perf: cross-validation FAILED: %s",
+                     v.diag.c_str());
+            }
+            Json data = Json::object();
+            data.set("workload", workloadName(w))
+                .set("seed", seed)
+                .set("threads", std::uint64_t(cfg.threads))
+                .set("totalOps", cfg.totalOps)
+                .set("ok", v.ok);
+            if (!v.ok)
+                data.set("diag", v.diag);
+            report.addCustom(std::string("xval/") + workloadName(w) +
+                                 "/seed" + std::to_string(seed),
+                             std::move(data));
+        }
+    }
+    std::cout << "  " << passed << "/" << total
+              << " workload x seed combinations replay identically\n";
+    std::cout << "\nNative backend verdict: "
+              << (ok ? "OK" : "FAILED") << "\n";
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--backend" &&
+            std::string(argv[i + 1]) == "native")
+            return runNativeMode(argc, argv);
+    }
     BenchReport report("host_perf", argc, argv);
 
     unsigned host_cores = std::thread::hardware_concurrency();

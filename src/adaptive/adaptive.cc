@@ -71,6 +71,12 @@ AdaptiveThread::dispatch(const std::function<bool(TmThread &)> &run)
         committed = run(inner);
     } catch (...) {
         current_ = nullptr;
+        // A foreign exception (not one of the TM control-flow
+        // exceptions, which atomic() consumes) can unwind out of a
+        // Serial-rung transaction between escalateBeforeAtomic() and
+        // the guaranteed commit; drop the token or every other
+        // thread parks forever at its next begin.
+        stm_.abandonIrrevocable();
         throw;
     }
     current_ = nullptr;

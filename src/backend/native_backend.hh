@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TmBackend over host threads (native/). Thin adapter: the session
+ * already exposes the backend shape.
+ */
+
+#ifndef HASTM_BACKEND_NATIVE_BACKEND_HH
+#define HASTM_BACKEND_NATIVE_BACKEND_HH
+
+#include <memory>
+
+#include "backend/tm_backend.hh"
+#include "native/native_session.hh"
+
+namespace hastm {
+
+class NativeBackend : public TmBackend
+{
+  public:
+    explicit NativeBackend(const NativeSessionConfig &cfg)
+        : session_(std::make_unique<NativeSession>(cfg)) {}
+
+    BackendKind kind() const override { return BackendKind::Native; }
+    unsigned numThreads() const override { return session_->numThreads(); }
+    TmExec &thread(unsigned i) override { return session_->thread(i); }
+
+    void
+    run(const std::vector<std::function<void(TmExec &)>> &bodies) override
+    {
+        session_->run(bodies);
+    }
+
+    TmStats totalStats() const override { return session_->totalStats(); }
+    void resetStats() override { session_->resetStats(); }
+
+    NativeSession &session() { return *session_; }
+
+  private:
+    std::unique_ptr<NativeSession> session_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_BACKEND_NATIVE_BACKEND_HH

@@ -1,0 +1,39 @@
+#include "backend/sim_backend.hh"
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+const char *
+backendKindName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Sim:    return "sim";
+      case BackendKind::Native: return "native";
+      default:                  return "unknown";
+    }
+}
+
+SimBackend::SimBackend(const SimBackendConfig &cfg)
+{
+    MachineParams mp = cfg.machine;
+    mp.mem.numCores = std::max(mp.mem.numCores, cfg.session.numThreads);
+    machine_ = std::make_unique<Machine>(mp);
+    session_ = std::make_unique<TmSession>(*machine_, cfg.session);
+}
+
+void
+SimBackend::run(const std::vector<std::function<void(TmExec &)>> &bodies)
+{
+    HASTM_ASSERT(bodies.size() <= session_->numThreads());
+    std::vector<std::function<void(Core &)>> fns;
+    fns.reserve(bodies.size());
+    for (std::size_t i = 0; i < bodies.size(); ++i)
+        fns.push_back([this, &bodies, i](Core &core) {
+            HASTM_ASSERT(core.id() == i);
+            bodies[i](session_->threadFor(core));
+        });
+    machine_->run(fns);
+}
+
+} // namespace hastm

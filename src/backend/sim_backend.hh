@@ -1,0 +1,50 @@
+/**
+ * @file
+ * TmBackend over the cycle-level simulator: owns a Machine and a
+ * TmSession and maps thread bodies onto simulated cores (fibers).
+ * This is the existing execution path, unchanged — the wrapper only
+ * adapts it to the backend interface; a body's TmExec is exactly the
+ * TmThread the session always constructed.
+ */
+
+#ifndef HASTM_BACKEND_SIM_BACKEND_HH
+#define HASTM_BACKEND_SIM_BACKEND_HH
+
+#include <memory>
+
+#include "backend/tm_backend.hh"
+#include "cpu/machine.hh"
+#include "workloads/tm_api.hh"
+
+namespace hastm {
+
+struct SimBackendConfig
+{
+    MachineParams machine;
+    SessionConfig session;
+};
+
+class SimBackend : public TmBackend
+{
+  public:
+    explicit SimBackend(const SimBackendConfig &cfg);
+
+    BackendKind kind() const override { return BackendKind::Sim; }
+    unsigned numThreads() const override { return session_->numThreads(); }
+    TmExec &thread(unsigned i) override { return session_->thread(i); }
+    void run(const std::vector<std::function<void(TmExec &)>> &bodies)
+        override;
+    TmStats totalStats() const override { return session_->totalStats(); }
+    void resetStats() override { session_->resetStats(); }
+
+    Machine &machine() { return *machine_; }
+    TmSession &session() { return *session_; }
+
+  private:
+    std::unique_ptr<Machine> machine_;
+    std::unique_ptr<TmSession> session_;
+};
+
+} // namespace hastm
+
+#endif // HASTM_BACKEND_SIM_BACKEND_HH

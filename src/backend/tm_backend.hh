@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The TM backend interface.
+ *
+ * A backend owns an execution substrate (the cycle-level simulator,
+ * or real host threads) plus one TmExec per thread, and can run a set
+ * of thread bodies to completion. Everything above this line —
+ * workloads, the atomic() driver, the logs, the replay oracle — is
+ * substrate-agnostic; everything below supplies barriers, waiting,
+ * and threads. The simulator remains the correctness oracle: the
+ * cross-validation harness (harness/native_experiment.hh) replays one
+ * backend's recorded operation log through the other and diffs final
+ * state.
+ */
+
+#ifndef HASTM_BACKEND_TM_BACKEND_HH
+#define HASTM_BACKEND_TM_BACKEND_HH
+
+#include <functional>
+#include <vector>
+
+#include "stm/tm_iface.hh"
+
+namespace hastm {
+
+enum class BackendKind : std::uint8_t {
+    Sim,     //!< cycle-level simulator (cpu/, mem/, sim/)
+    Native,  //!< host threads + std::atomic (native/)
+};
+
+const char *backendKindName(BackendKind k);
+
+/** One execution substrate hosting a TM session. */
+class TmBackend
+{
+  public:
+    virtual ~TmBackend() = default;
+
+    virtual BackendKind kind() const = 0;
+
+    virtual unsigned numThreads() const = 0;
+
+    /**
+     * Thread @p i's TM view. Valid between run() calls for setup and
+     * inspection; during run(), body i must use only thread i.
+     */
+    virtual TmExec &thread(unsigned i) = 0;
+
+    /**
+     * Run body i on thread i concurrently (fibers under the
+     * simulator, std::threads natively); returns when all complete.
+     */
+    virtual void
+    run(const std::vector<std::function<void(TmExec &)>> &bodies) = 0;
+
+    virtual TmStats totalStats() const = 0;
+    virtual void resetStats() = 0;
+};
+
+} // namespace hastm
+
+#endif // HASTM_BACKEND_TM_BACKEND_HH

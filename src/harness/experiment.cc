@@ -23,17 +23,6 @@ workloadName(WorkloadKind k)
 
 namespace {
 
-/** Type-erased handle over the three data structures. */
-struct DsOps
-{
-    std::function<bool(TmThread &, std::uint64_t)> contains;
-    std::function<bool(TmThread &, std::uint64_t, std::uint64_t)> insert;
-    std::function<bool(TmThread &, std::uint64_t)> remove;
-    std::function<std::uint64_t(TmThread &)> checksum;
-    std::function<std::uint64_t(TmThread &)> size;
-    std::function<bool(TmThread &)> invariant;
-};
-
 void
 gatherResult(Machine &machine, TmSession &session, ExperimentResult &r)
 {
@@ -91,6 +80,11 @@ runDataStructure(const ExperimentConfig &cfg)
     mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
     mp.seed = cfg.seed;
     Machine machine(mp);
+    // Deliberately corrupted runs (validation off) can double-free
+    // nodes; they must be failed by the replay oracle, not by a
+    // host-process panic in the simulated allocator.
+    if (cfg.stm.testSkipCommitValidation)
+        machine.heap().setLenientFree(true);
 
     SessionConfig sc;
     sc.scheme = cfg.scheme;
@@ -103,74 +97,11 @@ runDataStructure(const ExperimentConfig &cfg)
     std::vector<std::vector<OpRecord>> opLogs(cfg.threads);
 
     // ---- build + populate (thread 0), warming the caches ----
-    std::unique_ptr<HashTable> ht;
-    std::unique_ptr<Bst> bst;
-    std::unique_ptr<Btree> btree;
-    DsOps ops;
+    DsInstance ds;
+    DsOps &ops = ds.ops;
     machine.run({[&](Core &core) {
         TmThread &t = session.threadFor(core);
-        switch (cfg.workload) {
-          case WorkloadKind::HashTable:
-            ht = std::make_unique<HashTable>(t, cfg.hashBuckets);
-            ops.contains = [&ht](TmThread &t2, std::uint64_t k) {
-                return ht->containsOp(t2, k);
-            };
-            ops.insert = [&ht](TmThread &t2, std::uint64_t k,
-                               std::uint64_t v) {
-                return ht->insertOp(t2, k, v);
-            };
-            ops.remove = [&ht](TmThread &t2, std::uint64_t k) {
-                return ht->removeOp(t2, k);
-            };
-            ops.checksum = [&ht](TmThread &t2) {
-                return ht->checksumOp(t2);
-            };
-            ops.size = [&ht](TmThread &t2) { return ht->sizeOp(t2); };
-            ops.invariant = [](TmThread &) { return true; };
-            break;
-          case WorkloadKind::Bst:
-            bst = std::make_unique<Bst>(t);
-            ops.contains = [&bst](TmThread &t2, std::uint64_t k) {
-                return bst->containsOp(t2, k);
-            };
-            ops.insert = [&bst](TmThread &t2, std::uint64_t k,
-                                std::uint64_t v) {
-                return bst->insertOp(t2, k, v);
-            };
-            ops.remove = [&bst](TmThread &t2, std::uint64_t k) {
-                return bst->removeOp(t2, k);
-            };
-            ops.checksum = [&bst](TmThread &t2) {
-                return bst->checksumOp(t2);
-            };
-            ops.size = [&bst](TmThread &t2) { return bst->sizeOp(t2); };
-            ops.invariant = [&bst](TmThread &t2) {
-                return bst->checkInvariantOp(t2);
-            };
-            break;
-          case WorkloadKind::Btree:
-            btree = std::make_unique<Btree>(t);
-            ops.contains = [&btree](TmThread &t2, std::uint64_t k) {
-                return btree->containsOp(t2, k);
-            };
-            ops.insert = [&btree](TmThread &t2, std::uint64_t k,
-                                  std::uint64_t v) {
-                return btree->insertOp(t2, k, v);
-            };
-            ops.remove = [&btree](TmThread &t2, std::uint64_t k) {
-                return btree->removeOp(t2, k);
-            };
-            ops.checksum = [&btree](TmThread &t2) {
-                return btree->checksumOp(t2);
-            };
-            ops.size = [&btree](TmThread &t2) {
-                return btree->sizeOp(t2);
-            };
-            ops.invariant = [&btree](TmThread &t2) {
-                return btree->checkInvariantOp(t2);
-            };
-            break;
-        }
+        ds = makeDs(t, cfg.workload, cfg.hashBuckets);
         Rng rng(cfg.seed * 7919 + 1);
         std::uint64_t inserted = 0;
         while (inserted < cfg.initialSize) {
@@ -179,7 +110,8 @@ runDataStructure(const ExperimentConfig &cfg)
             bool fresh = ops.insert(t, key, val);
             if (cfg.recordOps) {
                 opLogs[0].push_back({t.commitStamp(), 0, 0,
-                                     OpKind::Insert, key, val, fresh});
+                                     OpKind::Insert, key, val, fresh,
+                                     opLogs[0].size()});
             }
             if (fresh)
                 ++inserted;
@@ -200,7 +132,8 @@ runDataStructure(const ExperimentConfig &cfg)
                               std::uint64_t val, bool res) {
                 if (cfg.recordOps) {
                     opLogs[tid].push_back({t.commitStamp(), tid, 1,
-                                           kind, key, val, res});
+                                           kind, key, val, res,
+                                           opLogs[tid].size()});
                 }
             };
             for (std::uint64_t i = 0; i < per_thread; ++i) {
@@ -264,6 +197,11 @@ runMicro(const MicroConfig &cfg)
     mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
     mp.seed = cfg.seed;
     Machine machine(mp);
+    // Deliberately corrupted runs (validation off) can double-free
+    // nodes; they must be failed by the replay oracle, not by a
+    // host-process panic in the simulated allocator.
+    if (cfg.stm.testSkipCommitValidation)
+        machine.heap().setLenientFree(true);
 
     SessionConfig sc;
     sc.scheme = cfg.scheme;
@@ -307,6 +245,11 @@ runPhased(const PhasedConfig &cfg)
     mp.mem.numCores = std::max(mp.mem.numCores, cfg.threads);
     mp.seed = cfg.seed;
     Machine machine(mp);
+    // Deliberately corrupted runs (validation off) can double-free
+    // nodes; they must be failed by the replay oracle, not by a
+    // host-process panic in the simulated allocator.
+    if (cfg.stm.testSkipCommitValidation)
+        machine.heap().setLenientFree(true);
 
     SessionConfig sc;
     sc.scheme = cfg.scheme;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cpu/machine.hh"
+#include "harness/ds_ops.hh"
 #include "harness/oracle.hh"
 #include "sim/json.hh"
 #include "workloads/microbench.hh"
@@ -28,10 +29,6 @@
 namespace hastm {
 
 /** Which data structure the experiment drives. */
-enum class WorkloadKind : std::uint8_t { HashTable, Bst, Btree };
-
-const char *workloadName(WorkloadKind k);
-
 /** Full configuration of one experiment run. */
 struct ExperimentConfig
 {

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Native-backend experiment driver plus the cross-backend replay.
+ *
+ * runNativeDataStructure() is the host-thread counterpart of
+ * runDataStructure(): the same populate/measure phases, the same Rng
+ * streams (populate from seed*7919+1, thread t measured from
+ * seed + 104729*(t+1)), the same op mix — so a sim run and a native
+ * run of one config perform the identical multiset of operations and
+ * differ only in interleaving. Because the native backend stamps
+ * commits from one global counter at the serialization point, the
+ * recorded op log admits the same replay-oracle check as the
+ * simulator's, and — the stronger test — can be replayed through the
+ * *simulated* backend to prove the two substrates implement the same
+ * data-structure semantics (replayThroughBackend /
+ * crossValidateNative).
+ */
+
+#ifndef HASTM_HARNESS_NATIVE_EXPERIMENT_HH
+#define HASTM_HARNESS_NATIVE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/tm_backend.hh"
+#include "harness/ds_ops.hh"
+#include "harness/oracle.hh"
+#include "stm/stm.hh"
+
+namespace hastm {
+
+/** Configuration of one native (host-thread) experiment run. */
+struct NativeExperimentConfig
+{
+    WorkloadKind workload = WorkloadKind::Bst;
+    unsigned threads = 1;
+    std::uint64_t totalOps = 4096;
+    unsigned updatePct = 20;        //!< paper: 20 % of operations update
+    std::uint64_t initialSize = 1024;
+    std::uint64_t keyRange = 8192;
+    std::uint64_t seed = 42;
+    unsigned hashBuckets = 256;
+    StmConfig stm;
+    std::size_t heapBytes = 64ull << 20;
+    /**
+     * Record every committed operation: run the replay oracle over
+     * the log and return it (serialization order) in the result for
+     * cross-backend replay.
+     */
+    bool recordOps = false;
+};
+
+/** Measured outcome of one native experiment. */
+struct NativeExperimentResult
+{
+    TmStats tm;
+    std::uint64_t checksum = 0;      //!< final structure fingerprint
+    std::uint64_t finalSize = 0;
+    bool invariantOk = true;
+
+    // ---- oracle verdict (recordOps runs only) ----
+    bool oracleChecked = false;
+    bool oracleOk = true;
+    std::string oracleDiag;
+
+    /** Serialization-ordered op log (recordOps runs only). */
+    std::vector<OpRecord> opLog;
+
+    /** Wall time of the measured phase (steady_clock ns). */
+    std::uint64_t hostNanos = 0;
+    /** Measured-phase throughput: totalOps / wall seconds. */
+    double opsPerSec = 0.0;
+};
+
+/** Run one data-structure experiment on host threads. */
+NativeExperimentResult
+runNativeDataStructure(const NativeExperimentConfig &cfg);
+
+/** Outcome of replaying an op log through a backend. */
+struct ReplayOutcome
+{
+    bool ok = true;
+    std::string diag;                //!< first divergence when !ok
+    std::uint64_t checksum = 0;      //!< final state, when ok
+    std::uint64_t finalSize = 0;
+    bool invariantOk = true;
+};
+
+/**
+ * Replay @p log (already in serialization order — sort with
+ * opOrderLess first if needed) single-threaded through @p backend,
+ * diffing every op's observed result, and report the final state.
+ * Runs on the backend's thread 0.
+ */
+ReplayOutcome replayThroughBackend(TmBackend &backend,
+                                   WorkloadKind workload,
+                                   unsigned hash_buckets,
+                                   const std::vector<OpRecord> &log);
+
+/** Verdict of a native-vs-sim cross-validation. */
+struct CrossCheckOutcome
+{
+    bool ok = true;
+    std::string diag;
+};
+
+/**
+ * The backend-equivalence check: run @p cfg natively with op
+ * recording, then replay the serialized log through the simulated
+ * backend (sequential scheme, one core) and require identical per-op
+ * results and an identical final size/checksum. Any divergence means
+ * one backend's barriers or one backend's data-structure execution
+ * broke serializability.
+ */
+CrossCheckOutcome crossValidateNative(const NativeExperimentConfig &cfg);
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_NATIVE_EXPERIMENT_HH

@@ -17,6 +17,18 @@ opKindName(OpKind k)
     return "?";
 }
 
+bool
+opOrderLess(const OpRecord &a, const OpRecord &b)
+{
+    if (a.epoch != b.epoch)
+        return a.epoch < b.epoch;
+    if (a.stamp != b.stamp)
+        return a.stamp < b.stamp;
+    if (a.core != b.core)
+        return a.core < b.core;
+    return a.seq < b.seq;
+}
+
 OracleOutcome
 replayOps(std::vector<OpRecord> log, std::uint64_t final_checksum,
           std::uint64_t final_size, bool invariant_ok, std::uint64_t seed)
@@ -34,14 +46,10 @@ replayOps(std::vector<OpRecord> log, std::uint64_t final_checksum,
         return out;
     }
 
-    std::stable_sort(log.begin(), log.end(),
-                     [](const OpRecord &a, const OpRecord &b) {
-                         if (a.epoch != b.epoch)
-                             return a.epoch < b.epoch;
-                         if (a.stamp != b.stamp)
-                             return a.stamp < b.stamp;
-                         return a.core < b.core;
-                     });
+    // Total order on the recorded key: no stability requirement, so
+    // the replay order cannot depend on how the per-thread logs were
+    // concatenated (which varies with the runner's --jobs fan-out).
+    std::sort(log.begin(), log.end(), opOrderLess);
 
     std::map<std::uint64_t, std::uint64_t> spec;
     for (std::size_t i = 0; i < log.size(); ++i) {

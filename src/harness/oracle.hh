@@ -18,8 +18,12 @@
  * section; sequential: commit), and the deterministic scheduler's
  * global virtual time makes those stamps directly comparable across
  * cores. Ties cannot involve two operations on the same key (a stamp
- * tie means no conflict), so any deterministic tiebreak (core id)
- * yields an equivalent serial order.
+ * tie means no conflict), so a deterministic tiebreak — core id, then
+ * the recording thread's own sequence number — yields an equivalent
+ * serial order. The per-thread seq matters: read-only commits may
+ * reuse a stamp, so one core can log several ops with equal
+ * (epoch, stamp, core), and without seq their relative order would
+ * depend on container internals rather than program order.
  */
 
 #ifndef HASTM_HARNESS_ORACLE_HH
@@ -51,7 +55,21 @@ struct OpRecord
     std::uint64_t key = 0;
     std::uint64_t value = 0;  //!< inserts only
     bool result = false;      //!< what the workload call returned
+    /**
+     * Position in the recording thread's own log (program order).
+     * Breaks (epoch, stamp, core) ties deterministically, making the
+     * replay order a pure function of the recorded data rather than
+     * of sort stability and input concatenation order.
+     */
+    std::uint64_t seq = 0;
 };
+
+/**
+ * Strict-weak order on (epoch, stamp, core, seq): the serialization
+ * order the oracle replays in. Exposed so cross-backend replays sort
+ * the same way the oracle does.
+ */
+bool opOrderLess(const OpRecord &a, const OpRecord &b);
 
 /** Verdict of a replay. */
 struct OracleOutcome

@@ -138,6 +138,10 @@ Json
 toJson(const ExperimentConfig &c)
 {
     Json j = Json::object();
+    // Schema v6: execution substrate. ExperimentConfig always runs on
+    // the cycle-level simulator; native runs use
+    // NativeExperimentConfig below.
+    j.set("backend", "sim");
     j.set("workload", workloadName(c.workload))
         .set("scheme", tmSchemeName(c.scheme))
         .set("threads", c.threads)
@@ -158,6 +162,7 @@ Json
 toJson(const MicroConfig &c)
 {
     Json j = Json::object();
+    j.set("backend", "sim");
     j.set("scheme", tmSchemeName(c.scheme))
         .set("threads", c.threads)
         .set("transactions", c.transactions)
@@ -210,6 +215,44 @@ toJson(const ExperimentResult &r)
     // Schema v4: per-site decision summary of adaptive runs.
     if (!r.adaptive.isNull())
         j.set("adaptive", r.adaptive);
+    return j;
+}
+
+Json
+toJson(const NativeExperimentConfig &c)
+{
+    Json j = Json::object();
+    j.set("backend", "native");
+    j.set("workload", workloadName(c.workload))
+        .set("threads", c.threads)
+        .set("totalOps", c.totalOps)
+        .set("updatePct", c.updatePct)
+        .set("initialSize", c.initialSize)
+        .set("keyRange", c.keyRange)
+        .set("seed", c.seed)
+        .set("hashBuckets", c.hashBuckets)
+        .set("heapBytes", std::uint64_t(c.heapBytes))
+        .set("recordOps", c.recordOps)
+        .set("stm", toJson(c.stm));
+    return j;
+}
+
+Json
+toJson(const NativeExperimentResult &r)
+{
+    Json j = Json::object();
+    j.set("checksum", r.checksum)
+        .set("finalSize", r.finalSize)
+        .set("invariantOk", r.invariantOk)
+        .set("oracleChecked", r.oracleChecked)
+        .set("oracleOk", r.oracleOk);
+    if (!r.oracleDiag.empty())
+        j.set("oracleDiag", r.oracleDiag);
+    // Host wall time and throughput are the payload of a native run;
+    // there is no simulated cycle count on this substrate. Both vary
+    // run-to-run — determinism diffs must ignore them.
+    j.set("hostNanos", r.hostNanos).set("opsPerSec", r.opsPerSec);
+    j.set("tm", toJson(r.tm));
     return j;
 }
 
@@ -280,6 +323,20 @@ BenchReport::add(const std::string &label, const MicroConfig &cfg,
 }
 
 void
+BenchReport::add(const std::string &label,
+                 const NativeExperimentConfig &cfg,
+                 const NativeExperimentResult &r)
+{
+    if (!enabled())
+        return;
+    Json run = Json::object();
+    run.set("label", label)
+        .set("config", toJson(cfg))
+        .set("result", toJson(r));
+    runs_.push(std::move(run));
+}
+
+void
 BenchReport::addCustom(const std::string &label, Json data)
 {
     if (!enabled())
@@ -297,7 +354,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 5)
+        .set("schemaVersion", 6)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

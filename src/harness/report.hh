@@ -12,7 +12,7 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 5,
+ *     "schemaVersion": 6,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
@@ -61,6 +61,13 @@
  * ({"trueSharing", "aliased", "unclassified"} — conflict aborts that
  * named a record, classified by whether the parties' 64-byte-line
  * sets overlap) plus the "aliasedLinesAtAbort" histogram.
+ *
+ * v6 adds the execution backend: every config carries "backend"
+ * ("sim" for the cycle-level simulator, "native" for host threads),
+ * and native runs (NativeExperimentConfig / NativeExperimentResult)
+ * serialize host-thread throughput — "opsPerSec" plus the usual TM
+ * counters — instead of simulated cycle counts, which do not exist
+ * on that substrate.
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH
@@ -69,6 +76,7 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "harness/native_experiment.hh"
 #include "sim/json.hh"
 
 namespace hastm {
@@ -79,6 +87,8 @@ Json toJson(const StmConfig &c);
 Json toJson(const ExperimentConfig &c);
 Json toJson(const MicroConfig &c);
 Json toJson(const ExperimentResult &r);
+Json toJson(const NativeExperimentConfig &c);
+Json toJson(const NativeExperimentResult &r);
 
 /**
  * Accumulates one bench binary's runs and writes the document on
@@ -105,6 +115,10 @@ class BenchReport
     /** Record one labelled microbenchmark run. */
     void add(const std::string &label, const MicroConfig &cfg,
              const ExperimentResult &r);
+
+    /** Record one labelled native (host-thread) run. */
+    void add(const std::string &label, const NativeExperimentConfig &cfg,
+             const NativeExperimentResult &r);
 
     /** Record a run with a bench-specific payload. */
     void addCustom(const std::string &label, Json data);

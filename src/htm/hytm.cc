@@ -160,7 +160,7 @@ HytmThread::begin()
 {
     HASTM_ASSERT(depth_ == 0);
     Core::PhaseScope scope(core_, Phase::TxBegin);
-    g_.gate().parkAtBegin(core_);
+    g_.gate().arrive(core_);
     if (!irrevocable_)
         htm_.txBegin();
     footprint_.reset();
@@ -169,7 +169,6 @@ HytmThread::begin()
     txAllocs_.clear();
     txFrees_.clear();
     irrevUndo_.clear();
-    g_.gate().noteActive(core_, true);
     depth_ = 1;
 }
 

@@ -55,9 +55,14 @@ void
 SimAllocator::free(Addr addr)
 {
     auto it = sizes_.find(addr);
-    if (it == sizes_.end())
+    if (it == sizes_.end()) {
+        if (lenientFree_) {
+            ++badFrees_;
+            return;
+        }
         panic("free of unallocated simulated address %#llx",
               static_cast<unsigned long long>(addr));
+    }
     std::size_t size = it->second;
     sizes_.erase(it);
     allocated_ -= size;

@@ -1,0 +1,440 @@
+#include "native/native_stm.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+namespace {
+
+/** Spin this many record re-reads before a contention self-abort. */
+constexpr unsigned kContentionSpins = 256;
+
+/** Bounded exponential host backoff (yield first, then sleep). */
+void
+hostBackoff(unsigned attempt)
+{
+    if (attempt < 4) {
+        for (unsigned i = 0; i < (16u << attempt); ++i)
+            std::this_thread::yield();
+        return;
+    }
+    unsigned shift = attempt < 14 ? attempt : 14;
+    std::this_thread::sleep_for(std::chrono::microseconds(1u << (shift - 4)));
+}
+
+} // namespace
+
+// ------------------------------------------------ NativeRecordTable
+
+NativeRecordTable::NativeRecordTable(unsigned log2_records, bool hash_mix)
+    : slots_(std::size_t(1) << log2_records),
+      mask_(txrec::maskFor(log2_records)), hashMix_(hash_mix)
+{
+}
+
+// ---------------------------------------------------- NativeRuntime
+
+NativeRuntime::NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes)
+    : cfg_(cfg), heap_(heap_bytes),
+      records_(cfg.recShardLog2Records != 0 ? cfg.recShardLog2Records
+                                            : txrec::kDefaultLog2Records,
+               cfg.recHashMix)
+{
+}
+
+// ----------------------------------------------------- NativeThread
+
+NativeThread::NativeThread(NativeRuntime &rt, unsigned id)
+    : rt_(rt), id_(id), token_(std::uint64_t(id + 1) << 1)
+{
+    HASTM_ASSERT(!txrec::isVersion(token_) && token_ != 0);
+    cursors_ = rt_.heap().allocZeroed(64, 64);
+    readSet_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 0, 2);
+    writeSet_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 8, 2);
+    undoLog_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 16, 3);
+}
+
+NativeThread::~NativeThread()
+{
+    readSet_.reset();
+    writeSet_.reset();
+    undoLog_.reset();
+    rt_.heap().free(cursors_);
+}
+
+// ---- driver hooks ----
+
+void
+NativeThread::begin()
+{
+    HASTM_ASSERT(depth_ == 0);
+    rt_.gate().arrive(this);
+    readSet_->reset();
+    writeSet_->reset();
+    undoLog_->reset();
+    ownedVersions_.clear();
+    txAllocs_.clear();
+    txFrees_.clear();
+    savepoints_.clear();
+    retryWatch_.clear();
+    sinceValidate_ = 0;
+    depth_ = 1;
+}
+
+bool
+NativeThread::commit()
+{
+    HASTM_ASSERT(depth_ == 1);
+    try {
+        validate();
+    } catch (const TxConflictAbort &e) {
+        commitFailure_ = e;
+        rollback();
+        return false;
+    }
+    // Serialization point: reads validated, every written record still
+    // held. The global counter gives the replay oracle a total order.
+    commitStamp_ = rt_.nextStamp();
+    stats_.readSetAtCommit.record(readSet_->entries());
+    stats_.undoLogAtCommit.record(undoLog_->entries());
+    releaseOwned(true);
+    for (Addr obj : txFrees_)
+        rt_.heap().free(obj);
+    txFrees_.clear();
+    txAllocs_.clear();
+    ++stats_.commits;
+    depth_ = 0;
+    rt_.gate().depart();
+    return true;
+}
+
+void
+NativeThread::rollback()
+{
+    HASTM_ASSERT(depth_ >= 1);
+    // Undo everything, newest first. beginPos() is the anchored zero
+    // position; it stays valid for an empty undo log (a read-only
+    // transaction aborted by validation or retry()).
+    undoLog_->forEachReverse(undoLog_->beginPos(),
+                             [&](Addr e) { undoRestore(e); });
+    releaseOwned(true);
+    for (Addr obj : txAllocs_)
+        rt_.heap().free(obj);
+    txAllocs_.clear();
+    txFrees_.clear();
+    savepoints_.clear();
+    depth_ = 0;
+    rt_.gate().depart();
+}
+
+void
+NativeThread::onConflict(unsigned attempt)
+{
+    hostBackoff(attempt);
+}
+
+void
+NativeThread::noteAbort(const TxConflictAbort &abort)
+{
+    if (abort.kind == AbortKind::CmKill)
+        ++stats_.cmKills;
+}
+
+void
+NativeThread::maybeEscalate(unsigned consec_aborts)
+{
+    if (irrevocable_)
+        return;
+    const StmConfig &cfg = rt_.cfg();
+    bool starving =
+        (cfg.watchdogConsecAborts != 0 &&
+         consec_aborts >= cfg.watchdogConsecAborts) ||
+        (cfg.watchdogRetriesPerCommit != 0 &&
+         abortsSinceCommit_ >= cfg.watchdogRetriesPerCommit);
+    if (!starving)
+        return;
+    rt_.gate().enter(this);
+    irrevocable_ = true;
+    ++stats_.irrevocableEntries;
+}
+
+void
+NativeThread::leaveIrrevocable()
+{
+    HASTM_ASSERT(irrevocable_);
+    irrevocable_ = false;
+    rt_.gate().exit();
+}
+
+void
+NativeThread::rollbackForRetry()
+{
+    // Snapshot the read set (record, logged version) so waitForChange
+    // can poll for movement after the rollback released everything.
+    retryWatch_.clear();
+    readSet_->forEachAll([&](Addr e) {
+        retryWatch_.emplace_back(unpackRec(rt_.heap().loadWord(e)),
+                                 rt_.heap().loadWord(e + 8));
+    });
+    rollback();
+}
+
+void
+NativeThread::waitForChange(unsigned attempt)
+{
+    if (retryWatch_.empty()) {
+        hostBackoff(attempt + 2);
+        return;
+    }
+    for (unsigned round = 0; round < 64; ++round) {
+        for (auto &[rec, ver] : retryWatch_) {
+            if (rec->load(std::memory_order_acquire) != ver)
+                return;
+        }
+        hostBackoff(round < 14 ? round : 14);
+    }
+    // Give up waiting and re-execute anyway (spurious wake-ups are
+    // always safe; blocking forever on a missed update is not).
+}
+
+bool
+NativeThread::nestedAtomic(const std::function<void()> &fn)
+{
+    HASTM_ASSERT(depth_ >= 1);
+    NativeSavepoint sp;
+    sp.rdPos = readSet_->pos();
+    sp.wrPos = writeSet_->pos();
+    sp.undoPos = undoLog_->pos();
+    sp.txAllocCount = txAllocs_.size();
+    sp.txFreeCount = txFrees_.size();
+    savepoints_.push_back(sp);
+    ++depth_;
+    try {
+        fn();
+        savepoints_.pop_back();
+        --depth_;
+        ++stats_.nestedCommits;
+        return true;
+    } catch (const TxUserAbort &) {
+        partialRollback(sp);
+        savepoints_.pop_back();
+        --depth_;
+        ++stats_.nestedAborts;
+        return false;
+    } catch (const TxRetryRequest &) {
+        partialRollback(sp);
+        savepoints_.pop_back();
+        --depth_;
+        ++stats_.nestedAborts;
+        throw;
+    } catch (const TxConflictAbort &) {
+        savepoints_.pop_back();
+        --depth_;
+        throw;
+    }
+}
+
+// ---- barriers ----
+
+std::uint64_t
+NativeThread::readShared(Addr obj, Addr data)
+{
+    HASTM_ASSERT(inTx());
+    ++stats_.rdBarriers;
+    NRec rec = &rt_.recordFor(obj, data);
+    for (;;) {
+        std::uint64_t v = rec->load(std::memory_order_acquire);
+        if (v == token_)
+            return rt_.heap().loadWord(data);
+        if (txrec::isVersion(v)) {
+            std::uint64_t val = rt_.heap().loadWord(data);
+            readSet_->append2(packRec(rec), v);
+            maybeValidate();
+            return val;
+        }
+        contention(rec);
+    }
+}
+
+void
+NativeThread::writeShared(Addr obj, Addr data, std::uint64_t v,
+                          bool is_ptr)
+{
+    HASTM_ASSERT(inTx());
+    ++stats_.wrBarriers;
+    NRec rec = &rt_.recordFor(obj, data);
+    acquire(rec);
+    undoLog_->append3(data, rt_.heap().loadWord(data),
+                      undometa::make(8, is_ptr));
+    rt_.heap().storeWord(data, v);
+}
+
+void
+NativeThread::acquire(NRec rec)
+{
+    for (;;) {
+        std::uint64_t v = rec->load(std::memory_order_acquire);
+        if (v == token_)
+            return;
+        if (txrec::isVersion(v)) {
+            if (rec->compare_exchange_weak(v, token_,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+                writeSet_->append2(packRec(rec), v);
+                ownedVersions_.emplace(rec, v);
+                return;
+            }
+            continue;
+        }
+        contention(rec);
+    }
+}
+
+void
+NativeThread::contention(NRec rec)
+{
+    for (unsigned spin = 0; spin < kContentionSpins; ++spin) {
+        std::uint64_t v = rec->load(std::memory_order_acquire);
+        if (txrec::isVersion(v) || v == token_)
+            return;
+        if ((spin & 15) == 15)
+            std::this_thread::yield();
+    }
+    throw TxConflictAbort{packRec(rec), AbortKind::CmKill};
+}
+
+void
+NativeThread::maybeValidate()
+{
+    unsigned every = rt_.cfg().validateEvery;
+    if (every != 0 && ++sinceValidate_ >= every) {
+        sinceValidate_ = 0;
+        validateNow();
+    }
+}
+
+void
+NativeThread::validate()
+{
+    ++stats_.fullValidations;
+    readSet_->forEachAll([&](Addr e) {
+        NRec rec = unpackRec(rt_.heap().loadWord(e));
+        std::uint64_t logged = rt_.heap().loadWord(e + 8);
+        std::uint64_t cur = rec->load(std::memory_order_acquire);
+        if (cur == logged)
+            return;
+        if (cur == token_) {
+            auto it = ownedVersions_.find(rec);
+            if (it != ownedVersions_.end() && it->second == logged)
+                return;
+        }
+        throw TxConflictAbort{packRec(rec), AbortKind::Validation};
+    });
+}
+
+void
+NativeThread::validateNow()
+{
+    if (!inTx())
+        return;
+    validate();
+}
+
+void
+NativeThread::undoRestore(Addr entry)
+{
+    Addr data = rt_.heap().loadWord(entry);
+    std::uint64_t old = rt_.heap().loadWord(entry + 8);
+    rt_.heap().storeWord(data, old);
+}
+
+void
+NativeThread::releaseOwned(bool bump)
+{
+    writeSet_->forEachAll([&](Addr e) {
+        NRec rec = unpackRec(rt_.heap().loadWord(e));
+        std::uint64_t old = rt_.heap().loadWord(e + 8);
+        rec->store(bump ? txrec::nextVersion(old) : old,
+                   std::memory_order_release);
+    });
+    ownedVersions_.clear();
+}
+
+void
+NativeThread::partialRollback(const NativeSavepoint &sp)
+{
+    // Restore data written since the savepoint, newest first.
+    undoLog_->forEachReverse(sp.undoPos,
+                             [&](Addr e) { undoRestore(e); });
+    // Release records first acquired inside the nested transaction at
+    // their pre-acquisition version (no bump: the data is restored,
+    // so concurrent readers stay valid).
+    writeSet_->forEach(sp.wrPos, [&](Addr e) {
+        NRec rec = unpackRec(rt_.heap().loadWord(e));
+        std::uint64_t old = rt_.heap().loadWord(e + 8);
+        rec->store(old, std::memory_order_release);
+        ownedVersions_.erase(rec);
+    });
+    undoLog_->truncate(sp.undoPos);
+    writeSet_->truncate(sp.wrPos);
+    readSet_->truncate(sp.rdPos);
+    for (std::size_t i = sp.txAllocCount; i < txAllocs_.size(); ++i)
+        rt_.heap().free(txAllocs_[i]);
+    txAllocs_.resize(sp.txAllocCount);
+    txFrees_.resize(sp.txFreeCount);
+}
+
+// ---- data interface ----
+
+std::uint64_t
+NativeThread::readWord(Addr a)
+{
+    return readShared(kNullAddr, a);
+}
+
+void
+NativeThread::writeWord(Addr a, std::uint64_t v, bool is_ptr)
+{
+    writeShared(kNullAddr, a, v, is_ptr);
+}
+
+std::uint64_t
+NativeThread::readField(Addr obj, unsigned off)
+{
+    return readShared(obj, obj + kObjHeaderBytes + off);
+}
+
+void
+NativeThread::writeField(Addr obj, unsigned off, std::uint64_t v,
+                         bool is_ptr)
+{
+    writeShared(obj, obj + kObjHeaderBytes + off, v, is_ptr);
+}
+
+Addr
+NativeThread::txAlloc(std::size_t field_bytes, std::uint32_t ptr_mask)
+{
+    std::size_t total = kObjHeaderBytes + ((field_bytes + 15) & ~15ull);
+    Addr obj = rt_.heap().allocZeroed(total, 16);
+    rt_.heap().storeWord(obj + kTxRecOff, txrec::kInitialVersion);
+    rt_.heap().storeWord(obj + kGcMetaOff,
+                         objmeta::make(field_bytes, ptr_mask));
+    if (inTx())
+        txAllocs_.push_back(obj);
+    return obj;
+}
+
+void
+NativeThread::txFree(Addr obj)
+{
+    if (inTx()) {
+        txFrees_.push_back(obj);
+        return;
+    }
+    rt_.heap().free(obj);
+}
+
+} // namespace hastm

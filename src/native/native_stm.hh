@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Native (host-thread) STM backend.
+ *
+ * The same word-based, eager-acquire, undo-log STM the simulator
+ * models (§4), re-expressed over std::atomic and std::thread:
+ *
+ *  - transaction records are versioned locks with the simulator's
+ *    encoding (odd = version, even = owner token) and the simulator's
+ *    table geometry (txrec::lineRecOffset / wordRecOffset over the
+ *    StmConfig shard mask), one cache line per record;
+ *  - the read set, write set, and undo log are TxLog instances over
+ *    the NativeHeap LogMem, so the append/rollback discipline is the
+ *    code path the simulator times;
+ *  - the serial-irrevocable gate is the PR 3 SerialGate protocol
+ *    re-expressed over a host mutex/condvar (the advertise-then-check
+ *    arrival is the mutex's atomicity instead of the Dekker
+ *    store-then-load);
+ *  - commit stamps come from one global atomic counter fetched at the
+ *    serialization point (validation success while holding all
+ *    acquired records), which gives the replay oracle a total order.
+ *
+ * Memory-model notes: record words are acquired/released with
+ * acq_rel/acquire orderings; data words are relaxed atomics. A reader
+ * validates by re-reading the record it logged — any concurrent
+ * writer must first CAS the record to its token and only restores /
+ * bumps it after the data write, so an unchanged odd version proves
+ * the data words read under it were stable. All heap accesses are
+ * atomics, so the backend is data-race-free for TSan.
+ */
+
+#ifndef HASTM_NATIVE_NATIVE_STM_HH
+#define HASTM_NATIVE_NATIVE_STM_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "native/native_heap.hh"
+#include "stm/stm.hh"
+#include "stm/tm_iface.hh"
+#include "stm/tx_log.hh"
+#include "stm/tx_record.hh"
+
+namespace hastm {
+
+class NativeThread;
+
+/**
+ * Serial-irrevocable gate over a host mutex/condvar. Same protocol
+ * as stm/irrevocable.hh: arriving transactions advertise themselves
+ * (inflight count) and park while the token is held; an escalating
+ * thread takes the token and quiesces (waits for inflight == 0).
+ * The mutex makes advertise-and-check atomic, so the simulator's
+ * store-then-load arrival ordering is implicit.
+ */
+class NativeGate
+{
+  public:
+    /** Transaction begin: park while another thread holds the token. */
+    void
+    arrive(const void *self)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return holder_ == nullptr || holder_ == self; });
+        ++inflight_;
+    }
+
+    /** Transaction end (commit or rollback). */
+    void
+    depart()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        --inflight_;
+        cv_.notify_all();
+    }
+
+    /** Acquire the token and quiesce; call outside a transaction. */
+    void
+    enter(const void *self)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return holder_ == nullptr; });
+        holder_ = self;
+        cv_.wait(lk, [&] { return inflight_ == 0; });
+    }
+
+    /** Release the token. */
+    void
+    exit()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        holder_ = nullptr;
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    const void *holder_ = nullptr;
+    unsigned inflight_ = 0;
+};
+
+/**
+ * Host-atomic transaction-record table with the simulated table's
+ * geometry: 2^log2Records records, one per 64-byte span of the
+ * (single-shard) mask, all initialised shared at version 1.
+ */
+class NativeRecordTable
+{
+  public:
+    explicit NativeRecordTable(unsigned log2_records, bool hash_mix);
+
+    std::atomic<std::uint64_t> &
+    recordFor(Addr data)
+    {
+        return slots_[txrec::lineRecOffset(data, mask_, hashMix_) >>
+                      txrec::kLineLog2].v;
+    }
+
+    std::atomic<std::uint64_t> &
+    recordForWord(Addr data)
+    {
+        return slots_[txrec::wordRecOffset(data, mask_) >>
+                      txrec::kLineLog2].v;
+    }
+
+    std::size_t numRecords() const { return slots_.size(); }
+
+  private:
+    /** One record per cache line, as in the simulated table (§4). */
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{txrec::kInitialVersion};
+    };
+
+    std::vector<Slot> slots_;
+    Addr mask_;
+    bool hashMix_;
+};
+
+/** Shared state of one native TM session. */
+class NativeRuntime
+{
+  public:
+    NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes);
+
+    NativeHeap &heap() { return heap_; }
+    NativeRecordTable &records() { return records_; }
+    NativeGate &gate() { return gate_; }
+    const StmConfig &cfg() const { return cfg_; }
+
+    /** Record for datum @p data belonging to object @p obj. */
+    std::atomic<std::uint64_t> &
+    recordFor(Addr obj, Addr data)
+    {
+        switch (cfg_.gran) {
+          case Granularity::Object:
+            return heap_.word(obj + kTxRecOff);
+          case Granularity::Word:
+            return records_.recordForWord(data);
+          default:
+            return records_.recordFor(data);
+        }
+    }
+
+    /** Serialization-order commit counter. */
+    std::uint64_t
+    nextStamp()
+    {
+        return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+
+  private:
+    StmConfig cfg_;
+    NativeHeap heap_;
+    NativeRecordTable records_;
+    NativeGate gate_;
+    std::atomic<std::uint64_t> clock_{0};
+};
+
+/**
+ * One host thread's TM view: the TmExec data/driver surface over the
+ * native runtime. The atomic() retry loop, the workloads, and the
+ * logs are shared with the simulated backend; only the barriers and
+ * the waiting primitives differ.
+ */
+class NativeThread : public TmExec
+{
+  public:
+    NativeThread(NativeRuntime &rt, unsigned id);
+    ~NativeThread() override;
+
+    // ---- TmExec data interface ----
+    std::uint64_t readWord(Addr a) override;
+    void writeWord(Addr a, std::uint64_t v, bool is_ptr = false) override;
+    std::uint64_t readField(Addr obj, unsigned off) override;
+    void writeField(Addr obj, unsigned off, std::uint64_t v,
+                    bool is_ptr = false) override;
+    Addr txAlloc(std::size_t field_bytes,
+                 std::uint32_t ptr_mask = 0) override;
+    void txFree(Addr obj) override;
+    void validateNow() override;
+    bool inTx() const override { return depth_ > 0; }
+    bool inIrrevocable() const override { return irrevocable_; }
+
+    unsigned id() const { return id_; }
+
+  protected:
+    void begin() override;
+    bool commit() override;
+    void rollback() override;
+    void onConflict(unsigned attempt) override;
+    void noteAbort(const TxConflictAbort &abort) override;
+    void maybeEscalate(unsigned consec_aborts) override;
+    void leaveIrrevocable() override;
+    void rollbackForRetry() override;
+    void waitForChange(unsigned attempt) override;
+    bool nestedAtomic(const std::function<void()> &fn) override;
+
+  private:
+    using NRec = std::atomic<std::uint64_t> *;
+
+    struct NativeSavepoint
+    {
+        LogPos rdPos, wrPos, undoPos;
+        std::size_t txAllocCount = 0;
+        std::size_t txFreeCount = 0;
+    };
+
+    std::uint64_t readShared(Addr obj, Addr data);
+    void writeShared(Addr obj, Addr data, std::uint64_t v, bool is_ptr);
+
+    /** Acquire @p rec or throw; returns once this thread owns it. */
+    void acquire(NRec rec);
+
+    /** Bounded wait on a foreign-owned record, then CmKill. */
+    void contention(NRec rec);
+
+    /** Full read-set validation; throws on a stale read. */
+    void validate();
+
+    void maybeValidate();
+
+    /** Restore one undo entry (newest-first traversal). */
+    void undoRestore(Addr entry);
+
+    /** Release every owned record, bumping versions when @p bump. */
+    void releaseOwned(bool bump);
+
+    void partialRollback(const NativeSavepoint &sp);
+
+    static std::uint64_t packRec(NRec rec)
+    {
+        return reinterpret_cast<std::uint64_t>(rec);
+    }
+    static NRec unpackRec(std::uint64_t bits)
+    {
+        return reinterpret_cast<NRec>(bits);
+    }
+
+    NativeRuntime &rt_;
+    unsigned id_;
+
+    /** Even, nonzero, unique: the record encoding's "owner" token. */
+    std::uint64_t token_;
+
+    Addr cursors_;  //!< 64-byte block holding the three log cursors
+    std::unique_ptr<TxLog> readSet_;   //!< [rec][version]
+    std::unique_ptr<TxLog> writeSet_;  //!< [rec][acquired version]
+    std::unique_ptr<TxLog> undoLog_;   //!< [addr][old][meta]
+
+    std::unordered_map<NRec, std::uint64_t> ownedVersions_;
+    std::vector<Addr> txAllocs_;
+    std::vector<Addr> txFrees_;
+    std::vector<NativeSavepoint> savepoints_;
+
+    /** Read-set snapshot for waitForChange (retry support). */
+    std::vector<std::pair<NRec, std::uint64_t>> retryWatch_;
+
+    unsigned sinceValidate_ = 0;
+    bool irrevocable_ = false;
+};
+
+} // namespace hastm
+
+#endif // HASTM_NATIVE_NATIVE_STM_HH

@@ -23,15 +23,25 @@ SerialGate::~SerialGate()
 }
 
 void
-SerialGate::parkAtBegin(Core &core)
+SerialGate::arrive(Core &core)
 {
     std::uint64_t own = core.id() + 1;
     Cycles wait = 64;
     for (;;) {
+        // Advertise before checking the token. A fiber switch can
+        // land between any two timed accesses, so checking first and
+        // advertising later (the old parkAtBegin/noteActive split)
+        // let a transaction pass the check, lose the CPU, and still
+        // look quiescent to an escalating core taking the token in
+        // the gap — both then ran "alone" concurrently. With the
+        // store-then-load order, either enter()'s quiesce scan sees
+        // our flag, or we see its token and retreat.
+        core.store<std::uint64_t>(activeAddr_[core.id()], 1);
         std::uint64_t holder = core.load<std::uint64_t>(tokenAddr_);
         core.execInstrIlp(2);
         if (holder == 0 || holder == own)
             return;
+        core.store<std::uint64_t>(activeAddr_[core.id()], 0);
         core.stall(wait);
         if (wait < 16 * 1024)
             wait *= 2;

@@ -53,9 +53,16 @@ class SerialGate
 
     /**
      * Called at every transaction begin, before any per-transaction
-     * state is touched: spins while another core holds the token.
+     * state is touched: advertises this core's activity flag, then
+     * verifies the token, retreating (flag cleared) and parking while
+     * another core holds it. Returns with the flag set, so a
+     * concurrent enter() either sees the flag and waits for this
+     * transaction to finish, or this core sees the token and parks —
+     * the Dekker-style store-then-load closes the window where a
+     * transaction slipped past the park before advertising itself and
+     * ran concurrently with the irrevocable holder.
      */
-    void parkAtBegin(Core &core);
+    void arrive(Core &core);
 
     /** Maintain @p core's in-transaction flag. */
     void noteActive(Core &core, bool active);

@@ -340,11 +340,11 @@ StmThread::begin()
 {
     HASTM_ASSERT(depth_ == 0);
     Core::PhaseScope scope(core_, Phase::TxBegin);
-    // Park while an escalated thread holds the serial token (our own
-    // token lets us straight through), then advertise that we are in
-    // flight — in that order, so a quiescing holder never waits on a
-    // thread that is itself parked.
-    g_.gate().parkAtBegin(core_);
+    // Advertise in-flight status and check the serial token as one
+    // store-then-load protocol (our own token lets us straight
+    // through); arrive() returns with the flag set, so an escalating
+    // holder quiescing after this point waits for this transaction.
+    g_.gate().arrive(core_);
     txStartCycles_ = core_.cycles();
     core_.execInstr(10);
     desc_.resetForTxn();
@@ -353,7 +353,6 @@ StmThread::begin()
     footprint_.reset();
     retryWatch_.clear();
     beginTop();
-    g_.gate().noteActive(core_, true);
     depth_ = 1;
 }
 
@@ -600,6 +599,13 @@ StmThread::leaveIrrevocable()
     HASTM_ASSERT(irrevocable_);
     irrevocable_ = false;
     g_.gate().exit(core_);
+}
+
+void
+StmThread::abandonIrrevocable()
+{
+    if (irrevocable_)
+        leaveIrrevocable();
 }
 
 void

@@ -183,6 +183,15 @@ class StmThread : public TmThread
      */
     void escalateBeforeAtomic();
 
+    /**
+     * Drop serial-irrevocable mode if held, releasing the gate. For
+     * exception-unwind paths outside the atomic() driver (e.g. the
+     * adaptive front-end's dispatch) where a foreign exception would
+     * otherwise leave the global token held forever and park every
+     * other thread at its next begin.
+     */
+    void abandonIrrevocable();
+
     // ---- GC integration (§2, §5) ----
 
     /**

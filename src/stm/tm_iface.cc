@@ -62,7 +62,7 @@ granularityName(Granularity g)
 }
 
 bool
-TmThread::atomic(const std::function<void()> &fn)
+TmExec::atomic(const std::function<void()> &fn)
 {
     if (depth_ > 0)
         return nestedAtomic(fn);
@@ -117,7 +117,7 @@ TmThread::atomic(const std::function<void()> &fn)
 }
 
 bool
-TmThread::atomicOrElse(const std::function<void()> &first,
+TmExec::atomicOrElse(const std::function<void()> &first,
                        const std::function<void()> &second)
 {
     // orElse composition [11]: the first alternative runs as a nested
@@ -138,14 +138,14 @@ TmThread::atomicOrElse(const std::function<void()> &first,
 }
 
 void
-TmThread::retry()
+TmExec::retry()
 {
     HASTM_ASSERT(inTx());
     throw TxRetryRequest{};
 }
 
 void
-TmThread::userAbort()
+TmExec::userAbort()
 {
     HASTM_ASSERT(inTx());
     throw TxUserAbort{};
@@ -169,8 +169,20 @@ TmThread::waitForChange(unsigned attempt)
     core_.stall((Cycles(128) << shift) + 17 * (core_.id() + 1));
 }
 
+void
+TmThread::simInstr(unsigned n)
+{
+    core_.execInstr(n);
+}
+
+void
+TmThread::simInstrIlp(unsigned n)
+{
+    core_.execInstrIlp(n);
+}
+
 bool
-TmThread::nestedAtomic(const std::function<void()> &fn)
+TmExec::nestedAtomic(const std::function<void()> &fn)
 {
     // Flattening: run in the parent's context; any abort exception
     // propagates and restarts the outermost transaction.

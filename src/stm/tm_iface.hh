@@ -301,16 +301,22 @@ constexpr std::uint32_t kPhaseShift = 8;
 } // namespace txsite
 
 /**
- * One thread's view of the TM runtime. All methods must be called
- * from the simulated thread bound to this object's core.
+ * One thread's view of the TM runtime, independent of the execution
+ * substrate. TmExec owns the retry/commit driver (atomic(),
+ * atomicOrElse()) and the scheme hooks it calls; it never touches a
+ * simulator Core, so the same workloads and the same driver run over
+ * the cycle-level simulator (TmThread and its schemes) and over real
+ * host threads (NativeThread in native/). Workloads charge modelled
+ * instruction costs through simInstr()/simInstrIlp(), which are
+ * no-ops outside the simulator.
  */
-class TmThread
+class TmExec
 {
   public:
-    explicit TmThread(Core &core) : core_(core) {}
-    virtual ~TmThread() = default;
-    TmThread(const TmThread &) = delete;
-    TmThread &operator=(const TmThread &) = delete;
+    TmExec() = default;
+    virtual ~TmExec() = default;
+    TmExec(const TmExec &) = delete;
+    TmExec &operator=(const TmExec &) = delete;
 
     /**
      * Run @p fn atomically, re-executing on conflicts until it
@@ -375,7 +381,18 @@ class TmThread
     /** True while executing inside an atomic block. */
     virtual bool inTx() const = 0;
 
-    Core &core() { return core_; }
+    // ---- modelled-cost hooks ----
+    //
+    // Workloads charge their non-memory work (compares, dispatch,
+    // call overhead) through these so the simulated figures include
+    // it; the native backend runs the real instructions and charges
+    // nothing.
+
+    /** Charge @p n dependent instructions (no-op off-simulator). */
+    virtual void simInstr(unsigned n) { (void)n; }
+
+    /** Charge @p n independent instructions (no-op off-simulator). */
+    virtual void simInstrIlp(unsigned n) { (void)n; }
 
     /**
      * Outcome counters. Virtual so composite schemes (adaptive) can
@@ -417,7 +434,7 @@ class TmThread
     virtual void rollback() = 0;
 
     /** Backoff between re-executions. */
-    virtual void onConflict(unsigned attempt);
+    virtual void onConflict(unsigned attempt) = 0;
 
     /**
      * Abort attribution hook: called by atomic() with the conflict's
@@ -449,10 +466,10 @@ class TmThread
 
     /**
      * retry() support: wait until a previously read location may have
-     * changed. Called after rollback-for-retry; default is a bounded
-     * exponential backoff.
+     * changed. Called after rollback-for-retry; backends default to a
+     * bounded exponential backoff.
      */
-    virtual void waitForChange(unsigned attempt);
+    virtual void waitForChange(unsigned attempt) = 0;
 
     /**
      * Nested atomic support. Default is flattening (subsumption):
@@ -468,7 +485,6 @@ class TmThread
     /** Current transaction-site tag (txsite::kGeneric by default). */
     std::uint32_t site_ = txsite::kGeneric;
 
-    Core &core_;
     TmStats stats_;
 
     /** Serialization-point stamp of the last successful commit. */
@@ -484,6 +500,33 @@ class TmThread
 
     /** Conflict aborts since the last successful commit (watchdog). */
     unsigned abortsSinceCommit_ = 0;
+};
+
+/**
+ * TmExec bound to a simulator core. All methods must be called from
+ * the simulated thread bound to this object's core; every simulated
+ * scheme (sequential, lock, STM, HASTM, HyTM, adaptive) derives from
+ * this. The cost hooks charge the core, so workload overhead lands
+ * in the simulated cycle counts.
+ */
+class TmThread : public TmExec
+{
+  public:
+    explicit TmThread(Core &core) : core_(core) {}
+
+    Core &core() { return core_; }
+
+    void simInstr(unsigned n) override;
+    void simInstrIlp(unsigned n) override;
+
+  protected:
+    /** Backoff between re-executions (simulated stall). */
+    void onConflict(unsigned attempt) override;
+
+    /** Bounded exponential backoff in simulated cycles. */
+    void waitForChange(unsigned attempt) override;
+
+    Core &core_;
 };
 
 } // namespace hastm

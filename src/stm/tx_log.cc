@@ -6,21 +6,77 @@
 
 namespace hastm {
 
+std::uint64_t
+SimLogMem::load(Addr a)
+{
+    return core_.load<std::uint64_t>(a);
+}
+
+void
+SimLogMem::store(Addr a, std::uint64_t v)
+{
+    core_.store<std::uint64_t>(a, v);
+}
+
+std::uint64_t
+SimLogMem::readRaw(Addr a)
+{
+    return core_.mem().arena().read<std::uint64_t>(a);
+}
+
+void
+SimLogMem::writeRaw(Addr a, std::uint64_t v)
+{
+    core_.mem().arena().write<std::uint64_t>(a, v);
+}
+
+Addr
+SimLogMem::allocChunk(std::size_t bytes)
+{
+    return heap_.alloc(bytes, bytes);
+}
+
+void
+SimLogMem::freeChunk(Addr a)
+{
+    heap_.free(a);
+}
+
+void
+SimLogMem::charge(unsigned n)
+{
+    core_.execInstr(n);
+}
+
+void
+SimLogMem::chargeIlp(unsigned n)
+{
+    core_.execInstrIlp(n);
+}
+
 TxLog::TxLog(Core &core, SimAllocator &heap, Addr cursor_addr,
              unsigned entry_words)
-    : core_(core), heap_(heap), cursorAddr_(cursor_addr),
-      entryBytes_(entry_words * 8)
+    : owned_(std::make_unique<SimLogMem>(core, heap)), mem_(*owned_),
+      cursorAddr_(cursor_addr), entryBytes_(entry_words * 8)
 {
     HASTM_ASSERT(entry_words >= 2 && entry_words <= 4);
-    chunks_.push_back(heap_.alloc(kChunkBytes, kChunkBytes));
+    chunks_.push_back(mem_.allocChunk(kChunkBytes));
     // Initialise the descriptor-resident cursor (setup, untimed).
-    core_.mem().arena().write<std::uint64_t>(cursorAddr_, chunks_[0]);
+    mem_.writeRaw(cursorAddr_, chunks_[0]);
+}
+
+TxLog::TxLog(LogMem &mem, Addr cursor_addr, unsigned entry_words)
+    : mem_(mem), cursorAddr_(cursor_addr), entryBytes_(entry_words * 8)
+{
+    HASTM_ASSERT(entry_words >= 2 && entry_words <= 4);
+    chunks_.push_back(mem_.allocChunk(kChunkBytes));
+    mem_.writeRaw(cursorAddr_, chunks_[0]);
 }
 
 TxLog::~TxLog()
 {
     for (Addr c : chunks_)
-        heap_.free(c);
+        mem_.freeChunk(c);
 }
 
 Addr
@@ -37,12 +93,12 @@ TxLog::grow()
     // allocator here; charge a representative instruction batch.
     ++curChunk_;
     if (curChunk_ >= chunks_.size()) {
-        chunks_.push_back(heap_.alloc(kChunkBytes, kChunkBytes));
-        core_.execInstr(40);
+        chunks_.push_back(mem_.allocChunk(kChunkBytes));
+        mem_.charge(40);
     } else {
-        core_.execInstr(8);
+        mem_.charge(8);
     }
-    core_.store<std::uint64_t>(cursorAddr_, chunks_[curChunk_]);
+    mem_.store(cursorAddr_, chunks_[curChunk_]);
 }
 
 void
@@ -50,16 +106,16 @@ TxLog::append(const std::uint64_t *words)
 {
     // Fast path, mirroring the listings: load cursor, boundary test,
     // bump-and-store cursor, store the entry words.
-    Addr cursor = core_.load<std::uint64_t>(cursorAddr_);
-    core_.execInstrIlp(2);  // test #overflowmask; jz overflow
+    Addr cursor = mem_.load(cursorAddr_);
+    mem_.chargeIlp(2);  // test #overflowmask; jz overflow
     if (cursor >= chunkLimit(curChunk_)) {
         grow();
-        cursor = core_.mem().arena().read<std::uint64_t>(cursorAddr_);
+        cursor = mem_.readRaw(cursorAddr_);
     }
-    core_.store<std::uint64_t>(cursorAddr_, cursor + entryBytes_);
+    mem_.store(cursorAddr_, cursor + entryBytes_);
     const unsigned words_n = entryBytes_ / 8;
     for (unsigned i = 0; i < words_n; ++i)
-        core_.store<std::uint64_t>(cursor + 8ull * i, words[i]);
+        mem_.store(cursor + 8ull * i, words[i]);
     ++entries_;
 }
 
@@ -68,7 +124,7 @@ TxLog::pos() const
 {
     LogPos p;
     p.chunk = curChunk_;
-    p.cursor = core_.mem().arena().read<std::uint64_t>(cursorAddr_);
+    p.cursor = mem_.readRaw(cursorAddr_);
     p.entries = entries_;
     return p;
 }
@@ -88,7 +144,7 @@ TxLog::truncate(const LogPos &p)
 {
     HASTM_ASSERT(p.entries <= entries_);
     curChunk_ = p.chunk;
-    core_.store<std::uint64_t>(cursorAddr_, p.cursor);
+    mem_.store(cursorAddr_, p.cursor);
     entries_ = p.entries;
 }
 
@@ -96,7 +152,7 @@ void
 TxLog::reset()
 {
     curChunk_ = 0;
-    core_.store<std::uint64_t>(cursorAddr_, chunks_[0]);
+    mem_.store(cursorAddr_, chunks_[0]);
     entries_ = 0;
 }
 

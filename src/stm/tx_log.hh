@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/types.hh"
@@ -29,6 +30,66 @@ namespace hastm {
 
 class Core;
 class SimAllocator;
+
+/**
+ * Memory substrate a TxLog appends into. The simulated
+ * implementation (SimLogMem) times every cursor/entry access through
+ * a Core and charges the modelled instruction batches; the native
+ * backend supplies one over its host heap where the loads/stores are
+ * real and the charges are no-ops. The split keeps TxLog's append
+ * discipline — the paper's load-cursor / boundary-test / bump /
+ * entry-store sequence — byte-for-byte identical across backends.
+ */
+class LogMem
+{
+  public:
+    virtual ~LogMem() = default;
+
+    /** Timed 8-byte load (cursor fast path). */
+    virtual std::uint64_t load(Addr a) = 0;
+
+    /** Timed 8-byte store (cursor bump, entry words). */
+    virtual void store(Addr a, std::uint64_t v) = 0;
+
+    /** Untimed 8-byte read (host-side bookkeeping). */
+    virtual std::uint64_t readRaw(Addr a) = 0;
+
+    /** Untimed 8-byte write (setup). */
+    virtual void writeRaw(Addr a, std::uint64_t v) = 0;
+
+    /** Allocate a @p bytes chunk aligned to its own size. */
+    virtual Addr allocChunk(std::size_t bytes) = 0;
+
+    /** Release a chunk from allocChunk(). */
+    virtual void freeChunk(Addr a) = 0;
+
+    /** Charge @p n dependent instructions (no-op off-simulator). */
+    virtual void charge(unsigned n) = 0;
+
+    /** Charge @p n independent instructions (no-op off-simulator). */
+    virtual void chargeIlp(unsigned n) = 0;
+};
+
+/** LogMem over a simulator core + simulated allocator. */
+class SimLogMem : public LogMem
+{
+  public:
+    SimLogMem(Core &core, SimAllocator &heap)
+        : core_(core), heap_(heap) {}
+
+    std::uint64_t load(Addr a) override;
+    void store(Addr a, std::uint64_t v) override;
+    std::uint64_t readRaw(Addr a) override;
+    void writeRaw(Addr a, std::uint64_t v) override;
+    Addr allocChunk(std::size_t bytes) override;
+    void freeChunk(Addr a) override;
+    void charge(unsigned n) override;
+    void chargeIlp(unsigned n) override;
+
+  private:
+    Core &core_;
+    SimAllocator &heap_;
+};
 
 /** A position inside a TxLog, used for nested-transaction savepoints. */
 struct LogPos
@@ -58,6 +119,12 @@ class TxLog
      */
     TxLog(Core &core, SimAllocator &heap, Addr cursor_addr,
           unsigned entry_words);
+
+    /**
+     * Backend-agnostic form: log over an explicit memory substrate.
+     * @p mem must outlive the log.
+     */
+    TxLog(LogMem &mem, Addr cursor_addr, unsigned entry_words);
 
     ~TxLog();
     TxLog(const TxLog &) = delete;
@@ -143,8 +210,8 @@ class TxLog
     /** Allocate / advance to the next chunk (the overflow slow path). */
     void grow();
 
-    Core &core_;
-    SimAllocator &heap_;
+    std::unique_ptr<LogMem> owned_;  //!< set by the (Core, heap) ctor
+    LogMem &mem_;
     Addr cursorAddr_;
     unsigned entryBytes_;
     std::vector<Addr> chunks_;

@@ -110,6 +110,33 @@ constexpr std::uint64_t kHashMult = 0x9e3779b97f4a7c15ull;
  */
 unsigned log2ForRecords(std::size_t records);
 
+/**
+ * Byte offset of the record covering line-granularity datum @p data
+ * within a table of geometry (@p mask, @p hash_mix). Pure address
+ * arithmetic shared by the simulated TxRecordTable and the native
+ * backend's host-atomic table, so a datum maps to the same record
+ * slot on both substrates.
+ */
+inline Addr
+lineRecOffset(Addr data, Addr mask, bool hash_mix)
+{
+    if (hash_mix) {
+        Addr line = data >> kLineLog2;
+        Addr h = line * kHashMult;
+        return (h >> 33 << kLineLog2) & mask;
+    }
+    return data & mask;
+}
+
+/** Byte offset of the record keyed by the 8-byte word at @p data. */
+inline Addr
+wordRecOffset(Addr data, Addr mask)
+{
+    Addr word = data >> 3;
+    Addr h = word * kHashMult;
+    return (h >> 20 << kLineLog2) & mask;
+}
+
 } // namespace txrec
 
 /** Geometry of one record-table instance (StmConfig::recShard*). */
@@ -158,13 +185,8 @@ class TxRecordTable
     Addr
     recordFor(Addr data) const
     {
-        Addr line = data >> txrec::kLineLog2;
-        Addr base = bases_[shardIndexFor(data)];
-        if (hashMix_) {
-            Addr h = line * txrec::kHashMult;
-            return base + ((h >> 33 << txrec::kLineLog2) & mask_);
-        }
-        return base + (data & mask_);
+        return bases_[shardIndexFor(data)] +
+               txrec::lineRecOffset(data, mask_, hashMix_);
     }
 
     /**
@@ -178,10 +200,8 @@ class TxRecordTable
     Addr
     recordForWord(Addr data) const
     {
-        Addr word = data >> 3;
-        Addr h = word * txrec::kHashMult;
         return bases_[shardIndexFor(data)] +
-               ((h >> 20 << txrec::kLineLog2) & mask_);
+               txrec::wordRecOffset(data, mask_);
     }
 
     /**

@@ -8,20 +8,20 @@
 
 namespace hastm {
 
-Bst::Bst(TmThread &t)
+Bst::Bst(TmExec &t)
 {
     rootHolder_ = t.txAlloc(8, 0b1);
 }
 
 std::uint64_t
-Bst::get(TmThread &t, std::uint64_t key, bool &found)
+Bst::get(TmExec &t, std::uint64_t key, bool &found)
 {
     std::uint64_t steps = 0;
     Addr node = t.readField(rootHolder_, 0);
     while (node != kNullAddr) {
         guardSteps(t, steps);
         std::uint64_t k = t.readField(node, kKey);
-        t.core().execInstrIlp(12);
+        t.simInstrIlp(12);
         if (k == key) {
             found = true;
             return t.readField(node, kVal);
@@ -33,7 +33,7 @@ Bst::get(TmThread &t, std::uint64_t key, bool &found)
 }
 
 bool
-Bst::contains(TmThread &t, std::uint64_t key)
+Bst::contains(TmExec &t, std::uint64_t key)
 {
     bool found;
     get(t, key, found);
@@ -41,7 +41,7 @@ Bst::contains(TmThread &t, std::uint64_t key)
 }
 
 bool
-Bst::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
+Bst::insert(TmExec &t, std::uint64_t key, std::uint64_t value)
 {
     std::uint64_t steps = 0;
     Addr parent = rootHolder_;
@@ -50,7 +50,7 @@ Bst::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
     while (node != kNullAddr) {
         guardSteps(t, steps);
         std::uint64_t k = t.readField(node, kKey);
-        t.core().execInstrIlp(12);
+        t.simInstrIlp(12);
         if (k == key) {
             t.writeField(node, kVal, value);
             return false;
@@ -67,7 +67,7 @@ Bst::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-Bst::remove(TmThread &t, std::uint64_t key)
+Bst::remove(TmExec &t, std::uint64_t key)
 {
     std::uint64_t steps = 0;
     Addr parent = rootHolder_;
@@ -76,7 +76,7 @@ Bst::remove(TmThread &t, std::uint64_t key)
     while (node != kNullAddr) {
         guardSteps(t, steps);
         std::uint64_t k = t.readField(node, kKey);
-        t.core().execInstrIlp(12);
+        t.simInstrIlp(12);
         if (k == key)
             break;
         parent = node;
@@ -118,9 +118,9 @@ Bst::remove(TmThread &t, std::uint64_t key)
 }
 
 bool
-Bst::containsOp(TmThread &t, std::uint64_t key)
+Bst::containsOp(TmExec &t, std::uint64_t key)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsContains);
     t.atomic([&] { result = contains(t, key); });
@@ -128,9 +128,9 @@ Bst::containsOp(TmThread &t, std::uint64_t key)
 }
 
 bool
-Bst::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
+Bst::insertOp(TmExec &t, std::uint64_t key, std::uint64_t value)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsInsert);
     t.atomic([&] { result = insert(t, key, value); });
@@ -138,9 +138,9 @@ Bst::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-Bst::removeOp(TmThread &t, std::uint64_t key)
+Bst::removeOp(TmExec &t, std::uint64_t key)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsRemove);
     t.atomic([&] { result = remove(t, key); });
@@ -148,7 +148,7 @@ Bst::removeOp(TmThread &t, std::uint64_t key)
 }
 
 std::uint64_t
-Bst::sizeOp(TmThread &t)
+Bst::sizeOp(TmExec &t)
 {
     std::uint64_t count = 0;
     t.setSite(txsite::kDsSize);
@@ -175,7 +175,7 @@ Bst::sizeOp(TmThread &t)
 }
 
 std::uint64_t
-Bst::checksumOp(TmThread &t)
+Bst::checksumOp(TmExec &t)
 {
     std::uint64_t sum = 0;
     t.setSite(txsite::kDsChecksum);
@@ -203,7 +203,7 @@ Bst::checksumOp(TmThread &t)
 }
 
 bool
-Bst::checkInvariantOp(TmThread &t)
+Bst::checkInvariantOp(TmExec &t)
 {
     bool ok = true;
     t.setSite(txsite::kDsInvariant);

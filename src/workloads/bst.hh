@@ -29,23 +29,23 @@ class Collector;
 class Bst
 {
   public:
-    explicit Bst(TmThread &t);
+    explicit Bst(TmExec &t);
 
-    bool containsOp(TmThread &t, std::uint64_t key);
-    bool insertOp(TmThread &t, std::uint64_t key, std::uint64_t value);
-    bool removeOp(TmThread &t, std::uint64_t key);
+    bool containsOp(TmExec &t, std::uint64_t key);
+    bool insertOp(TmExec &t, std::uint64_t key, std::uint64_t value);
+    bool removeOp(TmExec &t, std::uint64_t key);
 
     // Raw bodies (inside an atomic block).
-    bool contains(TmThread &t, std::uint64_t key);
-    bool insert(TmThread &t, std::uint64_t key, std::uint64_t value);
-    bool remove(TmThread &t, std::uint64_t key);
-    std::uint64_t get(TmThread &t, std::uint64_t key, bool &found);
+    bool contains(TmExec &t, std::uint64_t key);
+    bool insert(TmExec &t, std::uint64_t key, std::uint64_t value);
+    bool remove(TmExec &t, std::uint64_t key);
+    std::uint64_t get(TmExec &t, std::uint64_t key, bool &found);
 
-    std::uint64_t sizeOp(TmThread &t);
-    std::uint64_t checksumOp(TmThread &t);
+    std::uint64_t sizeOp(TmExec &t);
+    std::uint64_t checksumOp(TmExec &t);
 
     /** Verify the BST ordering invariant in one transaction. */
-    bool checkInvariantOp(TmThread &t);
+    bool checkInvariantOp(TmExec &t);
 
     /** Register the root holder as a GC root. */
     void registerRoots(Collector &gc);

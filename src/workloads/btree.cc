@@ -6,7 +6,7 @@
 
 namespace hastm {
 
-Btree::Btree(TmThread &t)
+Btree::Btree(TmExec &t)
 {
     rootHolder_ = t.txAlloc(8, 0b1);
     t.atomic([&] {
@@ -16,7 +16,7 @@ Btree::Btree(TmThread &t)
 }
 
 Addr
-Btree::allocNode(TmThread &t, bool leaf)
+Btree::allocNode(TmExec &t, bool leaf)
 {
     Addr node = t.txAlloc(kFieldBytes,
                           leaf ? kLeafPtrMask : kInternalPtrMask);
@@ -26,20 +26,20 @@ Btree::allocNode(TmThread &t, bool leaf)
 }
 
 unsigned
-Btree::findSlot(TmThread &t, Addr node, unsigned nkeys, std::uint64_t key)
+Btree::findSlot(TmExec &t, Addr node, unsigned nkeys, std::uint64_t key)
 {
     // Linear scan over the contiguous key array — the spatial
     // locality the Btree workload is known for.
     unsigned i = 0;
     while (i < nkeys && t.readField(node, keyOff(i)) < key) {
-        t.core().execInstrIlp(6);
+        t.simInstrIlp(6);
         ++i;
     }
     return i;
 }
 
 void
-Btree::splitChild(TmThread &t, Addr parent, unsigned idx)
+Btree::splitChild(TmExec &t, Addr parent, unsigned idx)
 {
     Addr child = t.readField(parent, childOff(idx));
     bool leaf = t.readField(child, kIsLeaf) != 0;
@@ -94,13 +94,13 @@ Btree::splitChild(TmThread &t, Addr parent, unsigned idx)
 }
 
 std::uint64_t
-Btree::get(TmThread &t, std::uint64_t key, bool &found)
+Btree::get(TmExec &t, std::uint64_t key, bool &found)
 {
     std::uint64_t steps = 0;
     Addr node = t.readField(rootHolder_, 0);
     for (;;) {
         guardSteps(t, steps);
-        t.core().execInstrIlp(10);  // per-level dispatch overhead
+        t.simInstrIlp(10);  // per-level dispatch overhead
         unsigned nkeys = static_cast<unsigned>(t.readField(node, kNKeys));
         if (nkeys > kMaxKeys) {
             // Zombie read: force the abort rather than indexing junk.
@@ -128,7 +128,7 @@ Btree::get(TmThread &t, std::uint64_t key, bool &found)
 }
 
 bool
-Btree::contains(TmThread &t, std::uint64_t key)
+Btree::contains(TmExec &t, std::uint64_t key)
 {
     bool found;
     get(t, key, found);
@@ -136,7 +136,7 @@ Btree::contains(TmThread &t, std::uint64_t key)
 }
 
 bool
-Btree::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
+Btree::insert(TmExec &t, std::uint64_t key, std::uint64_t value)
 {
     std::uint64_t steps = 0;
     Addr root = t.readField(rootHolder_, 0);
@@ -150,7 +150,7 @@ Btree::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
     Addr node = root;
     for (;;) {
         guardSteps(t, steps);
-        t.core().execInstrIlp(10);  // per-level dispatch overhead
+        t.simInstrIlp(10);  // per-level dispatch overhead
         unsigned nkeys = static_cast<unsigned>(t.readField(node, kNKeys));
         if (nkeys > kMaxKeys) {
             t.validateNow();
@@ -188,7 +188,7 @@ Btree::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-Btree::remove(TmThread &t, std::uint64_t key)
+Btree::remove(TmExec &t, std::uint64_t key)
 {
     // Lazy delete: remove from the leaf, never rebalance. Separators
     // remain valid upper/lower bounds for routing.
@@ -196,7 +196,7 @@ Btree::remove(TmThread &t, std::uint64_t key)
     Addr node = t.readField(rootHolder_, 0);
     for (;;) {
         guardSteps(t, steps);
-        t.core().execInstrIlp(10);  // per-level dispatch overhead
+        t.simInstrIlp(10);  // per-level dispatch overhead
         unsigned nkeys = static_cast<unsigned>(t.readField(node, kNKeys));
         if (nkeys > kMaxKeys) {
             t.validateNow();
@@ -226,7 +226,7 @@ Btree::remove(TmThread &t, std::uint64_t key)
 }
 
 Addr
-Btree::firstLeaf(TmThread &t)
+Btree::firstLeaf(TmExec &t)
 {
     std::uint64_t steps = 0;
     Addr node = t.readField(rootHolder_, 0);
@@ -238,9 +238,9 @@ Btree::firstLeaf(TmThread &t)
 }
 
 bool
-Btree::containsOp(TmThread &t, std::uint64_t key)
+Btree::containsOp(TmExec &t, std::uint64_t key)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsContains);
     t.atomic([&] { result = contains(t, key); });
@@ -248,9 +248,9 @@ Btree::containsOp(TmThread &t, std::uint64_t key)
 }
 
 bool
-Btree::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
+Btree::insertOp(TmExec &t, std::uint64_t key, std::uint64_t value)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsInsert);
     t.atomic([&] { result = insert(t, key, value); });
@@ -258,9 +258,9 @@ Btree::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-Btree::removeOp(TmThread &t, std::uint64_t key)
+Btree::removeOp(TmExec &t, std::uint64_t key)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsRemove);
     t.atomic([&] { result = remove(t, key); });
@@ -268,7 +268,7 @@ Btree::removeOp(TmThread &t, std::uint64_t key)
 }
 
 std::uint64_t
-Btree::sizeOp(TmThread &t)
+Btree::sizeOp(TmExec &t)
 {
     std::uint64_t count = 0;
     t.setSite(txsite::kDsSize);
@@ -285,7 +285,7 @@ Btree::sizeOp(TmThread &t)
 }
 
 std::uint64_t
-Btree::checksumOp(TmThread &t)
+Btree::checksumOp(TmExec &t)
 {
     std::uint64_t sum = 0;
     t.setSite(txsite::kDsChecksum);
@@ -308,7 +308,7 @@ Btree::checksumOp(TmThread &t)
 }
 
 bool
-Btree::checkInvariantOp(TmThread &t)
+Btree::checkInvariantOp(TmExec &t)
 {
     bool ok = true;
     t.setSite(txsite::kDsInvariant);

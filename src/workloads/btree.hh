@@ -25,23 +25,23 @@ class Collector;
 class Btree
 {
   public:
-    explicit Btree(TmThread &t);
+    explicit Btree(TmExec &t);
 
-    bool containsOp(TmThread &t, std::uint64_t key);
-    bool insertOp(TmThread &t, std::uint64_t key, std::uint64_t value);
-    bool removeOp(TmThread &t, std::uint64_t key);
+    bool containsOp(TmExec &t, std::uint64_t key);
+    bool insertOp(TmExec &t, std::uint64_t key, std::uint64_t value);
+    bool removeOp(TmExec &t, std::uint64_t key);
 
     // Raw bodies (inside an atomic block).
-    bool contains(TmThread &t, std::uint64_t key);
-    bool insert(TmThread &t, std::uint64_t key, std::uint64_t value);
-    bool remove(TmThread &t, std::uint64_t key);
-    std::uint64_t get(TmThread &t, std::uint64_t key, bool &found);
+    bool contains(TmExec &t, std::uint64_t key);
+    bool insert(TmExec &t, std::uint64_t key, std::uint64_t value);
+    bool remove(TmExec &t, std::uint64_t key);
+    std::uint64_t get(TmExec &t, std::uint64_t key, bool &found);
 
-    std::uint64_t sizeOp(TmThread &t);
-    std::uint64_t checksumOp(TmThread &t);
+    std::uint64_t sizeOp(TmExec &t);
+    std::uint64_t checksumOp(TmExec &t);
 
     /** Verify leaf-chain ordering in one transaction. */
-    bool checkInvariantOp(TmThread &t);
+    bool checkInvariantOp(TmExec &t);
 
     void registerRoots(Collector &gc);
 
@@ -62,17 +62,17 @@ class Btree
     static constexpr std::uint32_t kInternalPtrMask = 0x7fc00;
     static constexpr std::uint32_t kLeafPtrMask = 0x40000;
 
-    Addr allocNode(TmThread &t, bool leaf);
+    Addr allocNode(TmExec &t, bool leaf);
 
     /** Index of the child to descend into / key position in a leaf. */
-    unsigned findSlot(TmThread &t, Addr node, unsigned nkeys,
+    unsigned findSlot(TmExec &t, Addr node, unsigned nkeys,
                       std::uint64_t key);
 
     /** Split the full child at @p idx of @p parent. */
-    void splitChild(TmThread &t, Addr parent, unsigned idx);
+    void splitChild(TmExec &t, Addr parent, unsigned idx);
 
     /** Leftmost leaf (for scans). */
-    Addr firstLeaf(TmThread &t);
+    Addr firstLeaf(TmExec &t);
 
     Addr rootHolder_;
 };

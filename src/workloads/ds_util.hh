@@ -19,7 +19,7 @@ namespace hastm {
  * and turns a genuinely corrupt structure into a loud failure.
  */
 inline void
-guardSteps(TmThread &t, std::uint64_t &steps)
+guardSteps(TmExec &t, std::uint64_t &steps)
 {
     if ((++steps & 1023) == 0)
         t.validateNow();

@@ -6,7 +6,7 @@
 
 namespace hastm {
 
-HashTable::HashTable(TmThread &t, unsigned num_buckets)
+HashTable::HashTable(TmExec &t, unsigned num_buckets)
     : numBuckets_(num_buckets)
 {
     HASTM_ASSERT(num_buckets >= 1);
@@ -16,15 +16,15 @@ HashTable::HashTable(TmThread &t, unsigned num_buckets)
 }
 
 Addr
-HashTable::bucketFor(TmThread &t, std::uint64_t key) const
+HashTable::bucketFor(TmExec &t, std::uint64_t key) const
 {
     // Multiplicative hash + directory index (address arithmetic).
-    t.core().execInstrIlp(20);
+    t.simInstrIlp(20);
     return buckets_[(key * 0x9e3779b97f4a7c15ull) % numBuckets_];
 }
 
 bool
-HashTable::contains(TmThread &t, std::uint64_t key)
+HashTable::contains(TmExec &t, std::uint64_t key)
 {
     bool found;
     get(t, key, found);
@@ -32,14 +32,14 @@ HashTable::contains(TmThread &t, std::uint64_t key)
 }
 
 std::uint64_t
-HashTable::get(TmThread &t, std::uint64_t key, bool &found)
+HashTable::get(TmExec &t, std::uint64_t key, bool &found)
 {
     Addr bucket = bucketFor(t, key);
     std::uint64_t steps = 0;
     Addr node = t.readField(bucket, kHead);
     while (node != kNullAddr) {
         guardSteps(t, steps);
-        t.core().execInstrIlp(6);  // per-node compare/loop overhead
+        t.simInstrIlp(6);  // per-node compare/loop overhead
         if (t.readField(node, kKey) == key) {
             found = true;
             return t.readField(node, kVal);
@@ -51,7 +51,7 @@ HashTable::get(TmThread &t, std::uint64_t key, bool &found)
 }
 
 bool
-HashTable::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
+HashTable::insert(TmExec &t, std::uint64_t key, std::uint64_t value)
 {
     Addr bucket = bucketFor(t, key);
     std::uint64_t steps = 0;
@@ -73,7 +73,7 @@ HashTable::insert(TmThread &t, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-HashTable::remove(TmThread &t, std::uint64_t key)
+HashTable::remove(TmExec &t, std::uint64_t key)
 {
     Addr bucket = bucketFor(t, key);
     std::uint64_t steps = 0;
@@ -97,9 +97,9 @@ HashTable::remove(TmThread &t, std::uint64_t key)
 }
 
 bool
-HashTable::containsOp(TmThread &t, std::uint64_t key)
+HashTable::containsOp(TmExec &t, std::uint64_t key)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsContains);
     t.atomic([&] { result = contains(t, key); });
@@ -107,9 +107,9 @@ HashTable::containsOp(TmThread &t, std::uint64_t key)
 }
 
 bool
-HashTable::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
+HashTable::insertOp(TmExec &t, std::uint64_t key, std::uint64_t value)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsInsert);
     t.atomic([&] { result = insert(t, key, value); });
@@ -117,9 +117,9 @@ HashTable::insertOp(TmThread &t, std::uint64_t key, std::uint64_t value)
 }
 
 bool
-HashTable::removeOp(TmThread &t, std::uint64_t key)
+HashTable::removeOp(TmExec &t, std::uint64_t key)
 {
-    t.core().execInstrIlp(60);  // call/marshalling prologue
+    t.simInstrIlp(60);  // call/marshalling prologue
     bool result = false;
     t.setSite(txsite::kDsRemove);
     t.atomic([&] { result = remove(t, key); });
@@ -127,7 +127,7 @@ HashTable::removeOp(TmThread &t, std::uint64_t key)
 }
 
 std::uint64_t
-HashTable::sizeOp(TmThread &t)
+HashTable::sizeOp(TmExec &t)
 {
     std::uint64_t count = 0;
     t.setSite(txsite::kDsSize);
@@ -146,7 +146,7 @@ HashTable::sizeOp(TmThread &t)
 }
 
 std::uint64_t
-HashTable::checksumOp(TmThread &t)
+HashTable::checksumOp(TmExec &t)
 {
     std::uint64_t sum = 0;
     t.setSite(txsite::kDsChecksum);

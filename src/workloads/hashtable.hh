@@ -31,26 +31,26 @@ class HashTable
 {
   public:
     /** Allocate the buckets through @p t (outside transactions). */
-    HashTable(TmThread &t, unsigned num_buckets);
+    HashTable(TmExec &t, unsigned num_buckets);
 
     // Whole-operation transactions (the benchmark interface).
-    bool containsOp(TmThread &t, std::uint64_t key);
-    bool insertOp(TmThread &t, std::uint64_t key, std::uint64_t value);
-    bool removeOp(TmThread &t, std::uint64_t key);
+    bool containsOp(TmExec &t, std::uint64_t key);
+    bool insertOp(TmExec &t, std::uint64_t key, std::uint64_t value);
+    bool removeOp(TmExec &t, std::uint64_t key);
 
     // Raw bodies; must run inside an atomic block (for nesting tests).
-    bool contains(TmThread &t, std::uint64_t key);
-    bool insert(TmThread &t, std::uint64_t key, std::uint64_t value);
-    bool remove(TmThread &t, std::uint64_t key);
+    bool contains(TmExec &t, std::uint64_t key);
+    bool insert(TmExec &t, std::uint64_t key, std::uint64_t value);
+    bool remove(TmExec &t, std::uint64_t key);
 
     /** Value lookup; @p found reports hit/miss. Raw body. */
-    std::uint64_t get(TmThread &t, std::uint64_t key, bool &found);
+    std::uint64_t get(TmExec &t, std::uint64_t key, bool &found);
 
     /** Element count (single full walk inside one transaction). */
-    std::uint64_t sizeOp(TmThread &t);
+    std::uint64_t sizeOp(TmExec &t);
 
     /** Order-independent content fingerprint (one transaction). */
-    std::uint64_t checksumOp(TmThread &t);
+    std::uint64_t checksumOp(TmExec &t);
 
     /** Register the bucket objects as GC roots. */
     void registerRoots(Collector &gc);
@@ -67,7 +67,7 @@ class HashTable
     // Bucket object: single head-pointer field.
     static constexpr unsigned kHead = 0;
 
-    Addr bucketFor(TmThread &t, std::uint64_t key) const;
+    Addr bucketFor(TmExec &t, std::uint64_t key) const;
 
     std::vector<Addr> buckets_;
     unsigned numBuckets_;

@@ -38,7 +38,7 @@ MicroWorkload::lineBase(unsigned thread, std::uint64_t line) const
 }
 
 void
-MicroWorkload::runTx(TmThread &t, unsigned thread, const MicroParams &p,
+MicroWorkload::runTx(TmExec &t, unsigned thread, const MicroParams &p,
                      Rng &rng)
 {
     t.setSite(txsite::kMicro);

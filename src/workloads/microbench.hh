@@ -47,7 +47,7 @@ class MicroWorkload
     MicroWorkload &operator=(const MicroWorkload &) = delete;
 
     /** Run one transaction with the given access mix. */
-    void runTx(TmThread &t, unsigned thread, const MicroParams &p,
+    void runTx(TmExec &t, unsigned thread, const MicroParams &p,
                Rng &rng);
 
     /** Sum of every word (single-threaded, raw reads; for checks). */

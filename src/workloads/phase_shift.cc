@@ -36,7 +36,7 @@ PhaseShiftWorkload::~PhaseShiftWorkload()
 }
 
 void
-PhaseShiftWorkload::runTx(TmThread &t, unsigned thread, const PhaseMix &mix,
+PhaseShiftWorkload::runTx(TmExec &t, unsigned thread, const PhaseMix &mix,
                           Rng &rng)
 {
     HASTM_ASSERT(mix.privateLines <= maxPrivateLines_);

@@ -60,7 +60,7 @@ class PhaseShiftWorkload
     PhaseShiftWorkload &operator=(const PhaseShiftWorkload &) = delete;
 
     /** Run one transaction of phase @p mix on @p thread. */
-    void runTx(TmThread &t, unsigned thread, const PhaseMix &mix,
+    void runTx(TmExec &t, unsigned thread, const PhaseMix &mix,
                Rng &rng);
 
     /** Sum of every word (raw reads; determinism checks). */

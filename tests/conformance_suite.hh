@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Backend-agnostic TM conformance bodies.
+ *
+ * Each check drives a TmBackend purely through TmExec, so one body
+ * serves both the simulated schemes (tests/stm_test.cc, where it runs
+ * across every scheme x granularity) and the native host-thread STM
+ * (tests/native_test.cc). Skip decisions (schemes without rollback or
+ * without multi-threading) stay with the callers — the bodies assume
+ * the capability they exercise.
+ */
+
+#ifndef HASTM_TESTS_CONFORMANCE_SUITE_HH
+#define HASTM_TESTS_CONFORMANCE_SUITE_HH
+
+#include <gtest/gtest.h>
+
+#include "backend/tm_backend.hh"
+#include "sim/rng.hh"
+
+namespace hastm {
+namespace conform {
+
+inline void
+committedWritesPersist(TmBackend &b)
+{
+    b.run({[&](TmExec &t) {
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] {
+            t.writeField(obj, 0, 11);
+            t.writeField(obj, 8, 22);
+        });
+        std::uint64_t a = 0, v = 0;
+        t.atomic([&] {
+            a = t.readField(obj, 0);
+            v = t.readField(obj, 8);
+        });
+        EXPECT_EQ(a, 11u);
+        EXPECT_EQ(v, 22u);
+        EXPECT_GE(t.stats().commits, 2u);
+    }});
+}
+
+inline void
+readYourOwnWrites(TmBackend &b)
+{
+    b.run({[&](TmExec &t) {
+        Addr obj = t.txAlloc(16);
+        t.atomic([&] {
+            t.writeField(obj, 0, 5);
+            EXPECT_EQ(t.readField(obj, 0), 5u);
+            t.writeField(obj, 0, 6);
+            EXPECT_EQ(t.readField(obj, 0), 6u);
+        });
+    }});
+}
+
+inline void
+userAbortRollsBackAndExits(TmBackend &b)
+{
+    b.run({[&](TmExec &t) {
+        Addr obj = t.txAlloc(16);
+        t.atomic([&] { t.writeField(obj, 0, 1); });
+        bool committed = t.atomic([&] {
+            t.writeField(obj, 0, 99);
+            t.userAbort();
+        });
+        EXPECT_FALSE(committed);
+        std::uint64_t v = 0;
+        t.atomic([&] { v = t.readField(obj, 0); });
+        EXPECT_EQ(v, 1u);
+        EXPECT_GE(t.stats().userAborts, 1u);
+    }});
+}
+
+inline void
+counterIncrementsAreAtomic(TmBackend &b)
+{
+    // The classic lost-update test: two threads increment a shared
+    // counter; atomicity means no increment is lost.
+    constexpr unsigned kIncrements = 150;
+    Addr obj = 0;
+    b.run({[&](TmExec &t) { obj = t.txAlloc(16); }});
+    std::vector<std::function<void(TmExec &)>> bodies;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        bodies.push_back([&](TmExec &t) {
+            for (unsigned i = 0; i < kIncrements; ++i) {
+                t.atomic([&] {
+                    std::uint64_t v = t.readField(obj, 0);
+                    t.simInstr(20);  // widen the race window (sim)
+                    t.writeField(obj, 0, v + 1);
+                });
+            }
+        });
+    }
+    b.run(bodies);
+    std::uint64_t final_value = 0;
+    b.run({[&](TmExec &t) {
+        t.atomic([&] { final_value = t.readField(obj, 0); });
+    }});
+    EXPECT_EQ(final_value, 2u * kIncrements);
+}
+
+inline void
+disjointWritesBothSurvive(TmBackend &b)
+{
+    std::vector<Addr> objs(2);
+    b.run({[&](TmExec &t) {
+        objs[0] = t.txAlloc(16);
+        objs[1] = t.txAlloc(16);
+    }});
+    std::vector<std::function<void(TmExec &)>> bodies;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        bodies.push_back([&, tid](TmExec &t) {
+            for (unsigned i = 1; i <= 40; ++i)
+                t.atomic([&] { t.writeField(objs[tid], 0, i); });
+        });
+    }
+    b.run(bodies);
+    b.run({[&](TmExec &t) {
+        t.atomic([&] {
+            EXPECT_EQ(t.readField(objs[0], 0), 40u);
+            EXPECT_EQ(t.readField(objs[1], 0), 40u);
+        });
+    }});
+}
+
+inline void
+moneyConservedUnderTransfers(TmBackend &b)
+{
+    constexpr unsigned kAccounts = 8;
+    constexpr std::uint64_t kInitial = 1000;
+    std::vector<Addr> accounts(kAccounts);
+    b.run({[&](TmExec &t) {
+        for (auto &a : accounts) {
+            a = t.txAlloc(16);
+            t.atomic([&] { t.writeField(a, 0, kInitial); });
+        }
+    }});
+    std::vector<std::function<void(TmExec &)>> bodies;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        bodies.push_back([&, tid](TmExec &t) {
+            Rng rng(tid + 17);
+            for (int i = 0; i < 120; ++i) {
+                Addr from = accounts[rng.range(kAccounts)];
+                Addr to = accounts[rng.range(kAccounts)];
+                std::uint64_t amount = rng.range(50);
+                t.atomic([&] {
+                    std::uint64_t f = t.readField(from, 0);
+                    if (f >= amount) {
+                        t.writeField(from, 0, f - amount);
+                        if (from != to) {
+                            t.writeField(to, 0,
+                                         t.readField(to, 0) + amount);
+                        } else {
+                            t.writeField(to, 0, f);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    b.run(bodies);
+    std::uint64_t total = 0;
+    b.run({[&](TmExec &t) {
+        t.atomic([&] {
+            total = 0;
+            for (Addr a : accounts)
+                total += t.readField(a, 0);
+        });
+    }});
+    EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+} // namespace conform
+} // namespace hastm
+
+#endif // HASTM_TESTS_CONFORMANCE_SUITE_HH

@@ -232,6 +232,24 @@ TEST(Oracle, RejectsAWrongResultWithReproducingSeed)
     EXPECT_NE(o.diag.find("seed=1234"), std::string::npos) << o.diag;
 }
 
+TEST(Oracle, SameStampSameCoreOrdersByProgramSequence)
+{
+    // Read-only commits can reuse a stamp, so one core may log
+    // several ops with identical (epoch, stamp, core). The per-thread
+    // seq must order them in program order, independent of the order
+    // the per-thread logs happened to be concatenated in.
+    std::vector<OpRecord> log = {
+        {10, 0, 1, OpKind::Insert, 5, 50, true, 1},
+        {10, 0, 1, OpKind::Contains, 5, 0, false, 0},
+        {10, 0, 1, OpKind::Remove, 5, 0, true, 2},
+    };
+    OracleOutcome o = replayOps(log, 0, 0, true, 7);
+    EXPECT_TRUE(o.ok) << o.diag;
+    std::swap(log[0], log[2]);  // delivery order must not matter
+    o = replayOps(log, 0, 0, true, 7);
+    EXPECT_TRUE(o.ok) << o.diag;
+}
+
 TEST(Oracle, RejectsFinalStateMismatch)
 {
     std::vector<OpRecord> log = {{10, 0, 1, OpKind::Insert, 3, 9, true}};
@@ -292,6 +310,25 @@ TEST(FaultCampaign, WatchdogEscalatesSomewhereAndStaysCorrect)
         }
     }
     EXPECT_GT(entries, 0u);
+}
+
+TEST(FaultCampaign, AdaptiveReleasesTheGateOnEveryAbortPath)
+{
+    // Regression for the serial-gate leak family: a transaction that
+    // aborts out of the adaptive serial rung (faults firing while the
+    // token is held, or an escalation abandoned mid-dispatch) must
+    // release the token — a leak deadlocks the next arrival, so mere
+    // completion under a tight watchdog is the assertion.
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        ExperimentConfig cfg = stressCfg(TmScheme::Adaptive, "heavy",
+                                         seed);
+        cfg.stm.watchdogConsecAborts = 2;
+        cfg.stm.watchdogRetriesPerCommit = 4;
+        ExperimentResult r = runDataStructure(cfg);
+        EXPECT_TRUE(r.oracleChecked);
+        EXPECT_TRUE(r.oracleOk) << "seed " << seed << ": "
+                                << r.oracleDiag;
+    }
 }
 
 TEST(FaultCampaign, OracleCatchesBrokenValidation)

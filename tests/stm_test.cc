@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.hh"
+#include "stm/irrevocable.hh"
 #include "workloads/tm_api.hh"
+
+#include "conformance_suite.hh"
 
 namespace hastm {
 namespace {
@@ -51,42 +55,30 @@ struct SchemeCase
 
 class TmConformance : public ::testing::TestWithParam<SchemeCase>
 {
+  protected:
+    /** Same machine shape Env builds, behind the backend interface. */
+    SimBackendConfig
+    cfg(unsigned threads)
+    {
+        SimBackendConfig c;
+        c.machine = Env::defaultMachine();
+        c.session.scheme = GetParam().scheme;
+        c.session.numThreads = threads;
+        c.session.stm.gran = GetParam().gran;
+        return c;
+    }
 };
 
 TEST_P(TmConformance, CommittedWritesPersist)
 {
-    Env env(GetParam().scheme, 1, GetParam().gran);
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        Addr obj = t.txAlloc(32);
-        t.atomic([&] {
-            t.writeField(obj, 0, 11);
-            t.writeField(obj, 8, 22);
-        });
-        std::uint64_t a = 0, b = 0;
-        t.atomic([&] {
-            a = t.readField(obj, 0);
-            b = t.readField(obj, 8);
-        });
-        EXPECT_EQ(a, 11u);
-        EXPECT_EQ(b, 22u);
-        EXPECT_GE(t.stats().commits, 2u);
-    }});
+    SimBackend b(cfg(1));
+    conform::committedWritesPersist(b);
 }
 
 TEST_P(TmConformance, ReadYourOwnWrites)
 {
-    Env env(GetParam().scheme, 1, GetParam().gran);
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        Addr obj = t.txAlloc(16);
-        t.atomic([&] {
-            t.writeField(obj, 0, 5);
-            EXPECT_EQ(t.readField(obj, 0), 5u);
-            t.writeField(obj, 0, 6);
-            EXPECT_EQ(t.readField(obj, 0), 6u);
-        });
-    }});
+    SimBackend b(cfg(1));
+    conform::readYourOwnWrites(b);
 }
 
 TEST_P(TmConformance, UserAbortRollsBackAndExits)
@@ -96,124 +88,32 @@ TEST_P(TmConformance, UserAbortRollsBackAndExits)
         GetParam().scheme == TmScheme::Sequential) {
         GTEST_SKIP() << "baselines have no rollback";
     }
-    Env env(GetParam().scheme, 1, GetParam().gran);
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        Addr obj = t.txAlloc(16);
-        t.atomic([&] { t.writeField(obj, 0, 1); });
-        bool committed = t.atomic([&] {
-            t.writeField(obj, 0, 99);
-            t.userAbort();
-        });
-        EXPECT_FALSE(committed);
-        std::uint64_t v = 0;
-        t.atomic([&] { v = t.readField(obj, 0); });
-        EXPECT_EQ(v, 1u);
-        EXPECT_GE(t.stats().userAborts, 1u);
-    }});
+    SimBackend b(cfg(1));
+    conform::userAbortRollsBackAndExits(b);
 }
 
 TEST_P(TmConformance, CounterIncrementsAreAtomic)
 {
-    // The classic lost-update test: two threads increment a shared
-    // counter; atomicity means no increment is lost.
     if (GetParam().scheme == TmScheme::Sequential)
         GTEST_SKIP() << "single-threaded baseline";
-    constexpr unsigned kIncrements = 150;
-    Env env(GetParam().scheme, 2, GetParam().gran);
-    Addr obj = 0;
-    env.machine->run({[&](Core &core) {
-        obj = env.session->threadFor(core).txAlloc(16);
-    }});
-    env.machine->runOnCores(2, [&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        for (unsigned i = 0; i < kIncrements; ++i) {
-            t.atomic([&] {
-                std::uint64_t v = t.readField(obj, 0);
-                core.execInstr(20);  // widen the race window
-                t.writeField(obj, 0, v + 1);
-            });
-        }
-    });
-    std::uint64_t final_value = 0;
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        t.atomic([&] { final_value = t.readField(obj, 0); });
-    }});
-    EXPECT_EQ(final_value, 2u * kIncrements);
+    SimBackend b(cfg(2));
+    conform::counterIncrementsAreAtomic(b);
 }
 
 TEST_P(TmConformance, DisjointWritesBothSurvive)
 {
     if (GetParam().scheme == TmScheme::Sequential)
         GTEST_SKIP() << "single-threaded baseline";
-    Env env(GetParam().scheme, 2, GetParam().gran);
-    std::vector<Addr> objs(2);
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        objs[0] = t.txAlloc(16);
-        objs[1] = t.txAlloc(16);
-    }});
-    env.machine->runOnCores(2, [&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        for (unsigned i = 1; i <= 40; ++i)
-            t.atomic([&] { t.writeField(objs[core.id()], 0, i); });
-    });
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        t.atomic([&] {
-            EXPECT_EQ(t.readField(objs[0], 0), 40u);
-            EXPECT_EQ(t.readField(objs[1], 0), 40u);
-        });
-    }});
+    SimBackend b(cfg(2));
+    conform::disjointWritesBothSurvive(b);
 }
 
 TEST_P(TmConformance, MoneyConservedUnderTransfers)
 {
     if (GetParam().scheme == TmScheme::Sequential)
         GTEST_SKIP() << "single-threaded baseline";
-    constexpr unsigned kAccounts = 8;
-    constexpr std::uint64_t kInitial = 1000;
-    Env env(GetParam().scheme, 2, GetParam().gran);
-    std::vector<Addr> accounts(kAccounts);
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        for (auto &a : accounts) {
-            a = t.txAlloc(16);
-            t.atomic([&] { t.writeField(a, 0, kInitial); });
-        }
-    }});
-    env.machine->runOnCores(2, [&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        Rng rng(core.id() + 17);
-        for (int i = 0; i < 120; ++i) {
-            Addr from = accounts[rng.range(kAccounts)];
-            Addr to = accounts[rng.range(kAccounts)];
-            std::uint64_t amount = rng.range(50);
-            t.atomic([&] {
-                std::uint64_t f = t.readField(from, 0);
-                if (f >= amount) {
-                    t.writeField(from, 0, f - amount);
-                    if (from != to) {
-                        t.writeField(to, 0,
-                                     t.readField(to, 0) + amount);
-                    } else {
-                        t.writeField(to, 0, f);
-                    }
-                }
-            });
-        }
-    });
-    std::uint64_t total = 0;
-    env.machine->run({[&](Core &core) {
-        TmThread &t = env.session->threadFor(core);
-        t.atomic([&] {
-            total = 0;
-            for (Addr a : accounts)
-                total += t.readField(a, 0);
-        });
-    }});
-    EXPECT_EQ(total, kAccounts * kInitial);
+    SimBackend b(cfg(2));
+    conform::moneyConservedUnderTransfers(b);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -595,6 +495,62 @@ TEST(StmRollback, ReadOnlyAbortWithEmptyUndoLog)
         EXPECT_EQ(v, 7u);
         EXPECT_EQ(t.stats().userAborts, 1u);
     }});
+}
+
+// ------------------------------------------------ serial gate protocol
+
+TEST(SerialGate, EnterQuiescesBehindAnAdvertisedArrival)
+{
+    // Regression for the arrival TOCTOU: arrive() must publish the
+    // core's activity flag *before* it checks the token, so that by
+    // the time it returns, a concurrent enter() is guaranteed to see
+    // the flag and wait out the transaction. Under the old protocol
+    // (park first, advertise later) core 1's enter() could slip
+    // through the window and run "serially" alongside core 0.
+    Machine m(Env::defaultMachine());
+    SerialGate gate(m);
+    Cycles quiesced_at = 0;
+    m.run({
+        [&](Core &core) {
+            gate.arrive(core);             // flag up, token free
+            core.stall(5000);              // transaction body
+            gate.noteActive(core, false);  // commit-side clear
+        },
+        [&](Core &core) {
+            // Start well after core 0's arrive() has returned (a few
+            // hundred cycles of cold misses) but well before its
+            // transaction finishes. Entering *during* the arrive
+            // window is also legal — the arrival retreats — but then
+            // there is nothing to quiesce behind.
+            core.stall(2000);
+            gate.enter(core);
+            quiesced_at = core.cycles();
+            gate.exit(core);
+        },
+    });
+    // enter() may not complete until core 0's flag cleared at ~5000.
+    EXPECT_GE(quiesced_at, 5000u);
+}
+
+TEST(SerialGate, ArrivalParksWhileTheTokenIsHeld)
+{
+    Machine m(Env::defaultMachine());
+    SerialGate gate(m);
+    Cycles arrived_at = 0;
+    m.run({
+        [&](Core &core) {
+            gate.enter(core);   // token taken at cycle ~0
+            core.stall(8000);   // serial section
+            gate.exit(core);
+        },
+        [&](Core &core) {
+            core.stall(100);
+            gate.arrive(core);  // must park until exit()
+            arrived_at = core.cycles();
+            gate.noteActive(core, false);
+        },
+    });
+    EXPECT_GE(arrived_at, 8000u);
 }
 
 TEST(StmGuardDeathTest, AddressBelowHeapBaseIsRejected)
