@@ -72,8 +72,16 @@ runNativeDataStructure(const NativeExperimentConfig &cfg)
                                            opLogs[tid].size()});
                 }
             };
+            // Disjoint mix: thread t owns keyRange/threads keys.
+            std::uint64_t lo = 0, span = cfg.keyRange;
+            if (cfg.disjoint && cfg.threads > 1) {
+                span = cfg.keyRange / cfg.threads;
+                if (span == 0)
+                    span = 1;
+                lo = span * tid;
+            }
             for (std::uint64_t i = 0; i < per_thread; ++i) {
-                std::uint64_t key = rng.range(cfg.keyRange);
+                std::uint64_t key = lo + rng.range(span);
                 std::uint64_t dice = rng.range(100);
                 if (dice < cfg.updatePct) {
                     if (rng.chancePct(50)) {
@@ -96,6 +104,18 @@ runNativeDataStructure(const NativeExperimentConfig &cfg)
 
     NativeExperimentResult result;
     result.tm = backend.totalStats();
+    // Per-thread capture must happen here too: the verification phase
+    // below runs on thread 0 and would pollute its counters.
+    result.perThread.resize(cfg.threads);
+    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+        const TmStats &ts = backend.thread(tid).stats();
+        NativeThreadOutcome &out = result.perThread[tid];
+        out.commits = ts.commits;
+        out.aborts = ts.aborts;
+        std::uint64_t attempts = ts.commits + ts.aborts;
+        if (attempts > 0)
+            out.abortRate = double(ts.aborts) / double(attempts);
+    }
     result.hostNanos = t1 - t0;
     if (result.hostNanos > 0) {
         result.opsPerSec = double(per_thread * cfg.threads) * 1e9 /

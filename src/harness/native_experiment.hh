@@ -44,6 +44,14 @@ struct NativeExperimentConfig
     StmConfig stm;
     std::size_t heapBytes = 64ull << 20;
     /**
+     * Partition the key range per thread: thread t draws keys from
+     * [t*keyRange/threads, (t+1)*keyRange/threads) in the measured
+     * phase, so transactions conflict only through record aliasing
+     * and structure connectivity (scaling-sweep "disjoint" mix). The
+     * populate phase still covers the whole range.
+     */
+    bool disjoint = false;
+    /**
      * Record every committed operation: run the replay oracle over
      * the log and return it (serialization order) in the result for
      * cross-backend replay.
@@ -51,10 +59,21 @@ struct NativeExperimentConfig
     bool recordOps = false;
 };
 
+/** One thread's measured-phase contribution (schema v7). */
+struct NativeThreadOutcome
+{
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;     //!< conflict aborts (all kinds)
+    double abortRate = 0.0;       //!< aborts / (commits + aborts)
+};
+
 /** Measured outcome of one native experiment. */
 struct NativeExperimentResult
 {
     TmStats tm;
+
+    /** Per-thread measured-phase commits/aborts (indexed by tid). */
+    std::vector<NativeThreadOutcome> perThread;
     std::uint64_t checksum = 0;      //!< final structure fingerprint
     std::uint64_t finalSize = 0;
     bool invariantOk = true;

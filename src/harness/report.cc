@@ -52,6 +52,12 @@ toJson(const TmStats &s)
         .set("aggressiveAborts", s.aggressiveAborts)
         .set("htmAborts", s.htmAborts)
         .set("irrevocableEntries", s.irrevocableEntries);
+    // Schema v7: native snapshot-clock protocol counters (all zero on
+    // the sim backend and under the McRT-style native protocol).
+    j.set("extensions", s.extensions)
+        .set("extensionFailures", s.extensionFailures)
+        .set("bloomFalsePositives", s.bloomFalsePositives)
+        .set("clockBumpsSkipped", s.clockBumpsSkipped);
     // Schema v5: false-conflict accounting for the sharded record
     // table. trueSharing + aliased + unclassified covers every
     // conflict abort that named a record.
@@ -111,6 +117,11 @@ toJson(const StmConfig &c)
         .set("recShardLog2Records", c.recShardLog2Records)
         .set("recHashMix", c.recHashMix)
         .set("recShardPerArena", c.recShardPerArena);
+    // Schema v7: native-backend protocol knobs.
+    j.set("nativeSnapshotClock", c.nativeSnapshotClock)
+        .set("nativeWriteBloomBits", c.nativeWriteBloomBits)
+        .set("nativeBackoffSpinsBase", c.nativeBackoffSpinsBase)
+        .set("nativeBackoffSpinsCap", c.nativeBackoffSpinsCap);
     Json adaptive = Json::object();
     adaptive.set("window", c.adaptive.window)
         .set("probeEpoch", c.adaptive.probeEpoch)
@@ -232,6 +243,7 @@ toJson(const NativeExperimentConfig &c)
         .set("seed", c.seed)
         .set("hashBuckets", c.hashBuckets)
         .set("heapBytes", std::uint64_t(c.heapBytes))
+        .set("disjoint", c.disjoint)
         .set("recordOps", c.recordOps)
         .set("stm", toJson(c.stm));
     return j;
@@ -252,6 +264,19 @@ toJson(const NativeExperimentResult &r)
     // there is no simulated cycle count on this substrate. Both vary
     // run-to-run — determinism diffs must ignore them.
     j.set("hostNanos", r.hostNanos).set("opsPerSec", r.opsPerSec);
+    // Schema v7: per-thread measured-phase outcomes (scaling sweeps
+    // read abort-rate skew from these).
+    if (!r.perThread.empty()) {
+        Json threads = Json::array();
+        for (const NativeThreadOutcome &t : r.perThread) {
+            Json one = Json::object();
+            one.set("commits", t.commits)
+                .set("aborts", t.aborts)
+                .set("abortRate", t.abortRate);
+            threads.push(std::move(one));
+        }
+        j.set("perThread", std::move(threads));
+    }
     j.set("tm", toJson(r.tm));
     return j;
 }
@@ -354,7 +379,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 6)
+        .set("schemaVersion", 7)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

@@ -12,7 +12,7 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 6,
+ *     "schemaVersion": 7,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
@@ -68,6 +68,16 @@
  * serialize host-thread throughput — "opsPerSec" plus the usual TM
  * counters — instead of simulated cycle counts, which do not exist
  * on that substrate.
+ *
+ * v7 adds the native snapshot-clock protocol: StmConfig gains
+ * "nativeSnapshotClock" / "nativeWriteBloomBits" /
+ * "nativeBackoffSpinsBase" / "nativeBackoffSpinsCap", TmStats gains
+ * the protocol counters "extensions" / "extensionFailures" /
+ * "bloomFalsePositives" / "clockBumpsSkipped" (zero on the sim
+ * backend and under the McRT-style native protocol),
+ * NativeExperimentConfig gains "disjoint" (per-thread key
+ * partition), and NativeExperimentResult gains "perThread" (each
+ * thread's measured-phase {"commits", "aborts", "abortRate"}).
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH

@@ -4,13 +4,11 @@
 #include <thread>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace hastm {
 
 namespace {
-
-/** Spin this many record re-reads before a contention self-abort. */
-constexpr unsigned kContentionSpins = 256;
 
 /** Bounded exponential host backoff (yield first, then sleep). */
 void
@@ -25,14 +23,34 @@ hostBackoff(unsigned attempt)
     std::this_thread::sleep_for(std::chrono::microseconds(1u << (shift - 4)));
 }
 
+/** Host nanoseconds since an arbitrary epoch (trace timestamps). */
+std::uint64_t
+hostNow()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Round @p bits up to a power of two, at least 64 (one word). */
+std::uint64_t
+bloomBitsFor(unsigned bits)
+{
+    std::uint64_t b = 64;
+    while (b < bits)
+        b <<= 1;
+    return b;
+}
+
 } // namespace
 
 // ------------------------------------------------ NativeRecordTable
 
 NativeRecordTable::NativeRecordTable(unsigned log2_records, bool hash_mix)
-    : slots_(std::size_t(1) << log2_records),
-      mask_(txrec::maskFor(log2_records)), hashMix_(hash_mix)
+    : slots_(std::size_t(1) << log2_records)
 {
+    hdr_.mask = txrec::maskFor(log2_records);
+    hdr_.hashMix = hash_mix;
 }
 
 // ---------------------------------------------------- NativeRuntime
@@ -43,18 +61,45 @@ NativeRuntime::NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes)
                                             : txrec::kDefaultLog2Records,
                cfg.recHashMix)
 {
+    if (!cfg_.tracePath.empty())
+        trace_ = std::make_unique<TraceSink>(cfg_.tracePath);
+}
+
+NativeRuntime::~NativeRuntime() = default;
+
+void
+NativeRuntime::traceInstant(unsigned tid, const char *name)
+{
+    if (!trace_)
+        return;
+    std::lock_guard<std::mutex> lk(traceMu_);
+    trace_->instant(tid, Cycles(hostNow()), name);
+}
+
+void
+NativeRuntime::clockExhausted()
+{
+    panic("native commit clock exhausted (time > 2^61 - 1); "
+          "version encoding would wrap");
 }
 
 // ----------------------------------------------------- NativeThread
 
 NativeThread::NativeThread(NativeRuntime &rt, unsigned id)
-    : rt_(rt), id_(id), token_(std::uint64_t(id + 1) << 1)
+    : rt_(rt), id_(id), token_(std::uint64_t(id + 1) << 1),
+      jitter_(std::uint64_t(id + 1) * txrec::kHashMult),
+      snapshotMode_(rt.cfg().nativeSnapshotClock)
 {
     HASTM_ASSERT(!txrec::isVersion(token_) && token_ != 0);
     cursors_ = rt_.heap().allocZeroed(64, 64);
     readSet_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 0, 2);
     writeSet_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 8, 2);
     undoLog_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 16, 3);
+    if (rt_.cfg().nativeWriteBloomBits != 0) {
+        std::uint64_t bits = bloomBitsFor(rt_.cfg().nativeWriteBloomBits);
+        bloom_.assign(bits / 64, 0);
+        bloomMask_ = bits - 1;
+    }
 }
 
 NativeThread::~NativeThread()
@@ -80,7 +125,11 @@ NativeThread::begin()
     txFrees_.clear();
     savepoints_.clear();
     retryWatch_.clear();
+    bloomClear();
     sinceValidate_ = 0;
+    // Sample the snapshot *after* the gate: an irrevocable rival may
+    // commit writes while we park, and those must be visible.
+    snapshot_ = snapshotMode_ ? rt_.clockNow() : 0;
     depth_ = 1;
 }
 
@@ -88,19 +137,55 @@ bool
 NativeThread::commit()
 {
     HASTM_ASSERT(depth_ == 1);
-    try {
-        validate();
-    } catch (const TxConflictAbort &e) {
-        commitFailure_ = e;
-        rollback();
-        return false;
+    if (snapshotMode_) {
+        if (writeSet_->empty()) {
+            // Read-only fast path: every read post-validated at a
+            // version time <= snapshot_, and any conflicting writer
+            // commits at a strictly later time, so the transaction
+            // serializes at its snapshot with *no* validation and
+            // *no* clock access (the clock-ping-pong win). The stamp
+            // encoding slots it between writer snapshot_ and writer
+            // snapshot_ + 1 in the oracle's total order.
+            commitStamp_ = nativeclock::readerStamp(snapshot_);
+            ++stats_.clockBumpsSkipped;
+        } else {
+            // Writer: claim the commit time first, then validate —
+            // unless the ticket proves no rival committed since the
+            // snapshot (wv == snapshot_ + 1), in which case every
+            // logged read is still at its logged version by
+            // construction and validation is pure overhead (TL2's
+            // GV5 refinement, made exact by the ticket).
+            std::uint64_t wv = rt_.tick();
+            if (wv != snapshot_ + 1) {
+                try {
+                    validate();
+                } catch (const TxConflictAbort &e) {
+                    commitFailure_ = e;
+                    rollback();
+                    return false;
+                }
+            }
+            commitStamp_ = nativeclock::writerStamp(wv);
+            releaseOwnedAt(nativeclock::versionAt(wv));
+        }
+        stats_.readSetAtCommit.record(readSet_->entries());
+        stats_.undoLogAtCommit.record(undoLog_->entries());
+    } else {
+        try {
+            validate();
+        } catch (const TxConflictAbort &e) {
+            commitFailure_ = e;
+            rollback();
+            return false;
+        }
+        // Serialization point: reads validated, every written record
+        // still held. The global counter gives the replay oracle a
+        // total order.
+        commitStamp_ = rt_.nextStamp();
+        stats_.readSetAtCommit.record(readSet_->entries());
+        stats_.undoLogAtCommit.record(undoLog_->entries());
+        releaseOwned(true);
     }
-    // Serialization point: reads validated, every written record still
-    // held. The global counter gives the replay oracle a total order.
-    commitStamp_ = rt_.nextStamp();
-    stats_.readSetAtCommit.record(readSet_->entries());
-    stats_.undoLogAtCommit.record(undoLog_->entries());
-    releaseOwned(true);
     for (Addr obj : txFrees_)
         rt_.heap().free(obj);
     txFrees_.clear();
@@ -120,7 +205,21 @@ NativeThread::rollback()
     // transaction aborted by validation or retry()).
     undoLog_->forEachReverse(undoLog_->beginPos(),
                              [&](Addr e) { undoRestore(e); });
-    releaseOwned(true);
+    if (snapshotMode_) {
+        // Released records must re-version *forward* in clock time: a
+        // plain old+2 bump could run ahead of the clock and collide
+        // with the version a future writer commit will install,
+        // letting a stale snapshot accept a dirty-then-restored value
+        // (ABA). Consuming a real tick keeps "time <= snapshot =>
+        // stable" airtight. Write-free aborts own nothing and skip
+        // the clock entirely.
+        if (!writeSet_->empty())
+            releaseOwnedAt(nativeclock::versionAt(rt_.tick()));
+        else
+            ownedVersions_.clear();
+    } else {
+        releaseOwned(true);
+    }
     for (Addr obj : txAllocs_)
         rt_.heap().free(obj);
     txAllocs_.clear();
@@ -210,6 +309,7 @@ NativeThread::nestedAtomic(const std::function<void()> &fn)
     sp.undoPos = undoLog_->pos();
     sp.txAllocCount = txAllocs_.size();
     sp.txFreeCount = txFrees_.size();
+    sp.snapshot = snapshot_;
     savepoints_.push_back(sp);
     ++depth_;
     try {
@@ -250,9 +350,33 @@ NativeThread::readShared(Addr obj, Addr data)
         if (v == token_)
             return rt_.heap().loadWord(data);
         if (txrec::isVersion(v)) {
+            if (!snapshotMode_) {
+                std::uint64_t val = rt_.heap().loadWord(data);
+                readSet_->append2(packRec(rec), v);
+                maybeValidate();
+                return val;
+            }
+            // TL2 read: bracket the data load between two record
+            // loads. An unchanged odd version proves the datum was
+            // stable across the load; the acquire fence orders the
+            // re-read after it.
             std::uint64_t val = rt_.heap().loadWord(data);
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (rec->load(std::memory_order_relaxed) != v)
+                continue;
+            if (nativeclock::timeOf(v) > snapshot_) {
+                // Written after our snapshot: extend (revalidate once
+                // against the current clock) rather than abort. The
+                // extension throws if a logged read actually moved.
+                extendSnapshot();
+                continue;
+            }
+            // Consistent at the snapshot, and stable until some
+            // writer bumps the record past it — which commit-time
+            // validation (or the wv == snapshot+1 ticket) catches.
+            // No incremental revalidation, ever: this is the O(|rs|²)
+            // -> O(|rs|) collapse the protocol buys.
             readSet_->append2(packRec(rec), v);
-            maybeValidate();
             return val;
         }
         contention(rec);
@@ -267,8 +391,7 @@ NativeThread::writeShared(Addr obj, Addr data, std::uint64_t v,
     ++stats_.wrBarriers;
     NRec rec = &rt_.recordFor(obj, data);
     acquire(rec);
-    undoLog_->append3(data, rt_.heap().loadWord(data),
-                      undometa::make(8, is_ptr));
+    undoAppend(data, is_ptr);
     rt_.heap().storeWord(data, v);
 }
 
@@ -280,6 +403,13 @@ NativeThread::acquire(NRec rec)
         if (v == token_)
             return;
         if (txrec::isVersion(v)) {
+            if (snapshotMode_ && nativeclock::timeOf(v) > snapshot_) {
+                // Acquiring would let us read-after-write a value
+                // newer than our snapshot; extend first so the
+                // transaction stays opaque.
+                extendSnapshot();
+                continue;
+            }
             if (rec->compare_exchange_weak(v, token_,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
@@ -296,7 +426,8 @@ NativeThread::acquire(NRec rec)
 void
 NativeThread::contention(NRec rec)
 {
-    for (unsigned spin = 0; spin < kContentionSpins; ++spin) {
+    unsigned budget = spinBudget(abortsSinceCommit_);
+    for (unsigned spin = 0; spin < budget; ++spin) {
         std::uint64_t v = rec->load(std::memory_order_acquire);
         if (txrec::isVersion(v) || v == token_)
             return;
@@ -304,6 +435,27 @@ NativeThread::contention(NRec rec)
             std::this_thread::yield();
     }
     throw TxConflictAbort{packRec(rec), AbortKind::CmKill};
+}
+
+unsigned
+NativeThread::spinBudget(unsigned attempt) const
+{
+    const StmConfig &cfg = rt_.cfg();
+    std::uint64_t base =
+        cfg.nativeBackoffSpinsBase != 0 ? cfg.nativeBackoffSpinsBase : 1;
+    std::uint64_t cap = cfg.nativeBackoffSpinsCap > base
+                            ? cfg.nativeBackoffSpinsCap
+                            : base;
+    unsigned shift = attempt < 16 ? attempt : 16;
+    std::uint64_t budget = base << shift;
+    if (budget >= cap)
+        return unsigned(cap);
+    // Deterministic per-thread jitter (up to +50%, still capped):
+    // decorrelates rivals that aborted in lockstep without making any
+    // run depend on host entropy.
+    std::uint64_t h = (jitter_ + attempt) * txrec::kHashMult;
+    budget += (h >> 56) * budget / 512;
+    return unsigned(budget < cap ? budget : cap);
 }
 
 void
@@ -344,11 +496,109 @@ NativeThread::validateNow()
 }
 
 void
+NativeThread::extendSnapshot()
+{
+    // Sample *before* validating: every read that passes validation is
+    // consistent at some point at or after `now` was read, so `now` is
+    // a safe (conservative) new snapshot.
+    std::uint64_t now = rt_.clockNow();
+    try {
+        validate();
+    } catch (const TxConflictAbort &) {
+        ++stats_.extensionFailures;
+        rt_.traceInstant(id_, "snapshotExtendFail");
+        throw;
+    }
+    snapshot_ = now;
+    ++stats_.extensions;
+    rt_.traceInstant(id_, "snapshotExtend");
+}
+
+// ---- undo log + Bloom dedup ----
+
+LogPos
+NativeThread::undoFrameStart() const
+{
+    return savepoints_.empty() ? undoLog_->beginPos()
+                               : savepoints_.back().undoPos;
+}
+
+bool
+NativeThread::bloomTest(Addr data) const
+{
+    std::uint64_t h = data * txrec::kHashMult;
+    std::uint64_t b1 = h & bloomMask_;
+    std::uint64_t b2 = (h >> 32) & bloomMask_;
+    return (bloom_[b1 >> 6] >> (b1 & 63) & 1) &&
+           (bloom_[b2 >> 6] >> (b2 & 63) & 1);
+}
+
+void
+NativeThread::bloomSet(Addr data)
+{
+    std::uint64_t h = data * txrec::kHashMult;
+    std::uint64_t b1 = h & bloomMask_;
+    std::uint64_t b2 = (h >> 32) & bloomMask_;
+    bloom_[b1 >> 6] |= std::uint64_t(1) << (b1 & 63);
+    bloom_[b2 >> 6] |= std::uint64_t(1) << (b2 & 63);
+}
+
+void
+NativeThread::bloomClear()
+{
+    std::fill(bloom_.begin(), bloom_.end(), 0);
+}
+
+void
+NativeThread::undoAppend(Addr data, bool is_ptr)
+{
+    if (!bloom_.empty()) {
+        if (!bloomTest(data)) {
+            // A Bloom miss proves no undo entry for this address
+            // exists anywhere in the transaction: first write, log it.
+            bloomSet(data);
+        } else {
+            // Possible rewrite. Dedup is *frame*-scoped: only an
+            // entry logged by the innermost nesting frame may be
+            // elided — eliding against a parent frame's entry would
+            // make a partial abort of this frame skip restoring the
+            // value the parent saw. The filter is transaction-scoped
+            // (conservative), so a parent-frame entry shows up here
+            // as a false positive and is re-logged.
+            bool found = false;
+            undoLog_->forEach(undoFrameStart(), [&](Addr e) {
+                if (rt_.heap().loadWord(e) == data)
+                    found = true;
+            });
+            if (found) {
+                ++stats_.undoElided;
+                return;
+            }
+            ++stats_.bloomFalsePositives;
+        }
+    }
+    undoLog_->append3(data, rt_.heap().loadWord(data),
+                      undometa::make(8, is_ptr));
+}
+
+void
 NativeThread::undoRestore(Addr entry)
 {
     Addr data = rt_.heap().loadWord(entry);
     std::uint64_t old = rt_.heap().loadWord(entry + 8);
     rt_.heap().storeWord(data, old);
+}
+
+// ---- record release + partial abort ----
+
+void
+NativeThread::releaseOwnedAt(std::uint64_t v)
+{
+    writeSet_->forEachAll([&](Addr e) {
+        NRec rec = unpackRec(rt_.heap().loadWord(e));
+        rec->store(v, std::memory_order_release);
+    });
+    ownedVersions_.clear();
 }
 
 void
@@ -371,7 +621,8 @@ NativeThread::partialRollback(const NativeSavepoint &sp)
                              [&](Addr e) { undoRestore(e); });
     // Release records first acquired inside the nested transaction at
     // their pre-acquisition version (no bump: the data is restored,
-    // so concurrent readers stay valid).
+    // so concurrent readers stay valid — and the parent's own logged
+    // reads of those records stay at their logged versions).
     writeSet_->forEach(sp.wrPos, [&](Addr e) {
         NRec rec = unpackRec(rt_.heap().loadWord(e));
         std::uint64_t old = rt_.heap().loadWord(e + 8);
@@ -381,6 +632,12 @@ NativeThread::partialRollback(const NativeSavepoint &sp)
     undoLog_->truncate(sp.undoPos);
     writeSet_->truncate(sp.wrPos);
     readSet_->truncate(sp.rdPos);
+    // Restore the entry snapshot too: truncation dropped the frame's
+    // reads, and the surviving (parent) reads were validated under
+    // sp.snapshot. Rewinding is conservative — at worst the parent
+    // re-extends. (The Bloom filter is *not* rewound; stale bits only
+    // cost false positives, never correctness.)
+    snapshot_ = sp.snapshot;
     for (std::size_t i = sp.txAllocCount; i < txAllocs_.size(); ++i)
         rt_.heap().free(txAllocs_[i]);
     txAllocs_.resize(sp.txAllocCount);

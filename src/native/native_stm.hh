@@ -16,17 +16,45 @@
  *    re-expressed over a host mutex/condvar (the advertise-then-check
  *    arrival is the mutex's atomicity instead of the Dekker
  *    store-then-load);
- *  - commit stamps come from one global atomic counter fetched at the
- *    serialization point (validation success while holding all
- *    acquired records), which gives the replay oracle a total order.
+ *  - commit stamps come from one global commit clock, which gives the
+ *    replay oracle a total order (see "Commit clock" below).
+ *
+ * Two validation protocols are selectable via
+ * StmConfig::nativeSnapshotClock (DESIGN.md §10):
+ *
+ *  - **Snapshot clock** (default, TL2/LSA lineage): record versions
+ *    encode the commit time of their last writer (version 2t+1 for
+ *    time t). A transaction samples the clock at begin; a read that
+ *    post-validates (record unchanged across the data load) at a
+ *    version time at or before the snapshot is consistent *forever* —
+ *    no periodic revalidation, and commit-time validation collapses
+ *    to nothing when no rival committed since the snapshot. A newer
+ *    version triggers a *timestamp extension*: revalidate the read
+ *    set once against the current clock and advance the snapshot,
+ *    aborting only if a logged read actually went stale.
+ *  - **McRT-style** (PR 6): log (record, version) per read, re-read
+ *    the whole read set every validateEvery barriers and again at
+ *    commit — O(|readSet|²) on read-dominated transactions.
+ *
+ * Commit clock: read-only commits never touch the clock cache line
+ * (their serialization stamp is derived from the snapshot); writer
+ * commits fetch_add once, and skip commit validation entirely when
+ * the ticket shows no rival committed since the snapshot. Rollbacks
+ * that released written records consume a tick so restored records
+ * re-version *forward* in clock time — versions never run ahead of
+ * the clock, which is what makes "version time <= snapshot" a proof
+ * of stability (a stale reader can never be confused by a concurrent
+ * abort reusing a version a future commit will also use).
  *
  * Memory-model notes: record words are acquired/released with
- * acq_rel/acquire orderings; data words are relaxed atomics. A reader
- * validates by re-reading the record it logged — any concurrent
- * writer must first CAS the record to its token and only restores /
- * bumps it after the data write, so an unchanged odd version proves
- * the data words read under it were stable. All heap accesses are
- * atomics, so the backend is data-race-free for TSan.
+ * acq_rel/acquire orderings; data words are relaxed atomics. Under
+ * the snapshot protocol a reader brackets the data load between two
+ * record loads separated by an acquire fence (the TL2 idiom): an
+ * unchanged odd version proves the datum was stable, and a version
+ * time at or before the snapshot proves it is the newest committed
+ * value the snapshot can see. Under the McRT protocol a reader
+ * validates by re-reading the record it logged. All heap accesses
+ * are atomics, so the backend is data-race-free for TSan.
  */
 
 #ifndef HASTM_NATIVE_NATIVE_STM_HH
@@ -49,6 +77,45 @@
 namespace hastm {
 
 class NativeThread;
+class TraceSink;
+
+/** Snapshot-clock version encoding: version 2t+1 <=> commit time t. */
+namespace nativeclock {
+
+/** Record version installed by the commit (or abort tick) at time t. */
+inline std::uint64_t
+versionAt(std::uint64_t t)
+{
+    return 2 * t + 1;
+}
+
+/** Commit time encoded by odd record version @p v. */
+inline std::uint64_t
+timeOf(std::uint64_t v)
+{
+    return v >> 1;
+}
+
+/**
+ * Ceiling on clock times: versions must stay odd 64-bit values
+ * (2t+1), and the oracle stamp encoding doubles times again, so the
+ * clock gets 61 usable bits — ~2.3e18 commits, unreachable in
+ * practice but guarded anyway (a silent wrap would alias versions
+ * and break the "time <= snapshot proves stability" argument).
+ */
+constexpr std::uint64_t kMaxTime = (std::uint64_t(1) << 61) - 1;
+
+/**
+ * Oracle-stamp encoding: writers committing at time t stamp 2t,
+ * read-only transactions with final snapshot s stamp 2s+1 — readers
+ * sort after the writer that created their snapshot and before the
+ * next writer, without ever touching the clock line. Ties among
+ * read-only stamps commute (equal snapshots read equal states).
+ */
+inline std::uint64_t writerStamp(std::uint64_t t) { return 2 * t; }
+inline std::uint64_t readerStamp(std::uint64_t s) { return 2 * s + 1; }
+
+} // namespace nativeclock
 
 /**
  * Serial-irrevocable gate over a host mutex/condvar. Same protocol
@@ -57,6 +124,11 @@ class NativeThread;
  * thread takes the token and quiesces (waits for inflight == 0).
  * The mutex makes advertise-and-check atomic, so the simulator's
  * store-then-load arrival ordering is implicit.
+ *
+ * Wakeups are counted: departures and releases broadcast only when
+ * someone is actually parked (waiters_ tracked under the mutex), so
+ * the uncontended fast path — every transaction begin/end when no
+ * thread is escalating — never pays a condvar broadcast syscall.
  */
 class NativeGate
 {
@@ -66,7 +138,7 @@ class NativeGate
     arrive(const void *self)
     {
         std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] { return holder_ == nullptr || holder_ == self; });
+        waitOn(lk, [&] { return holder_ == nullptr || holder_ == self; });
         ++inflight_;
     }
 
@@ -76,7 +148,7 @@ class NativeGate
     {
         std::lock_guard<std::mutex> lk(mu_);
         --inflight_;
-        cv_.notify_all();
+        notifyIfWaiters();
     }
 
     /** Acquire the token and quiesce; call outside a transaction. */
@@ -84,9 +156,9 @@ class NativeGate
     enter(const void *self)
     {
         std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] { return holder_ == nullptr; });
+        waitOn(lk, [&] { return holder_ == nullptr; });
         holder_ = self;
-        cv_.wait(lk, [&] { return inflight_ == 0; });
+        waitOn(lk, [&] { return inflight_ == 0; });
     }
 
     /** Release the token. */
@@ -95,14 +167,41 @@ class NativeGate
     {
         std::lock_guard<std::mutex> lk(mu_);
         holder_ = nullptr;
-        cv_.notify_all();
+        notifyIfWaiters();
+    }
+
+    /** Parked threads right now (tests; racy outside the mutex). */
+    unsigned
+    waitersForTest()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return waiters_;
     }
 
   private:
+    template <typename Pred>
+    void
+    waitOn(std::unique_lock<std::mutex> &lk, Pred pred)
+    {
+        if (pred())
+            return;
+        ++waiters_;
+        cv_.wait(lk, pred);
+        --waiters_;
+    }
+
+    void
+    notifyIfWaiters()
+    {
+        if (waiters_ != 0)
+            cv_.notify_all();
+    }
+
     std::mutex mu_;
     std::condition_variable cv_;
     const void *holder_ = nullptr;
     unsigned inflight_ = 0;
+    unsigned waiters_ = 0;
 };
 
 /**
@@ -118,14 +217,14 @@ class NativeRecordTable
     std::atomic<std::uint64_t> &
     recordFor(Addr data)
     {
-        return slots_[txrec::lineRecOffset(data, mask_, hashMix_) >>
+        return slots_[txrec::lineRecOffset(data, hdr_.mask, hdr_.hashMix) >>
                       txrec::kLineLog2].v;
     }
 
     std::atomic<std::uint64_t> &
     recordForWord(Addr data)
     {
-        return slots_[txrec::wordRecOffset(data, mask_) >>
+        return slots_[txrec::wordRecOffset(data, hdr_.mask) >>
                       txrec::kLineLog2].v;
     }
 
@@ -139,8 +238,18 @@ class NativeRecordTable
     };
 
     std::vector<Slot> slots_;
-    Addr mask_;
-    bool hashMix_;
+
+    /**
+     * Table header, isolated on its own cache line: the mask and mix
+     * flag are read on every barrier by every thread, and must never
+     * share a line with anything another thread writes.
+     */
+    struct alignas(64) Header
+    {
+        Addr mask;
+        bool hashMix;
+    };
+    Header hdr_;
 };
 
 /** Shared state of one native TM session. */
@@ -148,6 +257,7 @@ class NativeRuntime
 {
   public:
     NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes);
+    ~NativeRuntime();
 
     NativeHeap &heap() { return heap_; }
     NativeRecordTable &records() { return records_; }
@@ -168,19 +278,75 @@ class NativeRuntime
         }
     }
 
-    /** Serialization-order commit counter. */
+    /** Current commit time (snapshot sample; acquire). */
     std::uint64_t
-    nextStamp()
+    clockNow() const
     {
-        return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        return clock_.v.load(std::memory_order_acquire);
     }
 
+    /**
+     * Claim the next commit time (serialization ticket for writer
+     * commits and for rollbacks that released written records).
+     * Panics before the version encoding could wrap.
+     */
+    std::uint64_t
+    tick()
+    {
+        std::uint64_t t =
+            clock_.v.fetch_add(1, std::memory_order_acq_rel) + 1;
+        checkClockBound(t);
+        return t;
+    }
+
+    /** McRT-protocol serialization-order commit counter (PR 6). */
+    std::uint64_t nextStamp() { return tick(); }
+
+    /** Force the clock for wraparound-guard tests. */
+    void
+    setClockForTest(std::uint64_t t)
+    {
+        clock_.v.store(t, std::memory_order_release);
+    }
+
+    /** Event sink, or null when StmConfig::tracePath is empty. */
+    TraceSink *trace() { return trace_.get(); }
+
+    /**
+     * Emit an instantaneous trace event on thread @p tid (no-op
+     * without a sink). Host-side, mutex-guarded: the native backend's
+     * threads are real, unlike the simulator's fibers.
+     */
+    void traceInstant(unsigned tid, const char *name);
+
   private:
+    [[noreturn]] static void clockExhausted();
+
+    static void
+    checkClockBound(std::uint64_t t)
+    {
+        if (t > nativeclock::kMaxTime)
+            clockExhausted();
+    }
+
     StmConfig cfg_;
     NativeHeap heap_;
     NativeRecordTable records_;
     NativeGate gate_;
-    std::atomic<std::uint64_t> clock_{0};
+
+    /**
+     * The global commit clock, alone on its cache line: it is the one
+     * word every writer commit dirties, and padding keeps that
+     * ping-pong off the config/heap/gate fields every barrier reads.
+     */
+    struct alignas(64) PaddedClock
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    PaddedClock clock_;
+
+    std::unique_ptr<TraceSink> trace_;
+    std::mutex traceMu_;
 };
 
 /**
@@ -188,8 +354,14 @@ class NativeRuntime
  * native runtime. The atomic() retry loop, the workloads, and the
  * logs are shared with the simulated backend; only the barriers and
  * the waiting primitives differ.
+ *
+ * The object is cacheline-aligned and the hot mutable state —
+ * including the inherited TmStats block, which every barrier bumps —
+ * is padded away from neighbouring allocations, so per-thread stats
+ * accumulation never false-shares; totals are only merged on demand
+ * in NativeSession::totalStats().
  */
-class NativeThread : public TmExec
+class alignas(64) NativeThread : public TmExec
 {
   public:
     NativeThread(NativeRuntime &rt, unsigned id);
@@ -209,6 +381,9 @@ class NativeThread : public TmExec
     bool inIrrevocable() const override { return irrevocable_; }
 
     unsigned id() const { return id_; }
+
+    /** Begin-time snapshot of the current transaction (tests). */
+    std::uint64_t snapshotForTest() const { return snapshot_; }
 
   protected:
     void begin() override;
@@ -230,6 +405,11 @@ class NativeThread : public TmExec
         LogPos rdPos, wrPos, undoPos;
         std::size_t txAllocCount = 0;
         std::size_t txFreeCount = 0;
+        /** Snapshot on entry; restored on partial abort so reads
+         *  logged by the parent stay governed by the snapshot they
+         *  were validated under (restoring the smaller value is
+         *  conservative: it can only force extra extensions). */
+        std::uint64_t snapshot = 0;
     };
 
     std::uint64_t readShared(Addr obj, Addr data);
@@ -246,13 +426,36 @@ class NativeThread : public TmExec
 
     void maybeValidate();
 
+    /**
+     * Timestamp extension: revalidate the read set against the
+     * current clock and advance the snapshot; throws (counting an
+     * extension failure) when a logged read went stale.
+     */
+    void extendSnapshot();
+
+    /** Undo-log @p data's old value unless this frame already did. */
+    void undoAppend(Addr data, bool is_ptr);
+
+    /** Append cursor of the innermost nesting frame (bloom scan). */
+    LogPos undoFrameStart() const;
+
+    bool bloomTest(Addr data) const;
+    void bloomSet(Addr data);
+    void bloomClear();
+
     /** Restore one undo entry (newest-first traversal). */
     void undoRestore(Addr entry);
+
+    /** Release every owned record at version @p v (snapshot mode). */
+    void releaseOwnedAt(std::uint64_t v);
 
     /** Release every owned record, bumping versions when @p bump. */
     void releaseOwned(bool bump);
 
     void partialRollback(const NativeSavepoint &sp);
+
+    /** Capped-exponential contention spins for attempt @p attempt. */
+    unsigned spinBudget(unsigned attempt) const;
 
     static std::uint64_t packRec(NRec rec)
     {
@@ -269,10 +472,28 @@ class NativeThread : public TmExec
     /** Even, nonzero, unique: the record encoding's "owner" token. */
     std::uint64_t token_;
 
+    /** Deterministic per-thread jitter seed (hashed thread id). */
+    std::uint64_t jitter_;
+
+    /** nativeSnapshotClock, latched at construction. */
+    bool snapshotMode_;
+
+    /** Commit time this transaction's reads are consistent with. */
+    std::uint64_t snapshot_ = 0;
+
     Addr cursors_;  //!< 64-byte block holding the three log cursors
     std::unique_ptr<TxLog> readSet_;   //!< [rec][version]
     std::unique_ptr<TxLog> writeSet_;  //!< [rec][acquired version]
     std::unique_ptr<TxLog> undoLog_;   //!< [addr][old][meta]
+
+    /**
+     * Write-set Bloom filter over undo-logged addresses (empty when
+     * disabled). Never a false negative: a miss proves the address
+     * has no undo entry anywhere in this transaction, so the append
+     * fast path skips the log scan entirely.
+     */
+    std::vector<std::uint64_t> bloom_;
+    std::uint64_t bloomMask_ = 0;  //!< bit-index mask (bits - 1)
 
     std::unordered_map<NRec, std::uint64_t> ownedVersions_;
     std::vector<Addr> txAllocs_;
@@ -284,6 +505,10 @@ class NativeThread : public TmExec
 
     unsigned sinceValidate_ = 0;
     bool irrevocable_ = false;
+
+    /** Pad the tail so the hot state above (stats included) never
+     *  shares its last cache line with a neighbouring allocation. */
+    char pad_[64];
 };
 
 } // namespace hastm

@@ -58,6 +58,36 @@ struct StmConfig
     unsigned watchdogConsecAborts = 64;
     /** Same, for total aborts since the last successful commit. */
     unsigned watchdogRetriesPerCommit = 256;
+    // ---- native-backend protocol knobs (native/native_stm.hh) ----
+    /**
+     * Time-based snapshot protocol (TL2/LSA lineage) for the native
+     * backend: record versions carry global-clock commit times, a read
+     * of an unlocked record whose time is at or before the
+     * transaction's begin snapshot needs no revalidation ever, and a
+     * newer version triggers one timestamp extension (revalidate once,
+     * advance the snapshot) instead of an abort. False restores the
+     * PR 6 McRT-style protocol (periodic + commit-time full read-set
+     * revalidation, per-record version bumps) for A/B comparison.
+     */
+    bool nativeSnapshotClock = true;
+    /**
+     * Bits in the native backend's per-thread write-set Bloom filter
+     * (rounded up to a power of two, minimum 64). A write whose
+     * address misses the filter is definitely not yet undo-logged in
+     * the current nesting frame and appends without scanning; a hit
+     * falls back to an undo-log scan (a false positive costs the scan,
+     * never correctness). 0 disables filtering and always appends.
+     */
+    unsigned nativeWriteBloomBits = 1024;
+    /**
+     * Native contention backoff: spins before the first backoff step
+     * and the cap the exponential doubling saturates at. Each step
+     * adds deterministic per-thread jitter (hashed thread id) so
+     * colliding threads desynchronise. Setting base == cap reproduces
+     * the PR 6 fixed-spin behavior (no jitter, no growth).
+     */
+    unsigned nativeBackoffSpinsBase = 64;
+    unsigned nativeBackoffSpinsCap = 8192;
     /**
      * TEST-ONLY: skip commit-time validation, making the STM
      * deliberately unsound so the adversarial oracle can prove it

@@ -204,6 +204,12 @@ struct TmStats
     std::uint64_t cmKills = 0;          //!< contention-manager self-aborts
     std::uint64_t irrevocableEntries = 0; //!< serial-irrevocable escalations
 
+    // ---- native snapshot-clock protocol (native/native_stm.hh) ----
+    std::uint64_t extensions = 0;        //!< successful timestamp extensions
+    std::uint64_t extensionFailures = 0; //!< extensions that found a stale read
+    std::uint64_t bloomFalsePositives = 0; //!< write-bloom hits with no log entry
+    std::uint64_t clockBumpsSkipped = 0; //!< commits that left the clock alone
+
     // ---- false-conflict accounting (stm/conflict_class.hh) ----
     // Conflict aborts that named a record, classified by whether the
     // parties' 64-byte-line sets actually overlap. Aliased conflicts
@@ -260,6 +266,10 @@ struct TmStats
         htmCapacityAborts += s.htmCapacityAborts;
         cmKills += s.cmKills;
         irrevocableEntries += s.irrevocableEntries;
+        extensions += s.extensions;
+        extensionFailures += s.extensionFailures;
+        bloomFalsePositives += s.bloomFalsePositives;
+        clockBumpsSkipped += s.clockBumpsSkipped;
         conflictsTrue += s.conflictsTrue;
         conflictsAliased += s.conflictsAliased;
         conflictsUnclassified += s.conflictsUnclassified;

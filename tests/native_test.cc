@@ -4,22 +4,34 @@
  *
  * The same conformance bodies the simulated schemes pass
  * (tests/conformance_suite.hh) run over NativeBackend at every
- * granularity, plus native-specific machinery: empty-undo-log and
- * partial-write rollback through TxLog::beginPos, the host serial
- * gate, scaling of the session runner, and the cross-backend replay —
- * a recorded native op log replayed through the simulator must agree
- * op-for-op and in final state, for every workload and several seeds.
+ * granularity — under both the default snapshot-clock protocol and
+ * the McRT-style protocol (nativeSnapshotClock=false) — plus
+ * native-specific machinery: empty-undo-log and partial-write
+ * rollback through TxLog::beginPos, the host serial gate, scaling of
+ * the session runner, and the cross-backend replay — a recorded
+ * native op log replayed through the simulator must agree op-for-op
+ * and in final state, for every workload and several seeds.
+ *
+ * The snapshot-protocol edges (timestamp extension success/failure,
+ * Bloom-filter fallback, savepoint snapshot restore) are driven
+ * deterministically: a second NativeThread borrowed from the session
+ * is stepped inline from thread 0's body, so the "concurrent" rival
+ * commit happens at an exact program point on a single host thread.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "backend/native_backend.hh"
 #include "backend/sim_backend.hh"
 #include "harness/native_experiment.hh"
+#include "native/native_stm.hh"
 
 #include "conformance_suite.hh"
 
@@ -89,6 +101,69 @@ INSTANTIATE_TEST_SUITE_P(
           default:                  return "line";
         }
     });
+
+// The McRT-style protocol must stay selectable (and correct) for A/B
+// comparison: the same conformance bodies with nativeSnapshotClock
+// off, at every granularity.
+
+class NativeMcrtConformance : public ::testing::TestWithParam<Granularity>
+{
+  protected:
+    static NativeSessionConfig
+    mcrtCfg(unsigned threads, Granularity gran)
+    {
+        NativeSessionConfig c = nativeCfg(threads, gran);
+        c.stm.nativeSnapshotClock = false;
+        return c;
+    }
+};
+
+TEST_P(NativeMcrtConformance, ReadYourOwnWrites)
+{
+    NativeBackend b(mcrtCfg(1, GetParam()));
+    conform::readYourOwnWrites(b);
+}
+
+TEST_P(NativeMcrtConformance, CounterIncrementsAreAtomic)
+{
+    NativeBackend b(mcrtCfg(2, GetParam()));
+    conform::counterIncrementsAreAtomic(b);
+}
+
+TEST_P(NativeMcrtConformance, MoneyConservedUnderTransfers)
+{
+    NativeBackend b(mcrtCfg(2, GetParam()));
+    conform::moneyConservedUnderTransfers(b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stm, NativeMcrtConformance,
+    ::testing::Values(Granularity::CacheLine, Granularity::Object,
+                      Granularity::Word),
+    [](const ::testing::TestParamInfo<Granularity> &info) {
+        switch (info.param) {
+          case Granularity::Object: return "obj";
+          case Granularity::Word:   return "word";
+          default:                  return "line";
+        }
+    });
+
+TEST(NativeMcrt, SnapshotCountersStayZeroUnderTheOldProtocol)
+{
+    NativeSessionConfig cfg = nativeCfg(1);
+    cfg.stm.nativeSnapshotClock = false;
+    NativeBackend b(cfg);
+    b.run({[&](TmExec &t) {
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] { t.writeField(obj, 0, 1); });
+        t.atomic([&] { EXPECT_EQ(t.readField(obj, 0), 1u); });
+        EXPECT_EQ(t.stats().extensions, 0u);
+        EXPECT_EQ(t.stats().extensionFailures, 0u);
+        EXPECT_EQ(t.stats().clockBumpsSkipped, 0u);
+        // Commit-time validation, by contrast, runs every time.
+        EXPECT_GE(t.stats().fullValidations, 2u);
+    }});
+}
 
 // ------------------------------------------------ rollback edge cases
 
@@ -317,6 +392,355 @@ TEST(NativeGate, HairTriggerWatchdogStaysAtomicUnderContention)
     EXPECT_EQ(v, 4u * kIncrements);
 }
 
+TEST(NativeGate, WakeupsFireOnlyWhenSomeoneIsParked)
+{
+    // Regression for the counted-wakeup fast path: a parked arrival
+    // must still be woken by exit() now that broadcasts are skipped
+    // when nobody waits. Deterministic: the main thread polls the
+    // waiter count, so the helper is provably parked before exit().
+    NativeGate g;
+    int tok = 0, other = 0;
+    EXPECT_EQ(g.waitersForTest(), 0u);
+    g.enter(&tok);
+    std::atomic<bool> arrived{false};
+    std::thread th([&] {
+        g.arrive(&other);
+        arrived.store(true);
+        g.depart();
+    });
+    while (g.waitersForTest() == 0)
+        std::this_thread::yield();
+    EXPECT_FALSE(arrived.load());
+    g.exit();
+    th.join();
+    EXPECT_TRUE(arrived.load());
+    EXPECT_EQ(g.waitersForTest(), 0u);
+}
+
+TEST(NativeGate, EscalatorParksUntilInflightDrains)
+{
+    // The other wakeup edge: depart() must broadcast when an
+    // escalating thread is parked in quiesce.
+    NativeGate g;
+    int tok = 0, other = 0;
+    g.arrive(&other);
+    std::atomic<bool> entered{false};
+    std::thread th([&] {
+        g.enter(&tok);
+        entered.store(true);
+        g.exit();
+    });
+    while (g.waitersForTest() == 0)
+        std::this_thread::yield();
+    EXPECT_FALSE(entered.load());
+    g.depart();
+    th.join();
+    EXPECT_TRUE(entered.load());
+    EXPECT_EQ(g.waitersForTest(), 0u);
+}
+
+// ------------------------------------------- snapshot-protocol edges
+//
+// Deterministic rival commits: with a single body, run() executes
+// inline on the calling host thread, and the session's second
+// NativeThread can be stepped from inside thread 0's transaction (the
+// gate admits any number of non-escalated transactions), so every
+// interleaving below is an exact program point on one host thread.
+
+class NativeSnapshot : public ::testing::TestWithParam<Granularity>
+{
+  protected:
+    /** Two objects far enough apart that their first data words map
+     *  to distinct transaction records at every granularity. */
+    static void
+    allocPair(TmExec &t, Addr &x, Addr &y)
+    {
+        x = t.txAlloc(256);
+        y = t.txAlloc(256);
+        t.atomic([&] {
+            t.writeField(x, 0, 1);
+            t.writeField(y, 0, 2);
+        });
+    }
+};
+
+TEST_P(NativeSnapshot, ExtensionSucceedsWhenReadSetStillValid)
+{
+    NativeBackend b(nativeCfg(2, GetParam()));
+    b.run({[&](TmExec &t) {
+        Addr x = 0, y = 0;
+        allocPair(t, x, y);
+        NativeThread &rival = b.session().thread(1);
+        std::uint64_t got = 0;
+        t.atomic([&] {
+            EXPECT_EQ(t.readField(x, 0), 1u);
+            // A rival commit moves y's version past our snapshot; x
+            // is untouched, so the extension must succeed and the
+            // read must return the rival's value.
+            rival.atomic([&] { rival.writeField(y, 0, 99); });
+            got = t.readField(y, 0);
+        });
+        EXPECT_EQ(got, 99u);
+        EXPECT_GE(t.stats().extensions, 1u);
+        EXPECT_EQ(t.stats().extensionFailures, 0u);
+        EXPECT_EQ(t.stats().aborts, 0u);
+    }});
+}
+
+TEST_P(NativeSnapshot, ExtensionFailsWhenALoggedReadWentStale)
+{
+    NativeBackend b(nativeCfg(2, GetParam()));
+    b.run({[&](TmExec &t) {
+        Addr x = 0, y = 0;
+        allocPair(t, x, y);
+        NativeThread &rival = b.session().thread(1);
+        bool sabotaged = false;
+        std::uint64_t gx = 0, gy = 0;
+        t.atomic([&] {
+            gx = t.readField(x, 0);
+            if (!sabotaged) {
+                sabotaged = true;
+                // The rival overwrites BOTH objects: y's bumped
+                // version forces an extension, and the logged read of
+                // x makes that extension fail — opacity demands an
+                // abort, never a mixed view.
+                rival.atomic([&] {
+                    rival.writeField(x, 0, 10);
+                    rival.writeField(y, 0, 20);
+                });
+            }
+            gy = t.readField(y, 0);
+        });
+        // First attempt died in the extension; the retry saw a
+        // consistent post-rival state.
+        EXPECT_EQ(gx, 10u);
+        EXPECT_EQ(gy, 20u);
+        EXPECT_GE(t.stats().extensionFailures, 1u);
+        EXPECT_GE(t.stats().aborts, 1u);
+    }});
+}
+
+TEST_P(NativeSnapshot, WriteToFreshlyCommittedRecordExtendsFirst)
+{
+    // Read-after-write opacity: acquiring a record whose version is
+    // newer than the snapshot must extend before taking ownership
+    // (the undo log would otherwise capture a value the snapshot
+    // cannot see).
+    NativeBackend b(nativeCfg(2, GetParam()));
+    b.run({[&](TmExec &t) {
+        Addr x = 0, y = 0;
+        allocPair(t, x, y);
+        NativeThread &rival = b.session().thread(1);
+        bool committed = t.atomic([&] {
+            EXPECT_EQ(t.readField(x, 0), 1u);
+            rival.atomic([&] { rival.writeField(y, 0, 50); });
+            t.writeField(y, 0, 51);
+        });
+        EXPECT_TRUE(committed);
+        EXPECT_GE(t.stats().extensions, 1u);
+        EXPECT_EQ(t.stats().aborts, 0u);
+        t.atomic([&] { EXPECT_EQ(t.readField(y, 0), 51u); });
+    }});
+}
+
+TEST_P(NativeSnapshot, PartialAbortRestoresTheSavepointSnapshot)
+{
+    NativeBackend b(nativeCfg(2, GetParam()));
+    NativeThread &t = b.session().thread(0);
+    NativeThread &rival = b.session().thread(1);
+    b.run({[&](TmExec &) {
+        Addr x = 0, y = 0;
+        allocPair(t, x, y);
+        t.atomic([&] {
+            std::uint64_t s0 = t.snapshotForTest();
+            EXPECT_EQ(t.readField(x, 0), 1u);
+            bool inner = t.atomic([&] {
+                rival.atomic([&] { rival.writeField(y, 0, 9); });
+                EXPECT_EQ(t.readField(y, 0), 9u);  // forces an extension
+                EXPECT_GT(t.snapshotForTest(), s0);
+                t.userAbort();
+            });
+            EXPECT_FALSE(inner);
+            // The savepoint rewound the snapshot along with the logs:
+            // the surviving parent read set is governed again by the
+            // snapshot it was validated under.
+            EXPECT_EQ(t.snapshotForTest(), s0);
+            t.validateNow();
+        });
+        EXPECT_GE(t.stats().extensions, 1u);
+    }});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stm, NativeSnapshot,
+    ::testing::Values(Granularity::CacheLine, Granularity::Object,
+                      Granularity::Word),
+    [](const ::testing::TestParamInfo<Granularity> &info) {
+        switch (info.param) {
+          case Granularity::Object: return "obj";
+          case Granularity::Word:   return "word";
+          default:                  return "line";
+        }
+    });
+
+TEST(NativeSnapshotStats, ReadOnlyCommitLeavesTheClockAlone)
+{
+    NativeBackend b(nativeCfg(1));
+    b.run({[&](TmExec &t) {
+        Addr obj = t.txAlloc(8 * 16);
+        t.atomic([&] {
+            for (unsigned i = 0; i < 16; ++i)
+                t.writeField(obj, 8 * i, i);
+        });
+        NativeRuntime &rt = b.session().runtime();
+        std::uint64_t before = rt.clockNow();
+        std::uint64_t sum = 0;
+        t.atomic([&] {
+            for (unsigned i = 0; i < 16; ++i)
+                sum += t.readField(obj, 8 * i);
+        });
+        EXPECT_EQ(rt.clockNow(), before);
+        EXPECT_EQ(sum, 120u);
+        EXPECT_GE(t.stats().clockBumpsSkipped, 1u);
+        EXPECT_EQ(t.stats().extensions, 0u);
+    }});
+}
+
+TEST(NativeSnapshotStats, SoloWriterNeverRevalidatesItsReadSet)
+{
+    // The ticket refinement: when no rival committed between snapshot
+    // and commit ticket, validation is skipped outright. The McRT
+    // protocol re-reads the read set on every single commit.
+    auto validationsFor = [](bool snapshot_clock) {
+        NativeSessionConfig cfg = nativeCfg(1);
+        cfg.stm.nativeSnapshotClock = snapshot_clock;
+        NativeBackend b(cfg);
+        std::uint64_t validations = 0;
+        b.run({[&](TmExec &t) {
+            Addr obj = t.txAlloc(8 * 64);
+            t.atomic([&] {
+                for (unsigned i = 0; i < 64; ++i)
+                    t.writeField(obj, 8 * i, 1);
+            });
+            for (unsigned r = 0; r < 20; ++r) {
+                t.atomic([&] {
+                    std::uint64_t acc = 0;
+                    for (unsigned i = 0; i < 64; ++i)
+                        acc += t.readField(obj, 8 * i);
+                    t.writeField(obj, 0, acc);
+                });
+            }
+            validations = t.stats().fullValidations;
+        }});
+        return validations;
+    };
+    EXPECT_EQ(validationsFor(true), 0u);
+    EXPECT_GE(validationsFor(false), 20u);
+}
+
+TEST(NativeClockDeathTest, WriterPastMaxTimePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    NativeBackend b(nativeCfg(1));
+    Addr obj = 0;
+    b.run({[&](TmExec &t) { obj = t.txAlloc(16); }});
+    b.session().runtime().setClockForTest(nativeclock::kMaxTime);
+    EXPECT_DEATH(b.run({[&](TmExec &t) {
+                     t.atomic([&] { t.writeField(obj, 0, 1); });
+                 }}),
+                 "clock exhausted");
+}
+
+// ------------------------------------------------ write-set Bloom
+
+TEST(NativeBloom, TinyFilterFallsBackToLogScanNeverFalseNegative)
+{
+    // A 64-bit filter saturates long before 300 distinct addresses:
+    // later first-writes hit the filter, scan the log, find nothing,
+    // and append anyway (counted false positives). A false NEGATIVE
+    // would skip an undo entry and the abort below would fail to
+    // restore some word — the value checks have teeth.
+    NativeSessionConfig cfg = nativeCfg(1);
+    cfg.stm.nativeWriteBloomBits = 64;
+    NativeBackend b(cfg);
+    b.run({[&](TmExec &t) {
+        constexpr unsigned kWords = 300;
+        Addr big = t.txAlloc(8 * kWords);
+        t.atomic([&] {
+            for (unsigned i = 0; i < kWords; ++i)
+                t.writeField(big, 8 * i, 7);
+        });
+        bool committed = t.atomic([&] {
+            for (unsigned i = 0; i < kWords; ++i)
+                t.writeField(big, 8 * i, 1000 + i);
+            for (unsigned i = 0; i < kWords; ++i)
+                t.writeField(big, 8 * i, 2000 + i);  // dups: scan dedups
+            t.userAbort();
+        });
+        EXPECT_FALSE(committed);
+        t.atomic([&] {
+            for (unsigned i = 0; i < kWords; ++i)
+                EXPECT_EQ(t.readField(big, 8 * i), 7u);
+        });
+        EXPECT_GT(t.stats().bloomFalsePositives, 0u);
+        EXPECT_GE(t.stats().undoElided, kWords);
+    }});
+}
+
+TEST(NativeBloom, DisabledFilterLogsDuplicatesAndStillRestores)
+{
+    // nativeWriteBloomBits = 0 turns dedup off entirely: duplicate
+    // writes each log an undo entry, and the newest-first reverse
+    // walk still lands on the pre-transaction value.
+    NativeSessionConfig cfg = nativeCfg(1);
+    cfg.stm.nativeWriteBloomBits = 0;
+    NativeBackend b(cfg);
+    b.run({[&](TmExec &t) {
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] { t.writeField(obj, 0, 7); });
+        t.atomic([&] {
+            t.writeField(obj, 0, 100);
+            t.writeField(obj, 0, 200);
+            t.userAbort();
+        });
+        t.atomic([&] { EXPECT_EQ(t.readField(obj, 0), 7u); });
+        EXPECT_EQ(t.stats().undoElided, 0u);
+        EXPECT_EQ(t.stats().bloomFalsePositives, 0u);
+    }});
+}
+
+// ------------------------------------------------ trace instants
+
+TEST(NativeTrace, ExtensionEmitsInstantEvents)
+{
+    std::string path =
+        ::testing::TempDir() + "native_snapshot_trace.json";
+    std::remove(path.c_str());
+    {
+        NativeSessionConfig cfg = nativeCfg(2);
+        cfg.stm.tracePath = path;
+        NativeBackend b(cfg);
+        b.run({[&](TmExec &t) {
+            Addr x = t.txAlloc(256), y = t.txAlloc(256);
+            t.atomic([&] {
+                t.writeField(x, 0, 1);
+                t.writeField(y, 0, 2);
+            });
+            NativeThread &rival = b.session().thread(1);
+            t.atomic([&] {
+                t.readField(x, 0);
+                rival.atomic([&] { rival.writeField(y, 0, 9); });
+                t.readField(y, 0);
+            });
+        }});
+    }  // backend destroyed -> trace flushed
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("snapshotExtend"), std::string::npos);
+}
+
 // ------------------------------------------------ experiment runner
 
 TEST(NativeExperiment, OracleAcceptsEveryWorkloadMultiThreaded)
@@ -355,6 +779,36 @@ TEST(NativeExperiment, StatsCountRealWorkAcrossThreads)
     // One commit per measured op at minimum (aborted attempts retry).
     EXPECT_GE(r.tm.commits, 500u);
     EXPECT_LE(r.finalSize, cfg.keyRange);
+}
+
+TEST(NativeExperiment, DisjointPartitionFillsPerThreadOutcomes)
+{
+    NativeExperimentConfig cfg;
+    cfg.workload = WorkloadKind::HashTable;
+    cfg.threads = 4;
+    cfg.totalOps = 2000;
+    cfg.updatePct = 40;
+    cfg.initialSize = 128;
+    cfg.keyRange = 512;
+    cfg.hashBuckets = 32;
+    cfg.disjoint = true;
+    cfg.recordOps = true;
+    NativeExperimentResult r = runNativeDataStructure(cfg);
+    EXPECT_TRUE(r.oracleOk) << r.oracleDiag;
+    EXPECT_TRUE(r.invariantOk);
+    ASSERT_EQ(r.perThread.size(), 4u);
+    std::uint64_t commits = 0, aborts = 0;
+    for (const NativeThreadOutcome &o : r.perThread) {
+        // Each thread retires its share of the measured ops, one
+        // top-level commit per op at minimum.
+        EXPECT_GE(o.commits, cfg.totalOps / 4);
+        commits += o.commits;
+        aborts += o.aborts;
+    }
+    // The per-thread capture and the merged totals describe the same
+    // measured phase.
+    EXPECT_EQ(commits, r.tm.commits);
+    EXPECT_EQ(aborts, r.tm.aborts);
 }
 
 // ------------------------------------------------ cross-backend replay
