@@ -67,6 +67,33 @@ NativeRuntime::NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes)
 
 NativeRuntime::~NativeRuntime() = default;
 
+std::atomic<std::uint64_t> &
+NativeRuntime::registerEpochSlot()
+{
+    std::lock_guard<std::mutex> lk(epochMu_);
+    return epochSlots_.emplace_back().v;
+}
+
+std::uint64_t
+NativeRuntime::minActiveEpoch() const
+{
+    // Lock-free: registration (the only deque mutation) finishes
+    // before concurrent bodies run. seq_cst slot loads pair with the
+    // seq_cst publish in begin(): either this scan observes a running
+    // transaction's (conservative) epoch, or the publish came later
+    // in the seq_cst order — and then that transaction's post-publish
+    // clock re-sample read a value at or past the caller's free-time
+    // stamp, its snapshot covers the free, and it can never reach a
+    // block reclaimed on the strength of this scan.
+    std::uint64_t min_epoch = kIdleEpoch;
+    for (const EpochSlot &slot : epochSlots_) {
+        std::uint64_t e = slot.v.load(std::memory_order_seq_cst);
+        if (e < min_epoch)
+            min_epoch = e;
+    }
+    return min_epoch;
+}
+
 void
 NativeRuntime::traceInstant(unsigned tid, const char *name)
 {
@@ -91,6 +118,7 @@ NativeThread::NativeThread(NativeRuntime &rt, unsigned id)
       snapshotMode_(rt.cfg().nativeSnapshotClock)
 {
     HASTM_ASSERT(!txrec::isVersion(token_) && token_ != 0);
+    epoch_ = &rt_.registerEpochSlot();
     cursors_ = rt_.heap().allocZeroed(64, 64);
     readSet_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 0, 2);
     writeSet_ = std::make_unique<TxLog>(rt_.heap(), cursors_ + 8, 2);
@@ -104,10 +132,73 @@ NativeThread::NativeThread(NativeRuntime &rt, unsigned id)
 
 NativeThread::~NativeThread()
 {
+    // NativeSession tears threads down after every body has joined,
+    // so no epoch is published and every limbo block is unreachable:
+    // hand them all back.
+    for (auto &[time, obj] : limbo_)
+        rt_.heap().free(obj);
     readSet_.reset();
     writeSet_.reset();
     undoLog_.reset();
     rt_.heap().free(cursors_);
+}
+
+// ---- transactional reclamation (owner-only limbo list) ----
+
+void
+NativeThread::deferFrees(std::vector<Addr> &objs)
+{
+    if (objs.empty())
+        return;
+    // Stamp at the *current* clock, not the freeing commit's ticket:
+    // it is never smaller (the ticket was claimed earlier), and a
+    // larger stamp only delays reuse. Any transaction that can still
+    // reach one of these blocks has a snapshot strictly before the
+    // freeing commit, hence a published epoch strictly below the
+    // stamp, and keeps the block alive.
+    std::uint64_t time = rt_.clockNow();
+    for (Addr obj : objs)
+        limbo_.emplace_back(time, obj);
+    if (time < limboOldest_)
+        limboOldest_ = time;
+    objs.clear();
+    reclaimOwn();
+}
+
+void
+NativeThread::deferFree(Addr obj)
+{
+    std::uint64_t time = rt_.clockNow();
+    limbo_.emplace_back(time, obj);
+    if (time < limboOldest_)
+        limboOldest_ = time;
+    reclaimOwn();
+}
+
+void
+NativeThread::reclaimOwn()
+{
+    if (limbo_.empty())
+        return;
+    // Stamps only ever satisfy "<= min_epoch" together with the
+    // oldest one, so when even that is still pinned the sweep below
+    // cannot free anything: one slot scan and out.
+    std::uint64_t min_epoch = rt_.minActiveEpoch();
+    if (min_epoch < limboOldest_)
+        return;
+    auto keep = limbo_.begin();
+    std::uint64_t oldest = NativeRuntime::kIdleEpoch;
+    for (auto &entry : limbo_) {
+        if (entry.first <= min_epoch) {
+            rt_.heap().free(entry.second);
+        } else {
+            if (entry.first < oldest)
+                oldest = entry.first;
+            *keep++ = entry;
+        }
+    }
+    limbo_.erase(keep, limbo_.end());
+    limboOldest_ = oldest;
 }
 
 // ---- driver hooks ----
@@ -127,9 +218,18 @@ NativeThread::begin()
     retryWatch_.clear();
     bloomClear();
     sinceValidate_ = 0;
-    // Sample the snapshot *after* the gate: an irrevocable rival may
-    // commit writes while we park, and those must be visible.
-    snapshot_ = snapshotMode_ ? rt_.clockNow() : 0;
+    // Epoch publish, hazard-pointer order: advertise a lower bound on
+    // the snapshot *before* the definitive clock sample (both seq_cst).
+    // A reclaimer either sees the published epoch and keeps every
+    // limbo block this transaction could reach, or scanned earlier in
+    // the seq_cst order — and then the re-sample below is ordered
+    // after the freeing tick, the snapshot covers the free, and the
+    // block is unreachable from here (header comment, DESIGN.md §10).
+    // Sampling after the gate also keeps an irrevocable rival's
+    // commits visible.
+    epoch_->store(rt_.clockNow(), std::memory_order_seq_cst);
+    std::uint64_t now = rt_.clockNow();
+    snapshot_ = snapshotMode_ ? now : 0;
     depth_ = 1;
 }
 
@@ -186,12 +286,19 @@ NativeThread::commit()
         stats_.undoLogAtCommit.record(undoLog_->entries());
         releaseOwned(true);
     }
-    for (Addr obj : txFrees_)
-        rt_.heap().free(obj);
-    txFrees_.clear();
     txAllocs_.clear();
     ++stats_.commits;
     depth_ = 0;
+    // Retire the epoch before deferring the frees: our own slot must
+    // not pin them (with no rivals in flight they reclaim at once —
+    // the first-fit reuse the single-threaded tests rely on).
+    epoch_->store(NativeRuntime::kIdleEpoch, std::memory_order_release);
+    // Freed blocks go to the limbo list, NOT straight back to the
+    // heap: a rival whose snapshot predates this commit may still
+    // hold a pointer into them, and reallocation scribbles words
+    // without bumping the covering records — its reads would keep
+    // validating against uncommitted garbage.
+    deferFrees(txFrees_);
     rt_.gate().depart();
     return true;
 }
@@ -220,12 +327,17 @@ NativeThread::rollback()
     } else {
         releaseOwned(true);
     }
-    for (Addr obj : txAllocs_)
-        rt_.heap().free(obj);
-    txAllocs_.clear();
     txFrees_.clear();
     savepoints_.clear();
     depth_ = 0;
+    epoch_->store(NativeRuntime::kIdleEpoch, std::memory_order_release);
+    // This transaction's own allocations also ride the limbo list: a
+    // zombie rival that raced a dirty read of one of our pointers can
+    // never *commit* it (the forward re-versioning above guarantees
+    // that), but it may still dereference it before its next
+    // validation — deferring reuse keeps that dereference pointing at
+    // intact, in-bounds words.
+    deferFrees(txAllocs_);
     rt_.gate().depart();
 }
 
@@ -619,14 +731,28 @@ NativeThread::partialRollback(const NativeSavepoint &sp)
     // Restore data written since the savepoint, newest first.
     undoLog_->forEachReverse(sp.undoPos,
                              [&](Addr e) { undoRestore(e); });
-    // Release records first acquired inside the nested transaction at
-    // their pre-acquisition version (no bump: the data is restored,
-    // so concurrent readers stay valid — and the parent's own logged
-    // reads of those records stay at their logged versions).
+    // Release records first acquired inside the nested transaction,
+    // re-versioned *forward* — a fresh clock tick in snapshot mode
+    // (one tick covers the whole frame), a +2 bump in McRT mode —
+    // exactly like a full rollback. Restoring the pre-acquisition
+    // version would be the dirty-then-restored ABA: a rival that
+    // loaded that version, read the frame's in-place value during the
+    // dirty window, and re-checks after this restore would see the
+    // version unchanged and accept uncommitted data. The parent's own
+    // logged reads of these records go stale instead and
+    // conservatively extend or abort at their next validation.
+    std::uint64_t fwd = 0;
     writeSet_->forEach(sp.wrPos, [&](Addr e) {
         NRec rec = unpackRec(rt_.heap().loadWord(e));
-        std::uint64_t old = rt_.heap().loadWord(e + 8);
-        rec->store(old, std::memory_order_release);
+        std::uint64_t v;
+        if (snapshotMode_) {
+            if (fwd == 0)
+                fwd = nativeclock::versionAt(rt_.tick());
+            v = fwd;
+        } else {
+            v = txrec::nextVersion(rt_.heap().loadWord(e + 8));
+        }
+        rec->store(v, std::memory_order_release);
         ownedVersions_.erase(rec);
     });
     undoLog_->truncate(sp.undoPos);
@@ -638,9 +764,15 @@ NativeThread::partialRollback(const NativeSavepoint &sp)
     // re-extends. (The Bloom filter is *not* rewound; stale bits only
     // cost false positives, never correctness.)
     snapshot_ = sp.snapshot;
-    for (std::size_t i = sp.txAllocCount; i < txAllocs_.size(); ++i)
-        rt_.heap().free(txAllocs_[i]);
-    txAllocs_.resize(sp.txAllocCount);
+    // The frame's allocations defer like a full rollback's (zombie
+    // dirty pointers must not dereference reused words); our own
+    // still-published epoch pins them until this transaction ends.
+    if (txAllocs_.size() > sp.txAllocCount) {
+        std::vector<Addr> doomed(txAllocs_.begin() + sp.txAllocCount,
+                                 txAllocs_.end());
+        txAllocs_.resize(sp.txAllocCount);
+        deferFrees(doomed);
+    }
     txFrees_.resize(sp.txFreeCount);
 }
 
@@ -674,6 +806,7 @@ NativeThread::writeField(Addr obj, unsigned off, std::uint64_t v,
 Addr
 NativeThread::txAlloc(std::size_t field_bytes, std::uint32_t ptr_mask)
 {
+    reclaimOwn();
     std::size_t total = kObjHeaderBytes + ((field_bytes + 15) & ~15ull);
     Addr obj = rt_.heap().allocZeroed(total, 16);
     rt_.heap().storeWord(obj + kTxRecOff, txrec::kInitialVersion);
@@ -691,7 +824,9 @@ NativeThread::txFree(Addr obj)
         txFrees_.push_back(obj);
         return;
     }
-    rt_.heap().free(obj);
+    // Even outside a transaction, reuse must wait for rivals whose
+    // snapshots could still validate reads into the block.
+    deferFree(obj);
 }
 
 } // namespace hastm

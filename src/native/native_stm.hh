@@ -40,11 +40,32 @@
  * (their serialization stamp is derived from the snapshot); writer
  * commits fetch_add once, and skip commit validation entirely when
  * the ticket shows no rival committed since the snapshot. Rollbacks
- * that released written records consume a tick so restored records
- * re-version *forward* in clock time — versions never run ahead of
- * the clock, which is what makes "version time <= snapshot" a proof
- * of stability (a stale reader can never be confused by a concurrent
- * abort reusing a version a future commit will also use).
+ * — full *and* partial — that release written records re-version
+ * them *forward* in clock time (a fresh tick in snapshot mode, a +2
+ * bump in McRT mode): versions never run ahead of the clock, and a
+ * released record never returns to its pre-acquisition version,
+ * which is what makes "version time <= snapshot" (or "version
+ * unchanged" under McRT) a proof of stability. Restoring the old
+ * version would let a rival that bracketed a read across the dirty
+ * window accept the undone value (the dirty-then-restored ABA).
+ *
+ * Reclamation: txFree'd blocks do NOT return to the first-fit heap
+ * at commit. A transaction whose snapshot predates the freeing
+ * commit may still hold a pointer into the block, and every read it
+ * validates there would keep passing after the allocator scribbles
+ * the words (raw stores never bump the covering records). Instead
+ * each thread publishes its begin-time clock sample in a padded
+ * epoch slot (hazard-pointer discipline: publish, then re-sample
+ * seq_cst so a reclaimer that missed the slot is proven to have
+ * freed only blocks this transaction can no longer reach), freed
+ * blocks sit on the freeing thread's OWN limbo list stamped with the
+ * free-time, and a block is handed back to the allocator only once
+ * every active epoch is at or past its stamp. The limbo lists are
+ * owner-accessed (no shared lock on the free path; only the epoch
+ * slots are shared, and those are scanned lock-free), and a cached
+ * oldest-stamp bound skips the sweep entirely when no entry can be
+ * ripe. Aborted transactions' own allocations take the same path, so
+ * a zombie's dirty pointer never dereferences reused memory either.
  *
  * Memory-model notes: record words are acquired/released with
  * acq_rel/acquire orderings; data words are relaxed atomics. Under
@@ -63,9 +84,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "native/native_heap.hh"
@@ -278,11 +301,17 @@ class NativeRuntime
         }
     }
 
-    /** Current commit time (snapshot sample; acquire). */
+    /**
+     * Current commit time (snapshot sample). seq_cst, not plain
+     * acquire: the epoch-based reclamation proof orders this load,
+     * the epoch-slot publish, the freeing tick, and the reclaimer's
+     * slot scan in the single seq_cst total order (free on x86, one
+     * ldar on ARM — begin() is not hot enough to care).
+     */
     std::uint64_t
     clockNow() const
     {
-        return clock_.v.load(std::memory_order_acquire);
+        return clock_.v.load(std::memory_order_seq_cst);
     }
 
     /**
@@ -294,7 +323,7 @@ class NativeRuntime
     tick()
     {
         std::uint64_t t =
-            clock_.v.fetch_add(1, std::memory_order_acq_rel) + 1;
+            clock_.v.fetch_add(1, std::memory_order_seq_cst) + 1;
         checkClockBound(t);
         return t;
     }
@@ -308,6 +337,33 @@ class NativeRuntime
     {
         clock_.v.store(t, std::memory_order_release);
     }
+
+    // ---- epoch-based reclamation of transactionally freed blocks ----
+
+    /** Epoch-slot value of a thread with no transaction in flight. */
+    static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t(0);
+
+    /**
+     * Register the calling thread's epoch slot (one per NativeThread,
+     * stable for the runtime's lifetime; registration finishes before
+     * any body runs, so scans need no lock). A transaction stores a
+     * lower bound on its snapshot time here at begin and kIdleEpoch
+     * at commit/abort; reclamation keeps every limbo block whose
+     * free-time any published epoch precedes.
+     */
+    std::atomic<std::uint64_t> &registerEpochSlot();
+
+    /**
+     * Oldest epoch any in-flight transaction has published (kIdleEpoch
+     * when none). seq_cst loads, pairing with the publish in begin():
+     * either the scan observes a running transaction's (conservative)
+     * epoch, or that publish came later in the seq_cst order — and
+     * then the transaction's post-publish clock re-sample is ordered
+     * after this caller's free-time stamp, its snapshot covers the
+     * free, and it can never reach a block reclaimed on the strength
+     * of this scan.
+     */
+    std::uint64_t minActiveEpoch() const;
 
     /** Event sink, or null when StmConfig::tracePath is empty. */
     TraceSink *trace() { return trace_.get(); }
@@ -344,6 +400,18 @@ class NativeRuntime
         std::atomic<std::uint64_t> v{0};
     };
     PaddedClock clock_;
+
+    /** One per thread, alone on its cache line: written twice per
+     *  transaction by its owner, scanned only by reclaimers. */
+    struct alignas(64) EpochSlot
+    {
+        std::atomic<std::uint64_t> v{kIdleEpoch};
+    };
+
+    /** Serializes slot registration only; all registration finishes
+     *  before concurrent bodies run, so scans never take it. */
+    std::mutex epochMu_;
+    std::deque<EpochSlot> epochSlots_;  //!< stable addresses (deque)
 
     std::unique_ptr<TraceSink> trace_;
     std::mutex traceMu_;
@@ -384,6 +452,11 @@ class alignas(64) NativeThread : public TmExec
 
     /** Begin-time snapshot of the current transaction (tests). */
     std::uint64_t snapshotForTest() const { return snapshot_; }
+
+    /** Blocks this thread freed that still await a safe epoch
+     *  (tests; owner-read, so meaningful only from the thread that
+     *  steps this NativeThread or while the system is quiescent). */
+    std::size_t limboSizeForTest() const { return limbo_.size(); }
 
   protected:
     void begin() override;
@@ -454,6 +527,26 @@ class alignas(64) NativeThread : public TmExec
 
     void partialRollback(const NativeSavepoint &sp);
 
+    /**
+     * Move @p objs onto this thread's limbo list, stamped with the
+     * current clock time, then reclaim whatever the active epochs
+     * allow. Takes ownership: @p objs is left empty. Owner-only (no
+     * shared lock): every defer happens on the thread that freed,
+     * and the freeing tick is sequenced before the epoch scan, which
+     * is what the reclamation proof needs.
+     */
+    void deferFrees(std::vector<Addr> &objs);
+
+    /** Queue a single block (non-transactional txFree path). */
+    void deferFree(Addr obj);
+
+    /**
+     * Hand every ripe limbo block back to the allocator. Cheap while
+     * the list is empty or the cached oldest stamp proves some active
+     * epoch still pins everything (one lock-free slot scan, no sweep).
+     */
+    void reclaimOwn();
+
     /** Capped-exponential contention spins for attempt @p attempt. */
     unsigned spinBudget(unsigned attempt) const;
 
@@ -480,6 +573,19 @@ class alignas(64) NativeThread : public TmExec
 
     /** Commit time this transaction's reads are consistent with. */
     std::uint64_t snapshot_ = 0;
+
+    /** This thread's published reclamation epoch (runtime-owned). */
+    std::atomic<std::uint64_t> *epoch_ = nullptr;
+
+    /** Blocks this thread freed, awaiting a safe epoch: (time,
+     *  block), owner-accessed only — rivals touch the epoch slots,
+     *  never each other's limbo lists. Drained at destruction (the
+     *  session is quiescent by then). */
+    std::vector<std::pair<std::uint64_t, Addr>> limbo_;
+
+    /** Smallest stamp on limbo_ (kIdleEpoch when empty): reclaim
+     *  sweeps only when the oldest active epoch reaches it. */
+    std::uint64_t limboOldest_ = NativeRuntime::kIdleEpoch;
 
     Addr cursors_;  //!< 64-byte block holding the three log cursors
     std::unique_ptr<TxLog> readSet_;   //!< [rec][version]

@@ -261,6 +261,68 @@ TEST(NativeRollback, NestedUserAbortRollsBackOnlyInner)
     }});
 }
 
+TEST(NativeRollback, PartialAbortReversionsNestedAcquiredRecordsForward)
+{
+    // The dirty-then-restored ABA guard: a record first acquired by a
+    // nested frame must NOT return to its pre-acquisition version when
+    // the frame aborts — a rival that loaded that version, read the
+    // frame's in-place value, and re-checked after the restore would
+    // accept uncommitted data. Snapshot mode consumes a real clock
+    // tick, so the released version's time moves strictly forward.
+    NativeBackend b(nativeCfg(1));
+    NativeThread &t = b.session().thread(0);
+    NativeRuntime &rt = b.session().runtime();
+    b.run({[&](TmExec &) {
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] { t.writeField(obj, 0, 7); });
+        auto &rec = rt.recordFor(obj, obj + kObjHeaderBytes);
+        std::uint64_t before = rec.load();
+        ASSERT_TRUE(txrec::isVersion(before));
+        t.atomic([&] {
+            bool inner = t.atomic([&] {
+                t.writeField(obj, 0, 99);
+                t.userAbort();
+            });
+            EXPECT_FALSE(inner);
+            std::uint64_t after = rec.load();
+            EXPECT_TRUE(txrec::isVersion(after));
+            EXPECT_NE(after, before);
+            EXPECT_GT(nativeclock::timeOf(after),
+                      nativeclock::timeOf(before));
+        });
+        t.atomic([&] { EXPECT_EQ(t.readField(obj, 0), 7u); });
+    }});
+}
+
+TEST(NativeRollback, McrtPartialAbortBumpsNestedAcquiredRecords)
+{
+    // Same guard under the old protocol: the release bumps the
+    // version (old + 2), matching the full-rollback discipline, so a
+    // rival's validation of a read logged at the pre-acquisition
+    // version can never accept the dirty window.
+    NativeSessionConfig cfg = nativeCfg(1);
+    cfg.stm.nativeSnapshotClock = false;
+    NativeBackend b(cfg);
+    NativeThread &t = b.session().thread(0);
+    NativeRuntime &rt = b.session().runtime();
+    b.run({[&](TmExec &) {
+        Addr obj = t.txAlloc(32);
+        t.atomic([&] { t.writeField(obj, 0, 7); });
+        auto &rec = rt.recordFor(obj, obj + kObjHeaderBytes);
+        std::uint64_t before = rec.load();
+        ASSERT_TRUE(txrec::isVersion(before));
+        t.atomic([&] {
+            bool inner = t.atomic([&] {
+                t.writeField(obj, 0, 99);
+                t.userAbort();
+            });
+            EXPECT_FALSE(inner);
+            EXPECT_EQ(rec.load(), txrec::nextVersion(before));
+        });
+        t.atomic([&] { EXPECT_EQ(t.readField(obj, 0), 7u); });
+    }});
+}
+
 TEST(NativeRollback, TxAllocFreedOnAbortAndFreeDeferredToCommit)
 {
     NativeBackend b(nativeCfg(1));
@@ -568,6 +630,59 @@ TEST_P(NativeSnapshot, PartialAbortRestoresTheSavepointSnapshot)
             t.validateNow();
         });
         EXPECT_GE(t.stats().extensions, 1u);
+    }});
+}
+
+TEST_P(NativeSnapshot, TxFreedBlockIsNotReusedWhileASnapshotCanReadIt)
+{
+    // Unsafe-reclamation regression: a rival frees a block this
+    // transaction's snapshot can still validate reads into. First-fit
+    // would hand the block straight back to the next allocation, and
+    // the allocator's raw zeroing stores never bump the covering
+    // records — the stale reads would keep passing forever. The limbo
+    // list must hold the block (contents intact) until our epoch
+    // retires, then release it on the next allocation.
+    NativeBackend b(nativeCfg(2, GetParam()));
+    NativeThread &t = b.session().thread(0);
+    NativeThread &rival = b.session().thread(1);
+    b.run({[&](TmExec &) {
+        // 256-byte objects so the first data words map to distinct
+        // records at every granularity (same spacing as allocPair).
+        Addr slot = t.txAlloc(256);  // "data structure" holding obj
+        Addr obj = t.txAlloc(256);
+        t.atomic([&] {
+            t.writeField(slot, 0, obj);
+            t.writeField(obj, 0, 7);
+        });
+        t.atomic([&] {
+            // Pin obj in the snapshot the honest way: read the link,
+            // then the payload.
+            Addr p = t.readField(slot, 0);
+            ASSERT_EQ(p, obj);
+            EXPECT_EQ(t.readField(p, 0), 7u);
+            // The rival unlinks and frees obj in one transaction (the
+            // txFree contract) — a writer commit strictly after our
+            // snapshot.
+            rival.atomic([&] {
+                rival.writeField(slot, 0, 0);
+                rival.txFree(obj);
+            });
+            EXPECT_GE(rival.limboSizeForTest(), 1u);
+            // A same-size allocation must NOT reuse the block while
+            // we can still read it...
+            Addr again = rival.txAlloc(256);
+            EXPECT_NE(again, obj);
+            // ...and the words still hold the value our snapshot is
+            // entitled to.
+            EXPECT_EQ(t.readField(p, 0), 7u);
+            rival.txFree(again);
+        });
+        // Our epoch retired with the commit: the rival's next
+        // allocation reclaims its own limbo list (limbo lists are
+        // per-thread) and first-fit reuses the block.
+        Addr later = rival.txAlloc(256);
+        EXPECT_EQ(later, obj);
+        EXPECT_EQ(rival.limboSizeForTest(), 0u);
     }});
 }
 
