@@ -25,6 +25,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 using namespace hastm;
@@ -80,24 +81,35 @@ main(int argc, char **argv)
     const TmScheme schemes[] = {TmScheme::Stm, TmScheme::Hastm,
                                 TmScheme::HastmCautious,
                                 TmScheme::HastmNaive, TmScheme::Hytm};
-    const char *profiles[] = {"off", "light", "heavy", "ctx", "evict"};
+    // The full faultProfile() vocabulary — including "spurious", whose
+    // no-real-loss aborts otherwise never meet a whole campaign — or
+    // the single profile --fault-profile restricts the sweep to.
+    std::vector<std::string> profiles = simFaultProfileNames();
+    std::string only = faultProfileArg(argc, argv, profiles);
+    if (!only.empty())
+        profiles = {only};
     const std::uint64_t seeds[] = {1, 2};
     const WorkloadKind workloads[] = {WorkloadKind::HashTable,
                                       WorkloadKind::Bst,
                                       WorkloadKind::Btree};
-    constexpr unsigned kSchemes = 5, kProfiles = 5, kSeeds = 2;
+    constexpr unsigned kSchemes = 5, kSeeds = 2;
+    const unsigned kProfiles = unsigned(profiles.size());
 
-    ExperimentConfig cfgs[kSchemes][kProfiles][kSeeds];
-    ExperimentRunner::Handle handles[kSchemes][kProfiles][kSeeds];
+    std::vector<ExperimentConfig> cfgs(kSchemes * kProfiles * kSeeds);
+    std::vector<ExperimentRunner::Handle> handles(cfgs.size());
+    auto cell = [&](unsigned si, unsigned pi, unsigned di) {
+        return (si * kProfiles + pi) * kSeeds + di;
+    };
     for (unsigned si = 0; si < kSchemes; ++si) {
         for (unsigned pi = 0; pi < kProfiles; ++pi) {
             for (unsigned di = 0; di < kSeeds; ++di) {
                 // Rotate the data structure so every workload meets
                 // every profile somewhere in the matrix.
                 WorkloadKind wl = workloads[(si + pi + di) % 3];
-                cfgs[si][pi][di] =
+                unsigned i = cell(si, pi, di);
+                cfgs[i] =
                     stressCfg(schemes[si], wl, profiles[pi], seeds[di]);
-                handles[si][pi][di] = runner.add(cfgs[si][pi][di]);
+                handles[i] = runner.add(cfgs[i]);
             }
         }
     }
@@ -110,9 +122,9 @@ main(int argc, char **argv)
     for (unsigned si = 0; si < kSchemes; ++si) {
         for (unsigned pi = 0; pi < kProfiles; ++pi) {
             for (unsigned di = 0; di < kSeeds; ++di) {
-                const ExperimentConfig &cfg = cfgs[si][pi][di];
+                const ExperimentConfig &cfg = cfgs[cell(si, pi, di)];
                 const ExperimentResult &r =
-                    runner.result(handles[si][pi][di]);
+                    runner.result(handles[cell(si, pi, di)]);
                 report.add(std::string(tmSchemeName(cfg.scheme)) + "/" +
                                profiles[pi] + "/seed" +
                                std::to_string(cfg.seed),

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Native-backend torture campaign.
+ *
+ * The host-thread counterpart of stress_faults: sweeps both native
+ * protocols (TL2-style snapshot clock and PR 6 McRT) across every
+ * named native fault profile (native/native_fault.hh), a seed matrix,
+ * and 1/2/4/8 threads, with deterministic fault injection hammering
+ * the protocol's fragile edges — the TL2 read bracket, the acquire
+ * windows, the commit-ticket gap, the extension path, rollback, the
+ * serial gate, and backoff. A tight starvation-watchdog threshold
+ * makes the injected starvation and kill storms drive the
+ * serial-irrevocable escalation path for real.
+ *
+ * Every cell is double-checked:
+ *  - the cross-backend oracle (harness/native_experiment.hh): the
+ *    cell's serialization-ordered op log must replay identically
+ *    through the *simulated* backend (skippable with --no-sim-replay
+ *    for TSan runs, where the sim's fibers cannot be instrumented;
+ *    the in-process replay oracle still runs);
+ *  - the always-on native invariant sweep: snapshot <= clock, record
+ *    versions never lead the clock, undo log empty after commit,
+ *    gate holder/inflight/waiter accounting unwound, epochs idle.
+ *
+ * On any violation the campaign prints a reproducing command line
+ * (protocol, profile, seed, threads) and exits non-zero. A
+ * determinism coda re-runs one single-threaded cell per protocol and
+ * requires bit-identical injected-fault sequences and stats from the
+ * same (profile, seed) — and divergence from a different seed.
+ *
+ * Flags: --protocol snapshot|mcrt, --fault-profile <name>, --seed N,
+ * --threads N restrict the matrix; --ci trims it for CI latency;
+ * --no-sim-replay skips the cross-backend replay; --json writes the
+ * schema-v8 report (BENCH_stress_native.json baseline).
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/native_experiment.hh"
+#include "harness/report.hh"
+#include "harness/table.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+namespace {
+
+NativeExperimentConfig
+tortureCfg(bool snapshot_clock, WorkloadKind workload,
+           const std::string &profile, std::uint64_t seed,
+           unsigned threads)
+{
+    NativeExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.threads = threads;
+    cfg.totalOps = 1024;
+    cfg.updatePct = 40;          // hostile: twice the paper's mix
+    cfg.initialSize = 192;
+    cfg.keyRange = 384;          // crowded keys => real conflicts
+    cfg.hashBuckets = 64;
+    cfg.seed = seed;
+    cfg.heapBytes = 32ull << 20;
+    cfg.stm.nativeSnapshotClock = snapshot_clock;
+    // Escalate quickly so the serial-irrevocable path is exercised,
+    // not just reachable (same thresholds as stress_faults).
+    cfg.stm.watchdogConsecAborts = 8;
+    cfg.stm.watchdogRetriesPerCommit = 32;
+    cfg.fault = nativeFaultProfile(profile);
+    cfg.fault.seed = seed * 1000003ull + 17;
+    return cfg;
+}
+
+std::uint64_t
+totalNativeFaults(const TmStats &tm)
+{
+    std::uint64_t n = 0;
+    for (unsigned k = 0; k < kNumNativeFaultKinds; ++k)
+        n += tm.nativeFaultsInjected[k];
+    return n;
+}
+
+const char *
+protocolName(bool snapshot_clock)
+{
+    return snapshot_clock ? "snapshot" : "mcrt";
+}
+
+std::string
+reproLine(bool snapshot_clock, const std::string &profile,
+          std::uint64_t seed, unsigned threads)
+{
+    return "reproduce: stress_native --protocol " +
+           std::string(protocolName(snapshot_clock)) +
+           " --fault-profile " + profile + " --seed " +
+           std::to_string(seed) + " --threads " +
+           std::to_string(threads);
+}
+
+/** Value following @p flag in argv, or "" when absent. */
+std::string
+argValue(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i] == flag)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    BenchReport report("stress_native", argc, argv);
+    bool ci = hasFlag(argc, argv, "--ci");
+    bool sim_replay = !hasFlag(argc, argv, "--no-sim-replay");
+
+    // ---- matrix, optionally restricted per axis ----
+    std::vector<bool> protocols{true, false};
+    if (std::string p = argValue(argc, argv, "--protocol"); !p.empty()) {
+        if (p == "snapshot")
+            protocols = {true};
+        else if (p == "mcrt")
+            protocols = {false};
+        else
+            fatal("--protocol must be 'snapshot' or 'mcrt', got '%s'",
+                  p.c_str());
+    }
+    std::vector<std::string> profiles = nativeFaultProfileNames();
+    std::string only = faultProfileArg(argc, argv, profiles);
+    if (!only.empty())
+        profiles = {only};
+    std::vector<std::uint64_t> seeds = ci ? std::vector<std::uint64_t>{1}
+                                          : std::vector<std::uint64_t>{1, 2};
+    if (std::string s = argValue(argc, argv, "--seed"); !s.empty())
+        seeds = {std::strtoull(s.c_str(), nullptr, 10)};
+    std::vector<unsigned> threadCounts =
+        ci ? std::vector<unsigned>{1, 2, 4}
+           : std::vector<unsigned>{1, 2, 4, 8};
+    if (std::string t = argValue(argc, argv, "--threads"); !t.empty())
+        threadCounts = {unsigned(std::strtoul(t.c_str(), nullptr, 10))};
+
+    const WorkloadKind workloads[] = {WorkloadKind::HashTable,
+                                      WorkloadKind::Bst,
+                                      WorkloadKind::Btree};
+
+    std::cout << "Native torture campaign (" << protocols.size()
+              << " protocols x " << profiles.size() << " profiles x "
+              << seeds.size() << " seeds x " << threadCounts.size()
+              << " thread counts; watchdog 8/32; "
+              << (sim_replay ? "sim-replay + " : "")
+              << "replay-oracle + native invariant checks per cell)\n\n";
+
+    Table table({"protocol", "profile", "seed", "thr", "workload",
+                 "commits", "aborts", "irrevoc", "faults", "verdict"});
+    std::vector<std::string> failures;
+    std::uint64_t campaignFaults[kNumNativeFaultKinds] = {};
+    std::uint64_t irrevocable_total = 0;
+    unsigned cells = 0;
+
+    for (bool proto : protocols) {
+        for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+            for (std::size_t di = 0; di < seeds.size(); ++di) {
+                for (std::size_t ti = 0; ti < threadCounts.size(); ++ti) {
+                    // Rotate the data structure so every workload
+                    // meets every profile somewhere in the matrix.
+                    WorkloadKind wl = workloads[(pi + di + ti) % 3];
+                    NativeExperimentConfig cfg =
+                        tortureCfg(proto, wl, profiles[pi], seeds[di],
+                                   threadCounts[ti]);
+                    ++cells;
+
+                    NativeExperimentResult r;
+                    bool ok;
+                    std::string diag;
+                    if (sim_replay) {
+                        CrossCheckOutcome cc =
+                            crossValidateNative(cfg, &r);
+                        ok = cc.ok;
+                        diag = cc.diag;
+                    } else {
+                        NativeExperimentConfig rcfg = cfg;
+                        rcfg.recordOps = true;
+                        r = runNativeDataStructure(rcfg);
+                        ok = r.oracleOk && r.nativeInvariantsOk;
+                        if (!r.nativeInvariantsOk)
+                            diag = "native invariants: " +
+                                   r.nativeInvariantDiag;
+                        else if (!r.oracleOk)
+                            diag = "native oracle: " + r.oracleDiag;
+                    }
+
+                    report.add(std::string(protocolName(proto)) + "/" +
+                                   profiles[pi] + "/t" +
+                                   std::to_string(threadCounts[ti]) +
+                                   "/seed" + std::to_string(seeds[di]),
+                               cfg, r);
+                    for (unsigned k = 0; k < kNumNativeFaultKinds; ++k)
+                        campaignFaults[k] += r.tm.nativeFaultsInjected[k];
+                    irrevocable_total += r.tm.irrevocableEntries;
+                    table.addRow({protocolName(proto), profiles[pi],
+                                  fmt(seeds[di]),
+                                  fmt(std::uint64_t(threadCounts[ti])),
+                                  workloadName(wl), fmt(r.tm.commits),
+                                  fmt(r.tm.aborts),
+                                  fmt(r.tm.irrevocableEntries),
+                                  fmt(totalNativeFaults(r.tm)),
+                                  ok ? "ok" : "FAIL"});
+                    if (!ok) {
+                        failures.push_back(
+                            diag + "\n    " +
+                            reproLine(proto, profiles[pi], seeds[di],
+                                      threadCounts[ti]));
+                    }
+                }
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\ninjected faults by kind:";
+    for (unsigned k = 0; k < kNumNativeFaultKinds; ++k) {
+        std::cout << " " << nativeFaultKindName(NativeFaultKind(k)) << "="
+                  << campaignFaults[k];
+    }
+    std::cout << "\nirrevocable entries across the campaign: "
+              << irrevocable_total << "\n";
+
+    // ---- determinism coda: one single-threaded heavy cell per
+    // protocol, twice from the same (profile, seed) — the injected
+    // sequence and every stat must be bit-identical — and once from a
+    // different seed, which must diverge. Single-threaded, so the
+    // per-thread hook sequence (and hence the whole campaign cell) is
+    // exactly reproducible, not merely reproducible-up-to-scheduling.
+    unsigned determinism_failures = 0;
+    for (bool proto : protocols) {
+        NativeExperimentConfig cfg = tortureCfg(
+            proto, WorkloadKind::HashTable, "heavy", 1, 1);
+        cfg.recordOps = true;
+        NativeExperimentResult a = runNativeDataStructure(cfg);
+        NativeExperimentResult b = runNativeDataStructure(cfg);
+        NativeExperimentConfig cfg2 = cfg;
+        cfg2.fault.seed += 1;
+        NativeExperimentResult c = runNativeDataStructure(cfg2);
+
+        bool identical = a.faultSequenceHash == b.faultSequenceHash &&
+                         a.checksum == b.checksum &&
+                         a.finalSize == b.finalSize &&
+                         a.tm.commits == b.tm.commits &&
+                         a.tm.aborts == b.tm.aborts &&
+                         totalNativeFaults(a.tm) ==
+                             totalNativeFaults(b.tm);
+        bool diverged = a.faultSequenceHash != c.faultSequenceHash;
+        std::cout << "determinism[" << protocolName(proto)
+                  << "]: repeat "
+                  << (identical ? "bit-identical" : "DIVERGED")
+                  << " (seqHash " << a.faultSequenceHash
+                  << "), reseeded "
+                  << (diverged ? "diverged" : "IDENTICAL") << "\n";
+        if (!identical) {
+            ++determinism_failures;
+            failures.push_back(
+                std::string("determinism: repeated (heavy, seed 1) "
+                            "cell diverged on protocol ") +
+                protocolName(proto) + "\n    " +
+                reproLine(proto, "heavy", 1, 1));
+        }
+        if (!diverged) {
+            ++determinism_failures;
+            failures.push_back(
+                std::string("determinism: reseeded cell did not "
+                            "diverge on protocol ") +
+                protocolName(proto));
+        }
+        Json d = Json::object();
+        d.set("protocol", protocolName(proto))
+            .set("repeatIdentical", identical)
+            .set("reseededDiverged", diverged)
+            .set("sequenceHash", a.faultSequenceHash);
+        report.addCustom(std::string("determinism/") +
+                             protocolName(proto),
+                         std::move(d));
+    }
+
+    if (!failures.empty()) {
+        std::cout << "\nTORTURE FAILURES (" << failures.size() << "):\n";
+        for (const std::string &f : failures)
+            std::cout << "  - " << f << "\n";
+        return 1;
+    }
+    std::cout << "all " << cells << " cells passed ("
+              << (sim_replay ? "sim-replay + " : "")
+              << "oracle + invariants), determinism coda clean\n";
+    return 0;
+}

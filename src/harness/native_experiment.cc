@@ -32,6 +32,7 @@ runNativeDataStructure(const NativeExperimentConfig &cfg)
     nc.numThreads = cfg.threads;
     nc.stm = cfg.stm;
     nc.heapBytes = cfg.heapBytes;
+    nc.fault = cfg.fault;
     NativeBackend backend(nc);
 
     std::vector<std::vector<OpRecord>> opLogs(cfg.threads);
@@ -131,6 +132,28 @@ runNativeDataStructure(const NativeExperimentConfig &cfg)
         result.invariantOk = ops.invariant(t);
     }});
 
+    // ---- native protocol invariant sweep (always on; the session is
+    // quiescent here, every body joined) ----
+    NativeSession &sess = backend.session();
+    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+        std::string diag = sess.thread(tid).invariantReport();
+        if (!diag.empty()) {
+            result.nativeInvariantsOk = false;
+            if (!result.nativeInvariantDiag.empty())
+                result.nativeInvariantDiag += " | ";
+            result.nativeInvariantDiag +=
+                "thread " + std::to_string(tid) + ": " + diag;
+        }
+    }
+    if (!sess.runtime().gate().quiescent()) {
+        result.nativeInvariantsOk = false;
+        if (!result.nativeInvariantDiag.empty())
+            result.nativeInvariantDiag += " | ";
+        result.nativeInvariantDiag += "gate not quiescent";
+    }
+    if (NativeFaultInjector *inj = sess.runtime().fault())
+        result.faultSequenceHash = inj->sequenceHashAll();
+
     // ---- replay oracle over the serialization-ordered log ----
     if (cfg.recordOps) {
         for (auto &l : opLogs) {
@@ -195,6 +218,13 @@ replayThroughBackend(TmBackend &backend, WorkloadKind workload,
 CrossCheckOutcome
 crossValidateNative(const NativeExperimentConfig &cfg)
 {
+    return crossValidateNative(cfg, nullptr);
+}
+
+CrossCheckOutcome
+crossValidateNative(const NativeExperimentConfig &cfg,
+                    NativeExperimentResult *native_out)
+{
     CrossCheckOutcome out;
     auto fail = [&](const std::string &what) {
         out.ok = false;
@@ -207,6 +237,12 @@ crossValidateNative(const NativeExperimentConfig &cfg)
     NativeExperimentConfig ncfg = cfg;
     ncfg.recordOps = true;
     NativeExperimentResult native = runNativeDataStructure(ncfg);
+    if (native_out)
+        *native_out = native;
+    if (!native.nativeInvariantsOk) {
+        fail("native invariants: " + native.nativeInvariantDiag);
+        return out;
+    }
     if (!native.oracleOk) {
         fail("native oracle: " + native.oracleDiag);
         return out;

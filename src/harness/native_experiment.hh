@@ -26,6 +26,7 @@
 #include "backend/tm_backend.hh"
 #include "harness/ds_ops.hh"
 #include "harness/oracle.hh"
+#include "native/native_fault.hh"
 #include "stm/stm.hh"
 
 namespace hastm {
@@ -57,6 +58,12 @@ struct NativeExperimentConfig
      * cross-backend replay.
      */
     bool recordOps = false;
+    /**
+     * Deterministic fault injection (native/native_fault.hh), applied
+     * to the measured phase's session. Off by default; the torture
+     * campaign (bench/stress_native) sets a named profile + seed.
+     */
+    NativeFaultParams fault;
 };
 
 /** One thread's measured-phase contribution (schema v7). */
@@ -85,6 +92,17 @@ struct NativeExperimentResult
 
     /** Serialization-ordered op log (recordOps runs only). */
     std::vector<OpRecord> opLog;
+
+    // ---- native protocol invariants (always-on, end-of-run) ----
+    /** Per-thread + gate invariant sweep verdict (see
+     *  NativeThread::invariantReport, NativeGate::quiescent). */
+    bool nativeInvariantsOk = true;
+    std::string nativeInvariantDiag;
+
+    /** Combined injected-fault sequence fingerprint (0 when the run
+     *  had no injector); bit-identical across replays of one
+     *  (profile, seed) cell whose schedules repeat. */
+    std::uint64_t faultSequenceHash = 0;
 
     /** Wall time of the measured phase (steady_clock ns). */
     std::uint64_t hostNanos = 0;
@@ -133,6 +151,17 @@ struct CrossCheckOutcome
  * broke serializability.
  */
 CrossCheckOutcome crossValidateNative(const NativeExperimentConfig &cfg);
+
+/**
+ * Same check, also returning the native run's full result through
+ * @p native_out (may be null) so a caller that needs the stats — the
+ * torture campaign reports fault counters, invariant verdicts, and
+ * sequence hashes per cell — does not pay for a second native run.
+ * The invariant sweep is folded into the verdict: a cell whose
+ * replay matches but whose protocol state leaked still fails.
+ */
+CrossCheckOutcome crossValidateNative(const NativeExperimentConfig &cfg,
+                                      NativeExperimentResult *native_out);
 
 } // namespace hastm
 

@@ -82,6 +82,13 @@ toJson(const TmStats &s)
     for (unsigned k = 0; k < kNumFaultKinds; ++k)
         faults.set(faultKindName(FaultKind(k)), s.faultsInjected[k]);
     j.set("faultsInjected", std::move(faults));
+    // Schema v8: the native backend's injected-fault tally (all zero
+    // on the sim backend and on un-tortured native runs).
+    Json nfaults = Json::object();
+    for (unsigned k = 0; k < kNumNativeFaultKinds; ++k)
+        nfaults.set(nativeFaultKindName(NativeFaultKind(k)),
+                    s.nativeFaultsInjected[k]);
+    j.set("nativeFaultsInjected", std::move(nfaults));
     // Schema v4: adaptive-runtime decision counters (all zero for the
     // fixed schemes).
     Json adaptive = Json::object();
@@ -122,6 +129,8 @@ toJson(const StmConfig &c)
         .set("nativeWriteBloomBits", c.nativeWriteBloomBits)
         .set("nativeBackoffSpinsBase", c.nativeBackoffSpinsBase)
         .set("nativeBackoffSpinsCap", c.nativeBackoffSpinsCap);
+    // Schema v8: serial-gate stall bound.
+    j.set("nativeGateStallMs", c.nativeGateStallMs);
     Json adaptive = Json::object();
     adaptive.set("window", c.adaptive.window)
         .set("probeEpoch", c.adaptive.probeEpoch)
@@ -246,6 +255,9 @@ toJson(const NativeExperimentConfig &c)
         .set("disjoint", c.disjoint)
         .set("recordOps", c.recordOps)
         .set("stm", toJson(c.stm));
+    // Schema v8: native fault-injection campaign identity — profile +
+    // seed reproduce the injected sequence bit-identically.
+    j.set("faultProfile", c.fault.profile).set("faultSeed", c.fault.seed);
     return j;
 }
 
@@ -260,6 +272,14 @@ toJson(const NativeExperimentResult &r)
         .set("oracleOk", r.oracleOk);
     if (!r.oracleDiag.empty())
         j.set("oracleDiag", r.oracleDiag);
+    // Schema v8: native protocol invariant sweep + injected-fault
+    // sequence fingerprint (0 without an injector; otherwise
+    // bit-identical across replays of one (profile, seed) cell whose
+    // per-thread schedules repeat).
+    j.set("nativeInvariantsOk", r.nativeInvariantsOk);
+    if (!r.nativeInvariantDiag.empty())
+        j.set("nativeInvariantDiag", r.nativeInvariantDiag);
+    j.set("faultSequenceHash", r.faultSequenceHash);
     // Host wall time and throughput are the payload of a native run;
     // there is no simulated cycle count on this substrate. Both vary
     // run-to-run — determinism diffs must ignore them.
@@ -379,7 +399,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 7)
+        .set("schemaVersion", 8)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

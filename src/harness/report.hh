@@ -12,7 +12,7 @@
  * Document schema (one per bench binary):
  *   {
  *     "bench": "<name>",
- *     "schemaVersion": 7,
+ *     "schemaVersion": 8,
  *     "runs": [ { "label": ...,
  *                 "config": { ...ExperimentConfig|MicroConfig... },
  *                 "result": { "makespan", "instructions", "loads",
@@ -78,6 +78,16 @@
  * NativeExperimentConfig gains "disjoint" (per-thread key
  * partition), and NativeExperimentResult gains "perThread" (each
  * thread's measured-phase {"commits", "aborts", "abortRate"}).
+ *
+ * v8 adds the native torture harness: TmStats gains
+ * "nativeFaultsInjected" (per-NativeFaultKind tallies, zero on the
+ * sim backend and on un-tortured native runs), StmConfig gains
+ * "nativeGateStallMs", NativeExperimentConfig gains "faultProfile" /
+ * "faultSeed" (the pair that reproduces an injected-fault sequence
+ * bit-identically), and NativeExperimentResult gains
+ * "nativeInvariantsOk" (+"nativeInvariantDiag" when violated) and
+ * "faultSequenceHash" (the combined per-thread FNV fingerprint of
+ * the injected sequence; 0 without an injector).
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH

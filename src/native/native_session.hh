@@ -22,6 +22,9 @@ struct NativeSessionConfig
     unsigned numThreads = 1;
     StmConfig stm;
     std::size_t heapBytes = 64ull << 20;
+    /** Deterministic fault injection (torture harness; off by
+     *  default). Per-thread streams are sized from numThreads. */
+    NativeFaultParams fault;
 };
 
 class NativeSession

@@ -44,6 +44,18 @@ bloomBitsFor(unsigned bits)
 
 } // namespace
 
+// ------------------------------------------------------- NativeGate
+
+void
+NativeGate::stallPanic(const char *what) const
+{
+    // Called with mu_ held, so the accounting below is a consistent
+    // snapshot of the stuck state.
+    panic("NativeGate: stalled > %u ms waiting on %s "
+          "(holder=%p inflight=%u waiters=%u)",
+          stallMs_, what, holder_, inflight_, waiters_);
+}
+
 // ------------------------------------------------ NativeRecordTable
 
 NativeRecordTable::NativeRecordTable(unsigned log2_records, bool hash_mix)
@@ -55,14 +67,19 @@ NativeRecordTable::NativeRecordTable(unsigned log2_records, bool hash_mix)
 
 // ---------------------------------------------------- NativeRuntime
 
-NativeRuntime::NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes)
+NativeRuntime::NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes,
+                             const NativeFaultParams &fault,
+                             unsigned num_threads)
     : cfg_(cfg), heap_(heap_bytes),
       records_(cfg.recShardLog2Records != 0 ? cfg.recShardLog2Records
                                             : txrec::kDefaultLog2Records,
                cfg.recHashMix)
 {
+    gate_.setStallLimitMs(cfg_.nativeGateStallMs);
     if (!cfg_.tracePath.empty())
         trace_ = std::make_unique<TraceSink>(cfg_.tracePath);
+    if (fault.enabled)
+        fault_ = std::make_unique<NativeFaultInjector>(fault, num_threads);
 }
 
 NativeRuntime::~NativeRuntime() = default;
@@ -113,7 +130,8 @@ NativeRuntime::clockExhausted()
 // ----------------------------------------------------- NativeThread
 
 NativeThread::NativeThread(NativeRuntime &rt, unsigned id)
-    : rt_(rt), id_(id), token_(std::uint64_t(id + 1) << 1),
+    : rt_(rt), id_(id), fault_(rt.fault()),
+      token_(std::uint64_t(id + 1) << 1),
       jitter_(std::uint64_t(id + 1) * txrec::kHashMult),
       snapshotMode_(rt.cfg().nativeSnapshotClock)
 {
@@ -141,6 +159,90 @@ NativeThread::~NativeThread()
     writeSet_.reset();
     undoLog_.reset();
     rt_.heap().free(cursors_);
+}
+
+// ---- fault injection + invariant sweep ----
+
+void
+NativeThread::faultHook(NativeFaultPoint point)
+{
+    if (!fault_)
+        return;
+    // Abort-inducing kinds stay pending while irrevocable: the serial
+    // token holder must commit (stm/irrevocable.hh contract).
+    NativeFaultInjector::Fired fired =
+        fault_->poll(id_, point, !irrevocable_);
+    if (fired.starved) {
+        ++stats_.nativeFaultsInjected[
+            std::size_t(NativeFaultKind::Starve)];
+        rt_.traceInstant(id_,
+                         nativeFaultInstantName(NativeFaultKind::Starve));
+    }
+    if (!fired.fired)
+        return;
+    ++stats_.nativeFaultsInjected[std::size_t(fired.kind)];
+    rt_.traceInstant(id_, nativeFaultInstantName(fired.kind));
+    switch (fired.kind) {
+      case NativeFaultKind::CmKill:
+        // The same exception a lost contention bout raises; the
+        // atomic() driver rolls back and re-executes.
+        throw TxConflictAbort{kNullAddr, AbortKind::CmKill};
+      case NativeFaultKind::ExtensionFail:
+        // Forge a stale logged read: extendSnapshot()'s catch turns
+        // this into a counted extension failure, exactly as if
+        // validate() had found a moved record.
+        throw TxConflictAbort{kNullAddr, AbortKind::Validation};
+      default:
+        break;  // delays were already performed by the injector
+    }
+}
+
+std::string
+NativeThread::invariantReport() const
+{
+    std::string r;
+    auto bad = [&r](const std::string &msg) {
+        if (!r.empty())
+            r += "; ";
+        r += msg;
+    };
+    if (depth_ != 0)
+        bad("transaction still in flight (depth " +
+            std::to_string(depth_) + ")");
+    if (irrevocable_)
+        bad("irrevocable flag still set");
+    std::uint64_t now = rt_.clockNow();
+    if (snapshotMode_ && snapshot_ > now)
+        bad("snapshot " + std::to_string(snapshot_) +
+            " leads the clock " + std::to_string(now));
+    if (undoLog_->entries() != 0)
+        bad("undo log not empty (" +
+            std::to_string(undoLog_->entries()) + " entries)");
+    if (!ownedVersions_.empty())
+        bad("owned records never released (" +
+            std::to_string(ownedVersions_.size()) + ")");
+    if (!savepoints_.empty())
+        bad("savepoint stack not unwound");
+    if (epoch_->load(std::memory_order_relaxed) !=
+        NativeRuntime::kIdleEpoch)
+        bad("reclamation epoch still published");
+    if (snapshotMode_) {
+        // No committed version may encode a time past the clock:
+        // tick() claims the time before any release installs it, so a
+        // leading version means a release wrote a forged value (and
+        // "time <= snapshot proves stability" would be unsound).
+        const NativeRecordTable &tab = rt_.records();
+        for (std::size_t i = 0; i < tab.numRecords(); ++i) {
+            std::uint64_t v = tab.slotValue(i);
+            if (txrec::isVersion(v) && nativeclock::timeOf(v) > now) {
+                bad("record " + std::to_string(i) + " version time " +
+                    std::to_string(nativeclock::timeOf(v)) +
+                    " leads the clock " + std::to_string(now));
+                break;
+            }
+        }
+    }
+    return r;
 }
 
 // ---- transactional reclamation (owner-only limbo list) ----
@@ -207,6 +309,7 @@ void
 NativeThread::begin()
 {
     HASTM_ASSERT(depth_ == 0);
+    faultHook(NativeFaultPoint::GateArrive);
     rt_.gate().arrive(this);
     readSet_->reset();
     writeSet_->reset();
@@ -256,6 +359,11 @@ NativeThread::commit()
             // construction and validation is pure overhead (TL2's
             // GV5 refinement, made exact by the ticket).
             std::uint64_t wv = rt_.tick();
+            HASTM_ASSERT(wv > snapshot_);
+            // Stretch the ticket-to-writeback window: rivals reading
+            // our still-owned records must keep spinning or extend,
+            // never accept a half-released state.
+            faultHook(NativeFaultPoint::CommitTicket);
             if (wv != snapshot_ + 1) {
                 try {
                     validate();
@@ -282,10 +390,17 @@ NativeThread::commit()
         // still held. The global counter gives the replay oracle a
         // total order.
         commitStamp_ = rt_.nextStamp();
+        faultHook(NativeFaultPoint::CommitTicket);
         stats_.readSetAtCommit.record(readSet_->entries());
         stats_.undoLogAtCommit.record(undoLog_->entries());
         releaseOwned(true);
     }
+    // The undo log is dead weight after a successful commit; clearing
+    // it here (not lazily at the next begin) makes "undo log empty
+    // after commit" a checkable invariant for the torture harness.
+    undoLog_->reset();
+    HASTM_ASSERT(ownedVersions_.empty());
+    HASTM_ASSERT(savepoints_.empty());
     txAllocs_.clear();
     ++stats_.commits;
     depth_ = 0;
@@ -307,6 +422,10 @@ void
 NativeThread::rollback()
 {
     HASTM_ASSERT(depth_ >= 1);
+    // Stretch the aborted-but-not-yet-undone window (delay kinds
+    // only: a rollback must run to completion, so this hook point
+    // never throws).
+    faultHook(NativeFaultPoint::PreRollback);
     // Undo everything, newest first. beginPos() is the anchored zero
     // position; it stays valid for an empty undo log (a read-only
     // transaction aborted by validation or retry()).
@@ -344,6 +463,7 @@ NativeThread::rollback()
 void
 NativeThread::onConflict(unsigned attempt)
 {
+    faultHook(NativeFaultPoint::Backoff);
     hostBackoff(attempt);
 }
 
@@ -367,6 +487,7 @@ NativeThread::maybeEscalate(unsigned consec_aborts)
          abortsSinceCommit_ >= cfg.watchdogRetriesPerCommit);
     if (!starving)
         return;
+    faultHook(NativeFaultPoint::GateEnter);
     rt_.gate().enter(this);
     irrevocable_ = true;
     ++stats_.irrevocableEntries;
@@ -376,6 +497,9 @@ void
 NativeThread::leaveIrrevocable()
 {
     HASTM_ASSERT(irrevocable_);
+    // Hook *before* clearing the flag: a release-point fault must
+    // never abort the (still-irrevocable) transaction.
+    faultHook(NativeFaultPoint::GateRelease);
     irrevocable_ = false;
     rt_.gate().exit();
 }
@@ -464,6 +588,10 @@ NativeThread::readShared(Addr obj, Addr data)
         if (txrec::isVersion(v)) {
             if (!snapshotMode_) {
                 std::uint64_t val = rt_.heap().loadWord(data);
+                // Widen the record-check-to-log window (McRT's analogue
+                // of the TL2 gap): a writer landing here must be caught
+                // by the logged pre-load version at validation.
+                faultHook(NativeFaultPoint::Tl2ReadGap);
                 readSet_->append2(packRec(rec), v);
                 maybeValidate();
                 return val;
@@ -473,6 +601,9 @@ NativeThread::readShared(Addr obj, Addr data)
             // stable across the load; the acquire fence orders the
             // re-read after it.
             std::uint64_t val = rt_.heap().loadWord(data);
+            // Widen the load/fence/reload gap: a writer acquiring and
+            // releasing the record inside it must fail the re-check.
+            faultHook(NativeFaultPoint::Tl2ReadGap);
             std::atomic_thread_fence(std::memory_order_acquire);
             if (rec->load(std::memory_order_relaxed) != v)
                 continue;
@@ -510,6 +641,10 @@ NativeThread::writeShared(Addr obj, Addr data, std::uint64_t v,
 void
 NativeThread::acquire(NRec rec)
 {
+    // Widen the decide-to-CAS window: a rival acquiring (or a commit
+    // re-versioning) the record in it must fail our CAS, never be
+    // overwritten by it.
+    faultHook(NativeFaultPoint::PreAcquire);
     for (;;) {
         std::uint64_t v = rec->load(std::memory_order_acquire);
         if (v == token_)
@@ -527,6 +662,9 @@ NativeThread::acquire(NRec rec)
                                            std::memory_order_acquire)) {
                 writeSet_->append2(packRec(rec), v);
                 ownedVersions_.emplace(rec, v);
+                // Record owned, datum not yet written: the window
+                // where a kill leaves the most state to unwind.
+                faultHook(NativeFaultPoint::PostAcquire);
                 return;
             }
             continue;
@@ -615,6 +753,9 @@ NativeThread::extendSnapshot()
     // a safe (conservative) new snapshot.
     std::uint64_t now = rt_.clockNow();
     try {
+        // The hook sits inside the try so a forced ExtensionFail is
+        // counted and traced exactly like a genuinely stale read.
+        faultHook(NativeFaultPoint::ExtendRevalidate);
         validate();
     } catch (const TxConflictAbort &) {
         ++stats_.extensionFailures;
@@ -706,6 +847,9 @@ NativeThread::undoRestore(Addr entry)
 void
 NativeThread::releaseOwnedAt(std::uint64_t v)
 {
+    // Versions never lead the clock: v came from a claimed tick, so
+    // its time is at most the current clock value.
+    HASTM_ASSERT(nativeclock::timeOf(v) <= rt_.clockNow());
     writeSet_->forEachAll([&](Addr e) {
         NRec rec = unpackRec(rt_.heap().loadWord(e));
         rec->store(v, std::memory_order_release);

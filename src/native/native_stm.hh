@@ -82,16 +82,20 @@
 #define HASTM_NATIVE_NATIVE_STM_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "native/native_fault.hh"
 #include "native/native_heap.hh"
+#include "sim/logging.hh"
 #include "stm/stm.hh"
 #include "stm/tm_iface.hh"
 #include "stm/tx_log.hh"
@@ -152,6 +156,13 @@ inline std::uint64_t readerStamp(std::uint64_t s) { return 2 * s + 1; }
  * someone is actually parked (waiters_ tracked under the mutex), so
  * the uncontended fast path — every transaction begin/end when no
  * thread is escalating — never pays a condvar broadcast syscall.
+ *
+ * Waits are bounded (StmConfig::nativeGateStallMs, via
+ * setStallLimitMs): a parked thread that outlives the limit fails
+ * fast with the gate's full accounting (holder token, inflight and
+ * waiter counts) rather than hanging CI forever behind a stalled
+ * holder. A healthy transition is microseconds, so the generous
+ * default only ever fires on a real deadlock or a lost wakeup.
  */
 class NativeGate
 {
@@ -161,7 +172,8 @@ class NativeGate
     arrive(const void *self)
     {
         std::unique_lock<std::mutex> lk(mu_);
-        waitOn(lk, [&] { return holder_ == nullptr || holder_ == self; });
+        waitOn(lk, [&] { return holder_ == nullptr || holder_ == self; },
+               "arrive: token release");
         ++inflight_;
     }
 
@@ -170,6 +182,7 @@ class NativeGate
     depart()
     {
         std::lock_guard<std::mutex> lk(mu_);
+        HASTM_ASSERT(inflight_ > 0);
         --inflight_;
         notifyIfWaiters();
     }
@@ -179,9 +192,10 @@ class NativeGate
     enter(const void *self)
     {
         std::unique_lock<std::mutex> lk(mu_);
-        waitOn(lk, [&] { return holder_ == nullptr; });
+        waitOn(lk, [&] { return holder_ == nullptr; },
+               "enter: token release");
         holder_ = self;
-        waitOn(lk, [&] { return inflight_ == 0; });
+        waitOn(lk, [&] { return inflight_ == 0; }, "enter: quiesce");
     }
 
     /** Release the token. */
@@ -189,8 +203,17 @@ class NativeGate
     exit()
     {
         std::lock_guard<std::mutex> lk(mu_);
+        HASTM_ASSERT(holder_ != nullptr);
         holder_ = nullptr;
         notifyIfWaiters();
+    }
+
+    /** Bound every future park to @p ms milliseconds (0 = untimed). */
+    void
+    setStallLimitMs(unsigned ms)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stallMs_ = ms;
     }
 
     /** Parked threads right now (tests; racy outside the mutex). */
@@ -201,17 +224,37 @@ class NativeGate
         return waiters_;
     }
 
+    /**
+     * Invariant probe for the torture harness: with every session
+     * thread joined, the gate must have unwound completely — no
+     * holder, no inflight transactions, no parked waiters.
+     */
+    bool
+    quiescent()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return holder_ == nullptr && inflight_ == 0 && waiters_ == 0;
+    }
+
   private:
     template <typename Pred>
     void
-    waitOn(std::unique_lock<std::mutex> &lk, Pred pred)
+    waitOn(std::unique_lock<std::mutex> &lk, Pred pred, const char *what)
     {
         if (pred())
             return;
         ++waiters_;
-        cv_.wait(lk, pred);
+        if (stallMs_ == 0) {
+            cv_.wait(lk, pred);
+        } else {
+            auto limit = std::chrono::milliseconds(stallMs_);
+            if (!cv_.wait_for(lk, limit, pred))
+                stallPanic(what);  // diagnostic + abort, never returns
+        }
         --waiters_;
     }
+
+    [[noreturn]] void stallPanic(const char *what) const;
 
     void
     notifyIfWaiters()
@@ -225,6 +268,7 @@ class NativeGate
     const void *holder_ = nullptr;
     unsigned inflight_ = 0;
     unsigned waiters_ = 0;
+    unsigned stallMs_ = 20000;  //!< StmConfig::nativeGateStallMs
 };
 
 /**
@@ -253,6 +297,14 @@ class NativeRecordTable
 
     std::size_t numRecords() const { return slots_.size(); }
 
+    /** Raw slot value (torture-harness invariant scan; quiescent or
+     *  owner-stepped use only — the load is relaxed). */
+    std::uint64_t
+    slotValue(std::size_t i) const
+    {
+        return slots_[i].v.load(std::memory_order_relaxed);
+    }
+
   private:
     /** One record per cache line, as in the simulated table (§4). */
     struct alignas(64) Slot
@@ -279,13 +331,23 @@ class NativeRecordTable
 class NativeRuntime
 {
   public:
-    NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes);
+    /**
+     * @p fault enables deterministic fault injection for the session
+     * (default: none); @p num_threads sizes its per-thread streams
+     * and must cover every NativeThread id the session will create.
+     */
+    NativeRuntime(const StmConfig &cfg, std::size_t heap_bytes,
+                  const NativeFaultParams &fault = {},
+                  unsigned num_threads = 1);
     ~NativeRuntime();
 
     NativeHeap &heap() { return heap_; }
     NativeRecordTable &records() { return records_; }
     NativeGate &gate() { return gate_; }
     const StmConfig &cfg() const { return cfg_; }
+
+    /** The session's fault injector, or null when injection is off. */
+    NativeFaultInjector *fault() { return fault_.get(); }
 
     /** Record for datum @p data belonging to object @p obj. */
     std::atomic<std::uint64_t> &
@@ -415,6 +477,9 @@ class NativeRuntime
 
     std::unique_ptr<TraceSink> trace_;
     std::mutex traceMu_;
+
+    /** Null unless the session enabled fault injection. */
+    std::unique_ptr<NativeFaultInjector> fault_;
 };
 
 /**
@@ -457,6 +522,16 @@ class alignas(64) NativeThread : public TmExec
      *  (tests; owner-read, so meaningful only from the thread that
      *  steps this NativeThread or while the system is quiescent). */
     std::size_t limboSizeForTest() const { return limbo_.size(); }
+
+    /**
+     * Cheap end-of-run invariant sweep for the torture harness: with
+     * this thread quiescent (no transaction in flight), checks that
+     * no protocol state leaked — snapshot at or behind the clock, all
+     * logs and ownership maps unwound, epoch slot idle. Returns a
+     * diagnostic line naming every violated invariant, or "" when
+     * clean.
+     */
+    std::string invariantReport() const;
 
   protected:
     void begin() override;
@@ -550,6 +625,16 @@ class alignas(64) NativeThread : public TmExec
     /** Capped-exponential contention spins for attempt @p attempt. */
     unsigned spinBudget(unsigned attempt) const;
 
+    /**
+     * Fault-injection hook (no-op when the session runs without an
+     * injector): evaluates the injector at @p point, counts and
+     * traces whatever fired, and converts the abort-inducing kinds
+     * into the protocol's own abort exceptions (CmKill throws a
+     * TxConflictAbort{CmKill}; ExtensionFail throws the same
+     * Validation abort a genuinely stale extension would).
+     */
+    void faultHook(NativeFaultPoint point);
+
     static std::uint64_t packRec(NRec rec)
     {
         return reinterpret_cast<std::uint64_t>(rec);
@@ -561,6 +646,9 @@ class alignas(64) NativeThread : public TmExec
 
     NativeRuntime &rt_;
     unsigned id_;
+
+    /** The runtime's injector, or null (latched at construction). */
+    NativeFaultInjector *fault_;
 
     /** Even, nonzero, unique: the record encoding's "owner" token. */
     std::uint64_t token_;

@@ -57,6 +57,38 @@ faultProfile(const std::string &name)
     return p;
 }
 
+const std::vector<std::string> &
+simFaultProfileNames()
+{
+    static const std::vector<std::string> names{
+        "off", "light", "heavy", "ctx", "evict", "spurious",
+    };
+    return names;
+}
+
+std::string
+faultProfileArg(int argc, char **argv,
+                const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--fault-profile")
+            continue;
+        if (i + 1 >= argc)
+            fatal("--fault-profile needs a profile name");
+        std::string name = argv[i + 1];
+        for (const std::string &k : known) {
+            if (name == k)
+                return name;
+        }
+        std::string valid;
+        for (const std::string &k : known)
+            valid += (valid.empty() ? "" : ", ") + k;
+        fatal("unknown fault profile '%s' (valid: %s)", name.c_str(),
+              valid.c_str());
+    }
+    return "";
+}
+
 FaultInjector::FaultInjector(const FaultParams &params, unsigned num_cores)
     : params_(params), cores_(num_cores)
 {

@@ -83,6 +83,20 @@ struct FaultParams
  */
 FaultParams faultProfile(const std::string &name);
 
+/** The profile names faultProfile() accepts, in sweep order. */
+const std::vector<std::string> &simFaultProfileNames();
+
+/**
+ * Shared `--fault-profile <name>` handling for the stress campaigns
+ * (sim and native), so both accept the same spellings with the same
+ * errors: returns the value following the flag in argv, validated
+ * against @p known (fatal on an unknown spelling, listing the
+ * accepted names), or "" when the flag is absent — the campaign then
+ * sweeps its full profile matrix.
+ */
+std::string faultProfileArg(int argc, char **argv,
+                            const std::vector<std::string> &known);
+
 /**
  * Per-machine fault source. Cores poll their due time inside
  * Core::advance() and call fire() when it passes; fire() performs one

@@ -89,6 +89,15 @@ struct StmConfig
     unsigned nativeBackoffSpinsBase = 64;
     unsigned nativeBackoffSpinsCap = 8192;
     /**
+     * Upper bound (milliseconds) any native thread will block waiting
+     * on a serial-gate transition before failing fast with a
+     * diagnostic (holder token, inflight and waiter counts) instead
+     * of hanging CI forever behind a stalled holder. Generous by
+     * default — a healthy gate transition is microseconds — and 0
+     * restores the untimed wait.
+     */
+    unsigned nativeGateStallMs = 20000;
+    /**
      * TEST-ONLY: skip commit-time validation, making the STM
      * deliberately unsound so the adversarial oracle can prove it
      * detects broken runtimes. Never enable outside tests.

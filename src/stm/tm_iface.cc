@@ -51,6 +51,34 @@ abortKindName(AbortKind k)
 }
 
 const char *
+nativeFaultKindName(NativeFaultKind k)
+{
+    switch (k) {
+      case NativeFaultKind::Yield:         return "yield";
+      case NativeFaultKind::SpinDelay:     return "spinDelay";
+      case NativeFaultKind::Starve:        return "starve";
+      case NativeFaultKind::ExtensionFail: return "extensionFail";
+      case NativeFaultKind::CmKill:        return "cmKill";
+      case NativeFaultKind::GateStall:     return "gateStall";
+    }
+    return "?";
+}
+
+const char *
+nativeFaultInstantName(NativeFaultKind k)
+{
+    switch (k) {
+      case NativeFaultKind::Yield:         return "fault:yield";
+      case NativeFaultKind::SpinDelay:     return "fault:spinDelay";
+      case NativeFaultKind::Starve:        return "fault:starve";
+      case NativeFaultKind::ExtensionFail: return "fault:extensionFail";
+      case NativeFaultKind::CmKill:        return "fault:cmKill";
+      case NativeFaultKind::GateStall:     return "fault:gateStall";
+    }
+    return "fault:?";
+}
+
+const char *
 granularityName(Granularity g)
 {
     switch (g) {

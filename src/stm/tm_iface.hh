@@ -175,6 +175,27 @@ struct TxConflictAbort
     AbortKind kind = AbortKind::Unknown;
 };
 
+/**
+ * Actions the native backend's fault injector can perform
+ * (native/native_fault.hh). Declared here, next to the stats block
+ * that counts them, so TmStats needs no native-layer include.
+ */
+enum class NativeFaultKind : std::uint8_t {
+    Yield,          //!< bounded burst of sched_yield calls
+    SpinDelay,      //!< bounded busy-spin delay
+    Starve,         //!< priority-starvation delay (window victim)
+    ExtensionFail,  //!< forced timestamp-extension failure
+    CmKill,         //!< spurious contention-manager kill
+    GateStall,      //!< sleep at a serial-gate transition
+};
+
+constexpr unsigned kNumNativeFaultKinds = 6;
+
+const char *nativeFaultKindName(NativeFaultKind k);
+
+/** Trace-instant name for an injected native fault ("fault:<kind>"). */
+const char *nativeFaultInstantName(NativeFaultKind k);
+
 /** Thrown by retry(): roll back and wait for the read set to change. */
 struct TxRetryRequest {};
 
@@ -236,6 +257,15 @@ struct TmStats
      */
     std::array<std::uint64_t, kNumFaultKinds> faultsInjected{};
 
+    /**
+     * Native-backend fault injector events by NativeFaultKind
+     * (native/native_fault.hh). Unlike faultsInjected, these are
+     * counted per-thread by the thread the fault fired on, so the
+     * per-thread entries are meaningful and merge() gives the
+     * campaign totals.
+     */
+    std::array<std::uint64_t, kNumNativeFaultKinds> nativeFaultsInjected{};
+
     // ---- distributions (Fig 12/17-style diagnostics, JSON reports) ----
     Histogram readSetAtCommit;  //!< read-set entries per committed txn
     Histogram undoLogAtCommit;  //!< undo-log entries per committed txn
@@ -281,6 +311,8 @@ struct TmStats
             abortsByKind[k] += s.abortsByKind[k];
         for (unsigned k = 0; k < kNumFaultKinds; ++k)
             faultsInjected[k] += s.faultsInjected[k];
+        for (unsigned k = 0; k < kNumNativeFaultKinds; ++k)
+            nativeFaultsInjected[k] += s.nativeFaultsInjected[k];
         readSetAtCommit.merge(s.readSetAtCommit);
         undoLogAtCommit.merge(s.undoLogAtCommit);
         retriesPerCommit.merge(s.retriesPerCommit);
