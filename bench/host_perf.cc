@@ -32,11 +32,14 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/latency_hist.hh"
 #include "harness/native_experiment.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
+#include "service/executor.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 using namespace hastm;
 
@@ -241,6 +244,50 @@ runNativeMode(int argc, char **argv)
     table.print(std::cout);
     if (!bars_ok)
         ok = false;
+
+    // ---- per-op host latency: individual transactional ops timed
+    // with the host clock into the same log-linear percentile
+    // histogram the service uses (harness/latency_hist.hh). The
+    // percentiles vary run to run like every wall-clock field; the
+    // point is the shape — a tight p50 with a visible syscall/
+    // scheduling tail — and that the histogram machinery serves a
+    // second, real consumer beyond bench/serve. ----
+    std::cout << "\nPer-op host latency (single thread, hash table, "
+              << "20% updates):\n";
+    {
+        StmConfig stm;
+        NativeRequestExecutor exec{stm};
+        ExecutorWorkload w;
+        w.workload = WorkloadKind::HashTable;
+        w.hashBuckets = 1024;
+        w.initialSize = 4096;
+        w.keyRange = 16384;
+        w.seed = 1;
+        exec.populate(w);
+        LatencyHistogram hist;
+        Rng rng(42);
+        std::uint64_t op_count = ci ? 20000 : 100000;
+        for (std::uint64_t i = 0; i < op_count; ++i) {
+            ServiceRequest req;
+            std::uint64_t roll = rng.range(100);
+            req.op = roll < 80 ? OpKind::Contains
+                     : roll < 90 ? OpKind::Insert
+                                 : OpKind::Remove;
+            req.key = rng.range(w.keyRange);
+            req.value = rng.next() >> 16;
+            auto t0 = std::chrono::steady_clock::now();
+            exec.execute(req, 0);
+            hist.record(wallNanos(t0));
+        }
+        std::cout << "  ops " << hist.count() << ", p50 "
+                  << hist.quantile(0.50) << "ns, p99 "
+                  << hist.quantile(0.99) << "ns, p999 "
+                  << hist.quantile(0.999) << "ns, max " << hist.max()
+                  << "ns\n";
+        Json lat = Json::object();
+        lat.set("ops", hist.count()).set("latency", toJson(hist));
+        report.addCustom("perOpLatency", std::move(lat));
+    }
 
     // ---- cross-validation: native logs must replay through the sim,
     // under both protocols ----

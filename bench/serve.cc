@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Open-system transaction service campaign (DESIGN.md §12).
+ *
+ * Drives the service subsystem (src/service/) across every execution
+ * substrate — both native protocols and the simulated software,
+ * hybrid, and adaptive schemes — through four open-system load
+ * shapes derived from each cell's own calibrated capacity:
+ *
+ *   under  0.5x capacity, Poisson         (drop-free baseline)
+ *   sat    1.0x capacity, Poisson         (knee of the curve)
+ *   over   2.0x capacity, Poisson         (delay-based shedding)
+ *   burst  0.25x / 3x on-off burst        (recovery evidence)
+ *
+ * Capacity is not guessed: each scheme/seed pair first runs a
+ * zero-rival calibration batch of Contains requests and derives the
+ * effective mean service time from the measured barrier counts and
+ * the virtual service-time model, so "2x overload" means the same
+ * thing on a barrier-heavy software STM and on the hardware rung.
+ *
+ * Every cell is self-checked:
+ *  - accounting: offered == admitted + dropped + shed, completed ==
+ *    admitted after drain, invariants and (native) gate quiescence;
+ *  - under: zero drops, zero sheds, everything completes;
+ *  - over: the DelayBackpressure policy really sheds, the committed
+ *    p99 stays within sloP99Ns * sloMultiple, and goodput holds at
+ *    >= half capacity — overload degrades into shedding, not
+ *    collapse;
+ *  - burst: the post-burst calm phase recovers — the final window's
+ *    p99 returns to within 2x the pre-burst p99 (+ one mean service
+ *    time of slack) and the queue drains;
+ *  - determinism: the whole matrix runs twice (through the same
+ *    --jobs pool) and every cell's fingerprint must be bit-identical
+ *    across passes — at any host parallelism, since the only clock
+ *    is virtual.
+ *
+ * A trace coda replays one recorded burst arrival stream (written
+ * and re-read through the JSON-lines trace round-trip) against a
+ * native and a simulated scheme: both must see the identical offered
+ * stream, and the replay must be bit-identical to itself.
+ *
+ * Flags: --ci trims the matrix for CI latency; --backend
+ * native|sim|all restricts the substrate (TSan runs use --backend
+ * native: the sim's fibers cannot be instrumented); --scheme /
+ * --load / --seed restrict axes; --jobs N runs cells in parallel;
+ * --json writes the schema-v9 report (BENCH_serve.json baseline).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "service/server.hh"
+#include "service/trace_source.hh"
+#include "sim/logging.hh"
+
+using namespace hastm;
+
+namespace {
+
+// ---- the scheme axis ----
+
+struct SchemeCell
+{
+    const char *name;
+    bool native;
+    bool snapshotClock;  //!< native protocol select
+    TmScheme scheme;     //!< sim scheme select
+};
+
+const SchemeCell kSchemes[] = {
+    {"native/snapshot", true, true, TmScheme::Stm},
+    {"native/mcrt", true, false, TmScheme::Stm},
+    {"sim/stm", false, false, TmScheme::Stm},
+    {"sim/hastm", false, false, TmScheme::Hastm},
+    {"sim/adaptive", false, false, TmScheme::Adaptive},
+};
+
+std::unique_ptr<RequestExecutor>
+makeExecutor(const SchemeCell &s)
+{
+    StmConfig stm;
+    if (s.native) {
+        stm.nativeSnapshotClock = s.snapshotClock;
+        return std::make_unique<NativeRequestExecutor>(stm);
+    }
+    return std::make_unique<SimRequestExecutor>(s.scheme, stm);
+}
+
+// ---- the load axis ----
+
+enum class LoadKind { Under, Sat, Over, Burst };
+
+const LoadKind kLoads[] = {LoadKind::Under, LoadKind::Sat,
+                           LoadKind::Over, LoadKind::Burst};
+
+const char *
+loadName(LoadKind l)
+{
+    switch (l) {
+      case LoadKind::Under: return "under";
+      case LoadKind::Sat:   return "sat";
+      case LoadKind::Over:  return "over";
+      case LoadKind::Burst: return "burst";
+    }
+    return "?";
+}
+
+ExecutorWorkload
+serveWorkload(std::uint64_t seed)
+{
+    ExecutorWorkload w;
+    w.workload = WorkloadKind::HashTable;
+    w.hashBuckets = 64;
+    w.initialSize = 128;
+    w.keyRange = 256;
+    w.conflictClasses = 4;
+    w.seed = seed;
+    return w;
+}
+
+/**
+ * Effective mean service time for one scheme: a zero-rival batch of
+ * Contains requests through a fresh executor, fed into the virtual
+ * service-time model. Deterministic, so both passes agree.
+ */
+std::uint64_t
+calibrateServiceNs(const SchemeCell &s, const ServiceConfig &proto)
+{
+    std::unique_ptr<RequestExecutor> exec = makeExecutor(s);
+    exec->populate(proto.workload);
+    constexpr unsigned kProbes = 64;
+    std::uint64_t barriers = 0, aborts = 0, irrevoc = 0;
+    for (unsigned i = 0; i < kProbes; ++i) {
+        ServiceRequest req;
+        req.op = OpKind::Contains;
+        req.key = (i * 37) % proto.workload.keyRange;
+        ExecOutcome o = exec->execute(req, 0);
+        barriers += o.barriers;
+        aborts += o.aborts;
+        irrevoc += o.irrevocable;
+    }
+    return proto.baseServiceNs +
+           proto.perBarrierNs * (barriers / kProbes) +
+           proto.perAbortNs * (aborts / kProbes) +
+           proto.perIrrevocNs * (irrevoc / kProbes);
+}
+
+ServiceConfig
+serveConfig(LoadKind load, std::uint64_t seed, std::uint64_t duration_ns,
+            std::uint64_t service_ns)
+{
+    ServiceConfig cfg;
+    cfg.workload = serveWorkload(seed);
+    cfg.workers = 4;
+    cfg.rivalCap = 3;
+    cfg.baseServiceNs = 40'000;
+    cfg.perBarrierNs = 12;
+    cfg.perAbortNs = 20'000;
+    cfg.perIrrevocNs = 40'000;
+    cfg.durationNs = duration_ns;
+    cfg.windowNs = 1'000'000;
+    cfg.admission.queueCap = 64;
+    cfg.admission.sloP99Ns = 20 * service_ns;
+    cfg.admission.sloMultiple = 2.0;
+    cfg.arrival.keyRange = cfg.workload.keyRange;
+    cfg.arrival.zipfS = 0.8;
+    cfg.arrival.updatePct = 20;
+    double capacity = cfg.workers * 1e9 / double(service_ns);
+    switch (load) {
+      case LoadKind::Under:
+        cfg.arrival.ratePerSec = 0.5 * capacity;
+        break;
+      case LoadKind::Sat:
+        cfg.arrival.ratePerSec = 1.0 * capacity;
+        break;
+      case LoadKind::Over:
+        cfg.arrival.ratePerSec = 2.0 * capacity;
+        cfg.admission.policy = AdmissionPolicy::DelayBackpressure;
+        break;
+      case LoadKind::Burst:
+        // One calm lead-in, one burst, one calm tail: the process is
+        // periodic (period off+on = 5/8 duration), so the second
+        // period would start exactly at the horizon — a single burst
+        // per run. The queue bound doubles as the backlog bound: 32
+        // requests at a contention-inflated service time drain well
+        // inside the 3/8-duration tail, so recovery is observable
+        // even at the short CI horizon.
+        cfg.arrival.kind = ArrivalKind::OnOffBurst;
+        cfg.arrival.ratePerSec = 0.25 * capacity;
+        cfg.arrival.burstRatePerSec = 3.0 * capacity;
+        cfg.arrival.offNs = duration_ns * 3 / 8;
+        cfg.arrival.onNs = duration_ns / 4;
+        cfg.admission.queueCap = 32;
+        break;
+    }
+    return cfg;
+}
+
+// ---- self-checks ----
+
+/** p99 of the last window closing at or before @p t (0 if none). */
+std::uint64_t
+windowP99Before(const ServiceResult &r, std::uint64_t window_ns,
+                std::uint64_t t)
+{
+    std::uint64_t p = 0;
+    for (const ServiceWindow &w : r.windows) {
+        if (w.startNs + window_ns <= t && w.completed > 0)
+            p = w.p99Ns;
+    }
+    return p;
+}
+
+/** Returns "" when every check for @p load passes, else a diag. */
+std::string
+checkCell(LoadKind load, const ServiceConfig &cfg, const ServiceResult &r,
+          std::uint64_t service_ns)
+{
+    if (r.offered != r.admitted + r.droppedFull + r.shedPolicy)
+        return "accounting: offered != admitted + dropped + shed";
+    if (r.completed != r.admitted)
+        return "drain: completed != admitted";
+    if (!r.invariantOk)
+        return "structure invariant violated";
+    if (!r.gateQuiescent)
+        return "native gate not quiescent after drain";
+    double capacity = cfg.workers * 1e9 / double(service_ns);
+    switch (load) {
+      case LoadKind::Under:
+        if (r.droppedFull + r.shedPolicy != 0)
+            return "underload dropped or shed requests";
+        if (r.completed != r.offered)
+            return "underload did not complete every request";
+        break;
+      case LoadKind::Sat:
+        // The contention feedback loop (rivals -> aborts -> longer
+        // service) pushes effective utilization past 1.0 at the
+        // zero-rival-calibrated knee, so some queue-full drops are
+        // expected; the check is "most work completes, no collapse".
+        if (r.completed < r.offered * 2 / 3)
+            return "saturation completed < 2/3 of offered";
+        if (r.goodputPerSec < 0.5 * capacity)
+            return "saturation goodput collapsed below half capacity";
+        break;
+      case LoadKind::Over: {
+        if (r.shedPolicy == 0)
+            return "overload shed nothing (backpressure never bit)";
+        double slo =
+            double(cfg.admission.sloP99Ns) * cfg.admission.sloMultiple;
+        if (double(r.p99Ns) > slo)
+            return "overload committed p99 " + std::to_string(r.p99Ns) +
+                   "ns blew the SLO bound " +
+                   std::to_string(std::uint64_t(slo)) + "ns";
+        if (r.goodputPerSec < 0.5 * capacity)
+            return "overload goodput collapsed below half capacity";
+        break;
+      }
+      case LoadKind::Burst: {
+        if (r.segments.size() < 3)
+            return "burst run closed fewer than 3 phase segments";
+        std::uint64_t pre =
+            windowP99Before(r, cfg.windowNs, cfg.arrival.offNs);
+        // Recovery = the best window after the burst ends; windows
+        // right at the phase edge still hold backlog completions, so
+        // the claim is "latency returned to pre-burst levels within
+        // the calm tail", not "instantly".
+        std::uint64_t burst_end = cfg.arrival.offNs + cfg.arrival.onNs;
+        std::uint64_t post = 0;
+        for (const ServiceWindow &w : r.windows) {
+            if (w.startNs >= burst_end && w.completed > 0 &&
+                (post == 0 || w.p99Ns < post))
+                post = w.p99Ns;
+        }
+        if (pre == 0 || post == 0)
+            return "burst run lacks pre/post windows to compare";
+        if (post > 3 * pre + 2 * service_ns)
+            return "burst recovery failed: best post-burst p99 " +
+                   std::to_string(post) + "ns vs pre-burst " +
+                   std::to_string(pre) + "ns";
+        break;
+      }
+    }
+    return "";
+}
+
+// ---- cells ----
+
+struct Cell
+{
+    const SchemeCell *scheme = nullptr;
+    LoadKind load = LoadKind::Under;
+    std::uint64_t seed = 1;
+    std::uint64_t serviceNs = 0;  //!< calibrated, filled pre-run
+    ServiceConfig cfg;
+    ServiceResult result;  //!< first pass
+    std::uint64_t rerunFingerprint = 0;  //!< second pass
+};
+
+std::string
+cellLabel(const Cell &c)
+{
+    return std::string(c.scheme->name) + "/" + loadName(c.load) +
+           "/seed" + std::to_string(c.seed);
+}
+
+std::string
+argValue(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i] == flag)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    BenchReport report("serve", argc, argv);
+    bool ci = hasFlag(argc, argv, "--ci");
+
+    std::vector<const SchemeCell *> schemes;
+    std::string backend = argValue(argc, argv, "--backend");
+    std::string only_scheme = argValue(argc, argv, "--scheme");
+    for (const SchemeCell &s : kSchemes) {
+        if (!backend.empty() && backend != "all" &&
+            backend != (s.native ? "native" : "sim"))
+            continue;
+        if (!only_scheme.empty() && only_scheme != s.name)
+            continue;
+        schemes.push_back(&s);
+    }
+    if (schemes.empty())
+        fatal("no schemes selected (--backend native|sim|all, "
+              "--scheme <name>)");
+
+    std::vector<LoadKind> loads(std::begin(kLoads), std::end(kLoads));
+    if (std::string l = argValue(argc, argv, "--load"); !l.empty()) {
+        loads.clear();
+        for (LoadKind k : kLoads) {
+            if (l == loadName(k))
+                loads.push_back(k);
+        }
+        if (loads.empty())
+            fatal("--load must be under|sat|over|burst, got '%s'",
+                  l.c_str());
+    }
+
+    std::vector<std::uint64_t> seeds = ci ? std::vector<std::uint64_t>{1}
+                                          : std::vector<std::uint64_t>{1, 2};
+    if (std::string s = argValue(argc, argv, "--seed"); !s.empty())
+        seeds = {std::strtoull(s.c_str(), nullptr, 10)};
+
+    std::uint64_t duration_ns = ci ? 6'000'000 : 16'000'000;
+
+    std::cout << "Open-system service campaign (" << schemes.size()
+              << " schemes x " << loads.size() << " loads x "
+              << seeds.size() << " seeds, " << duration_ns / 1000000
+              << "ms horizon, calibrated capacity, double-pass "
+                 "determinism)\n\n";
+
+    // ---- calibrate each scheme/seed once, then build the matrix ----
+    std::vector<Cell> cells;
+    for (const SchemeCell *s : schemes) {
+        for (std::uint64_t seed : seeds) {
+            ServiceConfig proto =
+                serveConfig(LoadKind::Under, seed, duration_ns, 1);
+            std::uint64_t service_ns = calibrateServiceNs(*s, proto);
+            for (LoadKind load : loads) {
+                Cell c;
+                c.scheme = s;
+                c.load = load;
+                c.seed = seed;
+                c.serviceNs = service_ns;
+                c.cfg = serveConfig(load, seed, duration_ns, service_ns);
+                cells.push_back(std::move(c));
+            }
+        }
+    }
+
+    // ---- two full passes through the same pool; every simulated
+    // and native state is built per cell, so parallel execution
+    // cannot perturb results ----
+    ExperimentRunner runner(argc, argv);
+    std::vector<std::uint64_t> pass2(cells.size(), 0);
+    for (Cell &c : cells) {
+        runner.add([&c]() -> ExperimentResult {
+            std::unique_ptr<RequestExecutor> exec =
+                makeExecutor(*c.scheme);
+            c.result = runService(c.cfg, *exec);
+            return {};
+        });
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        runner.add([&cells, &pass2, i]() -> ExperimentResult {
+            std::unique_ptr<RequestExecutor> exec =
+                makeExecutor(*cells[i].scheme);
+            pass2[i] = runService(cells[i].cfg, *exec).fingerprint();
+            return {};
+        });
+    }
+    runner.runAll();
+
+    // ---- verdicts, table, report ----
+    Table table({"scheme", "load", "seed", "offered", "done", "shed",
+                 "drop", "p50us", "p99us", "irrevoc", "verdict"});
+    std::vector<std::string> failures;
+    std::uint64_t slo_windows = 0, shed_total = 0, drop_total = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        Cell &c = cells[i];
+        const ServiceResult &r = c.result;
+        std::string diag = checkCell(c.load, c.cfg, r, c.serviceNs);
+        if (r.fingerprint() != pass2[i] && diag.empty())
+            diag = "determinism: pass-2 fingerprint diverged";
+        slo_windows += r.sloViolationWindows;
+        shed_total += r.shedPolicy;
+        drop_total += r.droppedFull;
+        table.addRow({c.scheme->name, loadName(c.load),
+                      fmt(c.seed), fmt(r.offered), fmt(r.completed),
+                      fmt(r.shedPolicy), fmt(r.droppedFull),
+                      fmt(r.p50Ns / 1000), fmt(r.p99Ns / 1000),
+                      fmt(r.tm.irrevocableEntries),
+                      diag.empty() ? "ok" : "FAIL"});
+        if (!diag.empty()) {
+            failures.push_back(
+                cellLabel(c) + ": " + diag + "\n    reproduce: serve" +
+                " --scheme " + c.scheme->name + " --load " +
+                loadName(c.load) + " --seed " + std::to_string(c.seed));
+        }
+        Json cell = Json::object();
+        cell.set("scheme", c.scheme->name)
+            .set("load", loadName(c.load))
+            .set("calibratedServiceNs", c.serviceNs)
+            .set("service", toJson(c.cfg))
+            .set("result", toJson(r))
+            .set("rerunIdentical", r.fingerprint() == pass2[i]);
+        report.addCustom(cellLabel(c), std::move(cell));
+    }
+    table.print(std::cout);
+
+    // ---- trace replay coda: record one burst stream, replay it on
+    // a native and a simulated scheme — identical offered load on
+    // both, bit-identical to itself ----
+    {
+        ServiceConfig tcfg =
+            serveConfig(LoadKind::Burst, seeds[0], duration_ns, 50'000);
+        ArrivalGen gen(tcfg.arrival, tcfg.workload.seed * 31 + 7);
+        std::vector<ServiceRequest> stream;
+        ServiceRequest req;
+        while (gen.next(tcfg.durationNs, &req))
+            stream.push_back(req);
+        std::string path = "/tmp/hastm_serve_trace." +
+                           std::to_string(getpid()) + ".jsonl";
+        bool trace_ok = writeTraceFile(path, stream);
+        TraceParseResult parsed;
+        if (trace_ok) {
+            parsed = loadTraceFile(path, tcfg.workload.keyRange);
+            trace_ok = parsed.ok;
+        }
+        std::uint64_t fp_native = 0, fp_native2 = 0;
+        std::uint64_t offered_native = 0, offered_sim = 0;
+        if (trace_ok) {
+            tcfg.arrival.kind = ArrivalKind::Trace;
+            tcfg.trace = parsed.requests;
+            {
+                std::unique_ptr<RequestExecutor> e =
+                    makeExecutor(kSchemes[0]);
+                ServiceResult r = runService(tcfg, *e);
+                fp_native = r.fingerprint();
+                offered_native = r.offered;
+            }
+            {
+                std::unique_ptr<RequestExecutor> e =
+                    makeExecutor(kSchemes[0]);
+                fp_native2 = runService(tcfg, *e).fingerprint();
+            }
+            {
+                std::unique_ptr<RequestExecutor> e =
+                    makeExecutor(kSchemes[2]);
+                offered_sim = runService(tcfg, *e).offered;
+            }
+            if (offered_native != stream.size())
+                trace_ok = false, (void)0;
+            if (offered_sim != stream.size())
+                trace_ok = false;
+            if (fp_native != fp_native2)
+                trace_ok = false;
+        }
+        std::remove(path.c_str());
+        std::cout << "\ntrace replay: " << stream.size()
+                  << " recorded requests, native offered "
+                  << offered_native << ", sim offered " << offered_sim
+                  << ", native replay "
+                  << (fp_native == fp_native2 ? "bit-identical"
+                                              : "DIVERGED")
+                  << "\n";
+        if (!trace_ok)
+            failures.push_back("trace replay coda failed (see above)");
+        Json t = Json::object();
+        t.set("recorded", std::uint64_t(stream.size()))
+            .set("offeredNative", offered_native)
+            .set("offeredSim", offered_sim)
+            .set("nativeReplayIdentical", fp_native == fp_native2)
+            .set("schemesAgreeOnOffered", offered_native == offered_sim);
+        report.addCustom("trace-replay", std::move(t));
+    }
+
+    // ---- summary SLO block ----
+    Json slo = Json::object();
+    slo.set("cells", std::uint64_t(cells.size()))
+        .set("sloViolationWindows", slo_windows)
+        .set("shedTotal", shed_total)
+        .set("dropTotal", drop_total)
+        .set("failures", std::uint64_t(failures.size()));
+    report.addCustom("summary/slo", std::move(slo));
+
+    if (!failures.empty()) {
+        std::cout << "\nSERVE FAILURES (" << failures.size() << "):\n";
+        for (const std::string &f : failures)
+            std::cout << "  - " << f << "\n";
+        return 1;
+    }
+    std::cout << "all " << cells.size()
+              << " cells passed (self-checks + double-pass "
+                 "determinism), trace replay clean\n";
+    return 0;
+}

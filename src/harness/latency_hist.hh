@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Log-linear (HDR-style) latency histogram with percentile queries.
+ *
+ * The existing sim/stats.hh Histogram is log2-bucketed: perfect for
+ * "how big do read sets get" diagnostics, useless for p99/p999 —
+ * power-of-two buckets put a 2x error bar on every quantile. This
+ * histogram subdivides each power-of-two major bucket into
+ * kSubHalf linear sub-buckets, bounding the relative quantile error
+ * at 1/kSubHalf (~3.1%) while keeping record() at a handful of bit
+ * ops and the whole table under 2k counters. Values below kSubCount
+ * are recorded exactly (one bucket per value), so unit tests can pin
+ * bucket boundaries to exact numbers.
+ *
+ * Used for per-request latency in the open-system service
+ * (service/server.hh) and per-op host latency in bench/host_perf.
+ */
+
+#ifndef HASTM_HARNESS_LATENCY_HIST_HH
+#define HASTM_HARNESS_LATENCY_HIST_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace hastm {
+
+class LatencyHistogram
+{
+  public:
+    /** log2 of the exact-value range; also the first major bucket. */
+    static constexpr unsigned kSubBits = 6;
+
+    /** Values in [0, kSubCount) get one bucket each (exact). */
+    static constexpr unsigned kSubCount = 1u << kSubBits;
+
+    /** Linear sub-buckets per power-of-two major bucket. */
+    static constexpr unsigned kSubHalf = kSubCount / 2;
+
+    /** Exact region + kSubHalf sub-buckets per major bucket 6..63. */
+    static constexpr unsigned kBuckets =
+        kSubCount + (64 - kSubBits) * kSubHalf;
+
+    LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+    /** Bucket index holding @p v. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        if (v < kSubCount)
+            return static_cast<unsigned>(v);
+        unsigned b = static_cast<unsigned>(std::bit_width(v)) - 1;
+        unsigned sub = static_cast<unsigned>(
+            (v - (std::uint64_t(1) << b)) >> (b - kSubBits + 1));
+        return kSubCount + (b - kSubBits) * kSubHalf + sub;
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLo(unsigned i)
+    {
+        if (i < kSubCount)
+            return i;
+        unsigned q = i - kSubCount;
+        unsigned b = kSubBits + q / kSubHalf;
+        unsigned sub = q % kSubHalf;
+        return (std::uint64_t(1) << b) +
+               (std::uint64_t(sub) << (b - kSubBits + 1));
+    }
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t
+    bucketHi(unsigned i)
+    {
+        if (i < kSubCount)
+            return i;
+        unsigned b = kSubBits + (i - kSubCount) / kSubHalf;
+        return bucketLo(i) + (std::uint64_t(1) << (b - kSubBits + 1)) - 1;
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    void
+    merge(const LatencyHistogram &o)
+    {
+        if (o.count_ == 0)
+            return;
+        for (unsigned i = 0; i < kBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
+        if (count_ == 0 || o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        count_ += o.count_;
+        sum_ += o.sum_;
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = sum_ = min_ = max_ = 0;
+    }
+
+    /**
+     * Value at quantile @p q in [0, 1]: the upper bound of the bucket
+     * holding the ceil(q * count)-th smallest sample, clamped into
+     * [min, max] so exact-tail queries (q = 1.0) return the true
+     * maximum and sub-bucket rounding never overshoots it. 0 when
+     * empty.
+     */
+    std::uint64_t
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        std::uint64_t rank = static_cast<std::uint64_t>(q * double(count_));
+        if (rank < 1)
+            rank = 1;
+        if (rank > count_)
+            rank = count_;
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen >= rank) {
+                std::uint64_t v = bucketHi(i);
+                if (v < min_)
+                    v = min_;
+                if (v > max_)
+                    v = max_;
+                return v;
+            }
+        }
+        return max_;
+    }
+
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p99() const { return quantile(0.99); }
+    std::uint64_t p999() const { return quantile(0.999); }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ ? double(sum_) / double(count_) : 0.0;
+    }
+
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+    /** Index one past the highest non-empty bucket (0 when empty). */
+    unsigned
+    usedBuckets() const
+    {
+        unsigned n = kBuckets;
+        while (n > 0 && buckets_[n - 1] == 0)
+            --n;
+        return n;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_LATENCY_HIST_HH

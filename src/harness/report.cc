@@ -32,6 +32,32 @@ toJson(const Histogram &h)
 }
 
 Json
+toJson(const LatencyHistogram &h)
+{
+    Json j = Json::object();
+    j.set("count", h.count())
+        .set("sum", h.sum())
+        .set("min", h.min())
+        .set("max", h.max())
+        .set("mean", h.mean())
+        .set("p50", h.p50())
+        .set("p99", h.p99())
+        .set("p999", h.p999());
+    // Sparse bucket list: [lo, n] pairs for non-empty buckets only.
+    Json buckets = Json::array();
+    for (unsigned i = 0; i < h.usedBuckets(); ++i) {
+        if (h.bucketCount(i) == 0)
+            continue;
+        Json b = Json::array();
+        b.push(LatencyHistogram::bucketLo(i));
+        b.push(h.bucketCount(i));
+        buckets.push(std::move(b));
+    }
+    j.set("buckets", std::move(buckets));
+    return j;
+}
+
+Json
 toJson(const TmStats &s)
 {
     Json j = Json::object();
@@ -399,7 +425,7 @@ BenchReport::write()
         return true;
     Json doc = Json::object();
     doc.set("bench", bench_)
-        .set("schemaVersion", 8)
+        .set("schemaVersion", kReportSchemaVersion)
         .set("runs", std::move(runs_));
     runs_ = Json::array();
     std::ofstream os(path_);

@@ -88,6 +88,17 @@
  * "nativeInvariantsOk" (+"nativeInvariantDiag" when violated) and
  * "faultSequenceHash" (the combined per-thread FNV fingerprint of
  * the injected sequence; 0 without an injector).
+ *
+ * v9 adds the open-system transaction service: a LatencyHistogram
+ * serialization (log-linear percentile histogram — "count" / "sum" /
+ * "min" / "max" / "mean" / "p50" / "p99" / "p999" plus sparse
+ * [bucketLo, n] "buckets"), used by bench/serve's per-request
+ * latency and host_perf's per-op latency. Serve cells (addCustom)
+ * carry {"service": {config}, "result": {...counters, "latency",
+ * p50/p99/p999Ns, "windows", "depthSeries", "segments", "slo":
+ * handled bench-side, "fingerprint"}}. No existing field changed:
+ * sim/native experiment runs serialize byte-identically to v8
+ * modulo the version number.
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH
@@ -96,12 +107,17 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "harness/latency_hist.hh"
 #include "harness/native_experiment.hh"
 #include "sim/json.hh"
 
 namespace hastm {
 
+/** The report document format version (see the header comment). */
+constexpr unsigned kReportSchemaVersion = 9;
+
 Json toJson(const Histogram &h);
+Json toJson(const LatencyHistogram &h);
 Json toJson(const TmStats &s);
 Json toJson(const StmConfig &c);
 Json toJson(const ExperimentConfig &c);

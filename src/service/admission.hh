@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pluggable admission control for the bounded request queue.
+ *
+ * Three policies, all deterministic functions of queue state and the
+ * last closed latency window (no wall clocks):
+ *
+ *  - DropTail: admit until the queue is physically full. The
+ *    baseline every policy inherits — a full queue always drops.
+ *  - DepthThreshold: shed once the queue reaches a configured depth,
+ *    keeping headroom below the physical bound.
+ *  - DelayBackpressure: shed (admitting 1 in shedKeepOneIn to keep
+ *    probing) while the last closed window's p99 exceeds the SLO —
+ *    the signal is delay, not depth, so slow service sheds even at
+ *    shallow depth and a fast drain re-opens admission.
+ */
+
+#ifndef HASTM_SERVICE_ADMISSION_HH
+#define HASTM_SERVICE_ADMISSION_HH
+
+#include <cstdint>
+
+namespace hastm {
+
+enum class AdmissionPolicy : std::uint8_t {
+    DropTail,
+    DepthThreshold,
+    DelayBackpressure,
+};
+
+const char *admissionPolicyName(AdmissionPolicy p);
+
+struct AdmissionConfig
+{
+    AdmissionPolicy policy = AdmissionPolicy::DropTail;
+    unsigned queueCap = 64;        //!< physical bound (all policies)
+    unsigned depthThreshold = 48;  //!< DepthThreshold shed point
+    std::uint64_t sloP99Ns = 2'000'000; //!< DelayBackpressure trigger
+    /** While shedding, still admit 1 of this many (progress probe). */
+    unsigned shedKeepOneIn = 4;
+    /**
+     * Self-check bound, not a control input: a campaign asserts the
+     * committed-request p99 stays within sloP99Ns * sloMultiple
+     * under overload.
+     */
+    double sloMultiple = 2.0;
+};
+
+enum class AdmissionDecision : std::uint8_t { Admit, DropFull, Shed };
+
+const char *admissionDecisionName(AdmissionDecision d);
+
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Decide one arrival given the instantaneous queue depth and the
+     * p99 of the last closed latency window (0 until one closes).
+     */
+    AdmissionDecision
+    decide(unsigned queue_depth, std::uint64_t last_window_p99)
+    {
+        if (queue_depth >= cfg_.queueCap)
+            return AdmissionDecision::DropFull;
+        switch (cfg_.policy) {
+          case AdmissionPolicy::DropTail:
+            return AdmissionDecision::Admit;
+          case AdmissionPolicy::DepthThreshold:
+            return queue_depth >= cfg_.depthThreshold
+                       ? AdmissionDecision::Shed
+                       : AdmissionDecision::Admit;
+          case AdmissionPolicy::DelayBackpressure:
+            if (last_window_p99 <= cfg_.sloP99Ns)
+                return AdmissionDecision::Admit;
+            return shedTick_++ % cfg_.shedKeepOneIn == 0
+                       ? AdmissionDecision::Admit
+                       : AdmissionDecision::Shed;
+        }
+        return AdmissionDecision::Admit;
+    }
+
+  private:
+    AdmissionConfig cfg_;
+    std::uint64_t shedTick_ = 0;
+};
+
+} // namespace hastm
+
+#endif // HASTM_SERVICE_ADMISSION_HH

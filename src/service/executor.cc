@@ -1,0 +1,304 @@
+#include "service/executor.hh"
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+// ---- RivalryExec ----
+
+bool
+RivalryExec::atomic(const std::function<void()> &fn)
+{
+    // Delegate the whole retry loop to the inner thread so its
+    // scheme, stats, watchdog, and gate behavior apply unchanged;
+    // only the body is wrapped. The wrapper re-evaluates its state on
+    // every attempt: once the inner thread escalates to irrevocable,
+    // the bracket (and any rival firing) is skipped — the block then
+    // commits alone, exactly like a quiesced overload victim.
+    return inner_.atomic([&] {
+        if (pending_ == 0 || !fire_ || inner_.inIrrevocable()) {
+            fn();
+            return;
+        }
+        inner_.readField(hot_, cls_ * 8);
+        fn();
+        --pending_;
+        fire_();  // rival commit invalidates the bracket read
+        inner_.readField(hot_, cls_ * 8);
+    });
+}
+
+void
+RivalryExec::unreachable(const char *hook)
+{
+    panic("RivalryExec::%s: decorator scheme hooks must never run",
+          hook);
+}
+
+std::uint32_t
+siteForOp(OpKind op)
+{
+    switch (op) {
+      case OpKind::Contains: return txsite::kDsContains;
+      case OpKind::Insert:   return txsite::kDsInsert;
+      case OpKind::Remove:   return txsite::kDsRemove;
+    }
+    return txsite::kGeneric;
+}
+
+namespace {
+
+/**
+ * Shared populate: build the structure and the per-class hot-word
+ * array through @p t (which must be able to run atomic blocks), then
+ * load initialSize random inserts from the dedicated populate stream
+ * (same derivation as harness/native_experiment.cc).
+ */
+Addr
+buildAndPopulate(TmExec &t, const ExecutorWorkload &w, DsInstance *ds)
+{
+    *ds = makeDs(t, w.workload, w.hashBuckets);
+    Addr hot = kNullAddr;
+    unsigned classes = w.conflictClasses ? w.conflictClasses : 1;
+    t.setSite(txsite::kGeneric);
+    t.atomic([&] {
+        hot = t.txAlloc(classes * 8);
+        for (unsigned c = 0; c < classes; ++c)
+            t.writeField(hot, c * 8, 1);
+    });
+    Rng pop(w.seed * 7919 + 1);
+    for (std::uint64_t i = 0; i < w.initialSize; ++i)
+        ds->ops.insert(t, pop.range(w.keyRange), pop.next() >> 16);
+    return hot;
+}
+
+ExecOutcome
+runOp(TmExec &t, const DsOps &ops, const ServiceRequest &req)
+{
+    ExecOutcome o;
+    switch (req.op) {
+      case OpKind::Contains:
+        o.opResult = ops.contains(t, req.key);
+        break;
+      case OpKind::Insert:
+        o.opResult = ops.insert(t, req.key, req.value);
+        break;
+      case OpKind::Remove:
+        o.opResult = ops.remove(t, req.key);
+        break;
+    }
+    return o;
+}
+
+struct StatSnap
+{
+    std::uint64_t commits, aborts, barriers, irrevocable;
+
+    explicit StatSnap(const TmStats &s)
+        : commits(s.commits), aborts(s.aborts),
+          barriers(s.rdBarriers + s.wrBarriers),
+          irrevocable(s.irrevocableEntries)
+    {
+    }
+};
+
+void
+fillDeltas(ExecOutcome *o, const StatSnap &before, const TmStats &after)
+{
+    StatSnap now(after);
+    o->commits = now.commits - before.commits;
+    o->aborts = now.aborts - before.aborts;
+    o->barriers = now.barriers - before.barriers;
+    o->irrevocable = now.irrevocable - before.irrevocable;
+}
+
+} // namespace
+
+// ---- NativeRequestExecutor ----
+
+NativeRequestExecutor::NativeRequestExecutor(const StmConfig &stm,
+                                             std::size_t heap_bytes)
+    : backend_([&] {
+          NativeSessionConfig cfg;
+          cfg.numThreads = 2;  // thread 0 requests, thread 1 rivalry
+          cfg.stm = stm;
+          cfg.heapBytes = heap_bytes;
+          return cfg;
+      }())
+{
+    exec_ = std::make_unique<RivalryExec>(backend_.thread(0));
+    // The rival runs inline from inside the worker's open
+    // transaction. If it ever conflicted with a record the suspended
+    // worker owns (record-table aliasing), escalating to the serial
+    // gate would quiesce-wait on a transaction that cannot depart —
+    // a single-host-thread deadlock. The rival never escalates; a
+    // conflicted rival gives up instead (see execute()).
+    backend_.session().thread(1).setWatchdogEnabled(false);
+}
+
+void
+NativeRequestExecutor::populate(const ExecutorWorkload &w)
+{
+    classes_ = w.conflictClasses ? w.conflictClasses : 1;
+    hot_ = buildAndPopulate(backend_.thread(0), w, &ds_);
+    backend_.resetStats();
+}
+
+ExecOutcome
+NativeRequestExecutor::execute(const ServiceRequest &req, unsigned rivals)
+{
+    TmExec &worker = backend_.thread(0);
+    TmExec &rival = backend_.thread(1);
+    unsigned cls = unsigned(req.key % classes_);
+    StatSnap before(worker.stats());
+    exec_->arm(hot_, cls, rivals, [this, &rival, cls] {
+        // Single real attempt: a first-attempt conflict means the
+        // rival aliased a record the suspended worker owns, and no
+        // amount of retrying can succeed until the worker departs —
+        // give up via user abort (the worker then commits unrivalled
+        // this attempt, deterministically).
+        unsigned tries = 0;
+        rival.atomic([&] {
+            if (tries++ > 0)
+                rival.userAbort();
+            rival.writeField(hot_, cls * 8, ++rivalSeq_);
+        });
+    });
+    ExecOutcome o = runOp(*exec_, ds_.ops, req);
+    exec_->arm(hot_, cls, 0, nullptr);
+    fillDeltas(&o, before, worker.stats());
+    o.commitStamp = worker.commitStamp();
+    return o;
+}
+
+TmStats
+NativeRequestExecutor::totalStats() const
+{
+    return backend_.totalStats();
+}
+
+std::uint64_t
+NativeRequestExecutor::checksum()
+{
+    return ds_.ops.checksum(backend_.thread(0));
+}
+
+std::uint64_t
+NativeRequestExecutor::size()
+{
+    return ds_.ops.size(backend_.thread(0));
+}
+
+bool
+NativeRequestExecutor::invariant()
+{
+    return ds_.ops.invariant(backend_.thread(0));
+}
+
+bool
+NativeRequestExecutor::gateQuiescent()
+{
+    return backend_.session().runtime().gate().quiescent();
+}
+
+// ---- SimRequestExecutor ----
+
+SimRequestExecutor::SimRequestExecutor(TmScheme scheme,
+                                       const StmConfig &stm)
+{
+    SimBackendConfig cfg;
+    cfg.machine.mem.numCores = 2;  // core 0 requests, core 1 rivalry
+    cfg.session.scheme = scheme;
+    cfg.session.numThreads = 2;
+    cfg.session.stm = stm;
+    backend_ = std::make_unique<SimBackend>(cfg);
+}
+
+void
+SimRequestExecutor::populate(const ExecutorWorkload &w)
+{
+    classes_ = w.conflictClasses ? w.conflictClasses : 1;
+    backend_->run({[&](TmExec &t) {
+        hot_ = buildAndPopulate(t, w, &ds_);
+    }});
+    backend_->resetStats();
+}
+
+ExecOutcome
+SimRequestExecutor::execute(const ServiceRequest &req, unsigned rivals)
+{
+    unsigned cls = unsigned(req.key % classes_);
+    StatSnap before(backend_->thread(0).stats());
+    ExecOutcome o;
+    RivalPace pace;
+    // Spin quantum and cap for the handshake: enough simulated work
+    // for the peer fiber to run a whole short transaction, bounded so
+    // a rival that cannot commit right now (e.g. stalled by the
+    // worker's own hardware transaction) never wedges the run.
+    constexpr unsigned kSpin = 25, kSpinCap = 400;
+    std::vector<std::function<void(TmExec &)>> bodies;
+    bodies.emplace_back([&](TmExec &t) {
+        RivalryExec rx(t);
+        rx.arm(hot_, cls, rivals, [&pace, &t] {
+            ++pace.want;
+            for (unsigned i = 0; i < kSpinCap && pace.done < pace.want;
+                 ++i) {
+                t.simInstr(kSpin);
+            }
+        });
+        o = runOp(rx, ds_.ops, req);
+        pace.quit = true;
+    });
+    if (rivals > 0) {
+        bodies.emplace_back([&, cls, rivals](TmExec &t) {
+            t.setSite(txsite::kGeneric);
+            for (unsigned i = 0; i < rivals; ++i) {
+                while (!pace.quit && pace.want <= i)
+                    t.simInstr(kSpin);
+                if (pace.want <= i)
+                    break;  // worker finished without this rival
+                t.atomic([&] {
+                    std::uint64_t v = t.readField(hot_, cls * 8);
+                    t.writeField(hot_, cls * 8, v + 1);
+                });
+                ++pace.done;
+            }
+        });
+    }
+    backend_->run(bodies);
+    fillDeltas(&o, before, backend_->thread(0).stats());
+    o.commitStamp = backend_->thread(0).commitStamp();
+    return o;
+}
+
+TmStats
+SimRequestExecutor::totalStats() const
+{
+    return backend_->totalStats();
+}
+
+std::uint64_t
+SimRequestExecutor::checksum()
+{
+    std::uint64_t v = 0;
+    backend_->run({[&](TmExec &t) { v = ds_.ops.checksum(t); }});
+    return v;
+}
+
+std::uint64_t
+SimRequestExecutor::size()
+{
+    std::uint64_t v = 0;
+    backend_->run({[&](TmExec &t) { v = ds_.ops.size(t); }});
+    return v;
+}
+
+bool
+SimRequestExecutor::invariant()
+{
+    bool ok = false;
+    backend_->run({[&](TmExec &t) { ok = ds_.ops.invariant(t); }});
+    return ok;
+}
+
+} // namespace hastm

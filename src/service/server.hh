@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The open-system transaction service (DESIGN.md §12).
+ *
+ * A discrete-event simulation over a virtual nanosecond clock drives
+ * a worker pool through an arrival process, a bounded queue, and an
+ * admission controller; every dispatched request is REALLY executed
+ * on the configured TmBackend (service/executor.hh) and its measured
+ * stats deltas feed a deterministic service-time model:
+ *
+ *   serviceNs = baseServiceNs
+ *             + perBarrierNs  * (read+write barrier delta)
+ *             + perAbortNs    * (abort delta)
+ *             + perIrrevocNs  * (serial-gate escalation delta)
+ *
+ * so contention — rivals injected in proportion to how many busy
+ * workers collide on the request's conflict class — lengthens
+ * service, which deepens the queue, which raises rivalry: the
+ * open-system overload feedback loop, closed deterministically.
+ *
+ * Measurement is first-class: per-request latency (arrival ->
+ * completion) in a log-linear percentile histogram, windowed p99
+ * (the DelayBackpressure control signal), goodput, drop/shed counts,
+ * a queue-depth time series, SLO-violation windows, and per-phase
+ * stats segments (the burst-recovery evidence). Everything is a pure
+ * function of (ServiceConfig, executor): reruns are bit-identical at
+ * any host parallelism because the only clock is virtual.
+ */
+
+#ifndef HASTM_SERVICE_SERVER_HH
+#define HASTM_SERVICE_SERVER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/latency_hist.hh"
+#include "service/admission.hh"
+#include "service/arrival.hh"
+#include "service/executor.hh"
+#include "sim/json.hh"
+
+namespace hastm {
+
+struct ServiceConfig
+{
+    ExecutorWorkload workload;
+    unsigned workers = 4;
+    ArrivalConfig arrival;
+    AdmissionConfig admission;
+    std::uint64_t durationNs = 20'000'000;  //!< arrivals stop here
+    std::uint64_t windowNs = 1'000'000;     //!< p99 control window
+    unsigned depthSamples = 128;            //!< queue-depth series length
+    /** Cap on injected rivals per request (collision-scaled). */
+    unsigned rivalCap = 3;
+    // ---- deterministic service-time model ----
+    std::uint64_t baseServiceNs = 1500;
+    std::uint64_t perBarrierNs = 12;
+    std::uint64_t perAbortNs = 1500;
+    std::uint64_t perIrrevocNs = 4000;
+    /** Chrome trace instants (sheds, windows, phases); "" = off. */
+    std::string traceEventsPath;
+    /** Pre-parsed requests when arrival.kind == Trace. */
+    std::vector<ServiceRequest> trace;
+};
+
+/** One closed latency window (the backpressure control signal). */
+struct ServiceWindow
+{
+    std::uint64_t startNs = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t p99Ns = 0;
+    bool sloViolated = false;
+};
+
+/** Stats delta over one arrival phase (burst on/off segment). */
+struct ServiceSegment
+{
+    bool burst = false;
+    std::uint64_t startNs = 0;
+    std::uint64_t endNs = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t irrevocableEntries = 0;
+    std::uint64_t serialDispatch = 0;  //!< adaptive serial-rung txns
+};
+
+struct ServiceResult
+{
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t droppedFull = 0;
+    std::uint64_t shedPolicy = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t makespanNs = 0;  //!< last completion (>= duration)
+    double goodputPerSec = 0.0;    //!< completed / makespan
+    LatencyHistogram latency;      //!< arrival -> completion, committed
+    std::uint64_t p50Ns = 0, p99Ns = 0, p999Ns = 0;
+    std::uint64_t sloViolationWindows = 0;
+    std::uint64_t windowCount = 0;
+    std::vector<ServiceWindow> windows;
+    std::vector<std::pair<std::uint64_t, unsigned>> depthSeries;
+    unsigned maxQueueDepth = 0;
+    std::uint64_t rivalsInjected = 0;
+    std::vector<ServiceSegment> segments;
+    TmStats tm;  //!< executor totals (request + rival threads)
+    // ---- end-of-run verification ----
+    std::uint64_t finalSize = 0;
+    std::uint64_t checksum = 0;
+    bool invariantOk = false;
+    bool gateQuiescent = false;
+
+    /** FNV-1a over every deterministic field (rerun comparison). */
+    std::uint64_t fingerprint() const;
+};
+
+Json toJson(const ServiceConfig &cfg);
+Json toJson(const ServiceResult &r);
+
+/** Drive @p exec through the configured open-system run. */
+ServiceResult runService(const ServiceConfig &cfg, RequestExecutor &exec);
+
+} // namespace hastm
+
+#endif // HASTM_SERVICE_SERVER_HH

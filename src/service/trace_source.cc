@@ -1,0 +1,166 @@
+#include "service/trace_source.hh"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "sim/json.hh"
+
+namespace hastm {
+
+namespace {
+
+/**
+ * Non-negative integer field @p key of @p obj, or false with a
+ * diagnostic fragment in @p why. Doubles are rejected: a trace with
+ * fractional nanoseconds is a generator bug, not a rounding choice
+ * this parser should make silently.
+ */
+bool
+uintField(const Json &obj, const char *key, bool required,
+          std::uint64_t def, std::uint64_t *out, std::string *why)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr) {
+        if (!required) {
+            *out = def;
+            return true;
+        }
+        *why = std::string("missing field \"") + key + "\"";
+        return false;
+    }
+    switch (v->type()) {
+      case Json::Type::Uint:
+        *out = v->asUint();
+        return true;
+      case Json::Type::Int:
+        if (v->asInt() < 0) {
+            *why = std::string("field \"") + key + "\" is negative";
+            return false;
+        }
+        *out = std::uint64_t(v->asInt());
+        return true;
+      default:
+        *why = std::string("field \"") + key +
+               "\" is not a non-negative integer";
+        return false;
+    }
+}
+
+bool
+opField(const Json &obj, OpKind *out, std::string *why)
+{
+    const Json *v = obj.find("op");
+    if (v == nullptr) {
+        *why = "missing field \"op\"";
+        return false;
+    }
+    if (!v->isString()) {
+        *why = "field \"op\" is not a string";
+        return false;
+    }
+    const std::string &s = v->asString();
+    if (s == "contains")
+        *out = OpKind::Contains;
+    else if (s == "insert")
+        *out = OpKind::Insert;
+    else if (s == "remove")
+        *out = OpKind::Remove;
+    else {
+        *why = "unknown op kind \"" + s + "\"";
+        return false;
+    }
+    return true;
+}
+
+TraceParseResult
+fail(std::size_t line_no, const std::string &why)
+{
+    TraceParseResult r;
+    r.ok = false;
+    r.diag = "line " + std::to_string(line_no) + ": " + why;
+    r.requests.clear();
+    return r;
+}
+
+} // namespace
+
+TraceParseResult
+parseTrace(std::istream &in, std::uint64_t key_range)
+{
+    TraceParseResult r;
+    std::string line;
+    std::size_t line_no = 0;
+    std::uint64_t prev_t = 0;
+    std::uint64_t seq = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Allow blank lines (and a trailing newline).
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string err;
+        Json doc = Json::parse(line, &err);
+        if (doc.isNull())
+            return fail(line_no, "bad JSON (" + err + ")");
+        if (!doc.isObject())
+            return fail(line_no, "not a JSON object");
+        std::string why;
+        ServiceRequest req;
+        if (!uintField(doc, "t", true, 0, &req.arrivalNs, &why))
+            return fail(line_no, why);
+        if (!opField(doc, &req.op, &why))
+            return fail(line_no, why);
+        if (!uintField(doc, "key", true, 0, &req.key, &why))
+            return fail(line_no, why);
+        if (!uintField(doc, "value", false, 0, &req.value, &why))
+            return fail(line_no, why);
+        if (req.key >= key_range) {
+            return fail(line_no, "key " + std::to_string(req.key) +
+                                     " out of range (keyRange " +
+                                     std::to_string(key_range) + ")");
+        }
+        if (seq > 0 && req.arrivalNs < prev_t) {
+            return fail(line_no,
+                        "timestamp " + std::to_string(req.arrivalNs) +
+                            " goes backwards (previous " +
+                            std::to_string(prev_t) + ")");
+        }
+        prev_t = req.arrivalNs;
+        req.seq = seq++;
+        r.requests.push_back(req);
+    }
+    r.ok = true;
+    return r;
+}
+
+TraceParseResult
+loadTraceFile(const std::string &path, std::uint64_t key_range)
+{
+    std::ifstream in(path);
+    if (!in) {
+        TraceParseResult r;
+        r.ok = false;
+        r.diag = "cannot open trace file '" + path + "'";
+        return r;
+    }
+    return parseTrace(in, key_range);
+}
+
+bool
+writeTraceFile(const std::string &path,
+               const std::vector<ServiceRequest> &requests)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    for (const ServiceRequest &req : requests) {
+        out << "{\"t\": " << req.arrivalNs << ", \"op\": \""
+            << opKindName(req.op) << "\", \"key\": " << req.key;
+        if (req.op == OpKind::Insert)
+            out << ", \"value\": " << req.value;
+        out << "}\n";
+    }
+    return bool(out.flush());
+}
+
+} // namespace hastm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * JSON-lines request traces: the third arrival source.
+ *
+ * A trace file replays a recorded mix against every scheme — the same
+ * arrival instants and keys regardless of how each scheme services
+ * them. One request per line:
+ *
+ *   {"t": <arrival ns>, "op": "contains"|"insert"|"remove",
+ *    "key": <uint>, "value": <uint, optional, inserts only>}
+ *
+ * The parser is strict and total: truncated/malformed JSON, unknown
+ * op kinds, missing or mistyped fields, keys at or beyond the
+ * configured key range, and non-monotonic timestamps all produce a
+ * diagnostic naming the 1-based line number — never UB, never a
+ * partial silent load. Blank lines are allowed (trailing newline).
+ */
+
+#ifndef HASTM_SERVICE_TRACE_SOURCE_HH
+#define HASTM_SERVICE_TRACE_SOURCE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/arrival.hh"
+
+namespace hastm {
+
+struct TraceParseResult
+{
+    bool ok = false;
+    std::string diag;  //!< "line N: <what>" when !ok
+    std::vector<ServiceRequest> requests;
+};
+
+/** Parse a trace from @p in; keys must be < @p key_range. */
+TraceParseResult parseTrace(std::istream &in, std::uint64_t key_range);
+
+/** Parse @p path; !ok with a diagnostic when unreadable. */
+TraceParseResult loadTraceFile(const std::string &path,
+                               std::uint64_t key_range);
+
+/** Write @p requests to @p path in trace format; false on I/O error. */
+bool writeTraceFile(const std::string &path,
+                    const std::vector<ServiceRequest> &requests);
+
+} // namespace hastm
+
+#endif // HASTM_SERVICE_TRACE_SOURCE_HH

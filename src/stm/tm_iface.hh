@@ -448,10 +448,12 @@ class TmExec
     /**
      * Tag the static transaction site the next atomic blocks belong
      * to (txsite constants). Only the adaptive runtime reads it; the
-     * tag is free for every other scheme.
+     * tag is free for every other scheme. Virtual so decorators
+     * (service/executor.hh) can forward the tag to the thread that
+     * actually dispatches.
      */
-    void setSite(std::uint32_t site) { site_ = site; }
-    std::uint32_t site() const { return site_; }
+    virtual void setSite(std::uint32_t site) { site_ = site; }
+    virtual std::uint32_t site() const { return site_; }
 
     /**
      * Cycle stamp taken at the last successful commit's serialization

@@ -1,0 +1,778 @@
+/**
+ * @file
+ * Open-system transaction service tests (service/ + the latency
+ * histogram satellite).
+ *
+ * Covers: exact bucket boundaries and quantile error of the
+ * log-linear LatencyHistogram; determinism, rate, Zipf skew, and
+ * phase geometry of the arrival generators; the strict JSON-lines
+ * trace parser (positive round-trip plus every negative path, each
+ * diagnosing the right line number); the admission policies as pure
+ * decision functions; end-to-end service runs on both backends —
+ * underload completes everything, overload sheds without collapse,
+ * reruns are bit-identical — and the serial-gate overload regression:
+ * a burst drives real watchdog escalations through the NativeGate,
+ * and recovery drains them (gate quiescent, optimistic execution
+ * resumes abort-free).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "harness/report.hh"
+#include "service/server.hh"
+#include "service/trace_source.hh"
+
+namespace hastm {
+namespace {
+
+// ---- LatencyHistogram ----
+
+TEST(LatencyHist, LowValuesHaveExactBuckets)
+{
+    EXPECT_EQ(LatencyHistogram::kBuckets, 1920u);
+    for (std::uint64_t v = 0; v < LatencyHistogram::kSubCount; ++v) {
+        unsigned i = LatencyHistogram::bucketOf(v);
+        EXPECT_EQ(i, unsigned(v));
+        EXPECT_EQ(LatencyHistogram::bucketLo(i), v);
+        EXPECT_EQ(LatencyHistogram::bucketHi(i), v);
+    }
+}
+
+TEST(LatencyHist, PowerOfTwoBoundaries)
+{
+    constexpr unsigned kSub = LatencyHistogram::kSubCount;
+    constexpr unsigned kHalf = LatencyHistogram::kSubHalf;
+    // 64 opens the first major bucket: sub-bucket width 2.
+    EXPECT_EQ(LatencyHistogram::bucketOf(63), 63u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(64), kSub);
+    EXPECT_EQ(LatencyHistogram::bucketOf(65), kSub);
+    EXPECT_EQ(LatencyHistogram::bucketOf(66), kSub + 1);
+    EXPECT_EQ(LatencyHistogram::bucketLo(kSub), 64u);
+    EXPECT_EQ(LatencyHistogram::bucketHi(kSub), 65u);
+    // Last sub-bucket of [64, 128) holds {126, 127}; 128 starts the
+    // next major bucket with width 4.
+    EXPECT_EQ(LatencyHistogram::bucketOf(127), kSub + kHalf - 1);
+    EXPECT_EQ(LatencyHistogram::bucketOf(128), kSub + kHalf);
+    EXPECT_EQ(LatencyHistogram::bucketLo(kSub + kHalf), 128u);
+    EXPECT_EQ(LatencyHistogram::bucketHi(kSub + kHalf), 131u);
+    // Top of the range: 2^63 opens the last major bucket; the all-ones
+    // value lands in the very last bucket.
+    std::uint64_t top = std::uint64_t(1) << 63;
+    unsigned lastMajor = kSub + (63 - LatencyHistogram::kSubBits) * kHalf;
+    EXPECT_EQ(LatencyHistogram::bucketOf(top), lastMajor);
+    EXPECT_EQ(LatencyHistogram::bucketOf(~std::uint64_t(0)),
+              LatencyHistogram::kBuckets - 1);
+    EXPECT_EQ(LatencyHistogram::bucketLo(lastMajor), top);
+    // Every bucket's bounds are consistent and adjacent.
+    for (unsigned i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+        EXPECT_LE(LatencyHistogram::bucketLo(i),
+                  LatencyHistogram::bucketHi(i));
+        EXPECT_EQ(LatencyHistogram::bucketHi(i) + 1,
+                  LatencyHistogram::bucketLo(i + 1));
+        EXPECT_EQ(LatencyHistogram::bucketOf(LatencyHistogram::bucketLo(i)),
+                  i);
+        EXPECT_EQ(LatencyHistogram::bucketOf(LatencyHistogram::bucketHi(i)),
+                  i);
+    }
+}
+
+TEST(LatencyHist, ExactQuantilesInTheLowRange)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 50; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 50u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 50u);
+    EXPECT_EQ(h.p50(), 25u);
+    EXPECT_EQ(h.quantile(0.02), 1u);
+    EXPECT_EQ(h.quantile(1.0), 50u);
+}
+
+TEST(LatencyHist, QuantileErrorBounded)
+{
+    // The design bound: relative quantile error <= 1/kSubHalf.
+    Rng rng(42);
+    std::vector<std::uint64_t> vals;
+    LatencyHistogram h;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = 100 + (rng.next() % 10'000'000);
+        vals.push_back(v);
+        h.record(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        std::uint64_t rank = std::uint64_t(q * double(vals.size()));
+        std::uint64_t exact = vals[rank - 1];
+        std::uint64_t est = h.quantile(q);
+        double rel = std::abs(double(est) - double(exact)) / double(exact);
+        EXPECT_LE(rel, 1.0 / LatencyHistogram::kSubHalf + 1e-9)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(LatencyHist, MergeAndReset)
+{
+    LatencyHistogram a, b;
+    a.record(10);
+    a.record(1000);
+    b.record(5);
+    b.record(500000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 500000u);
+    EXPECT_EQ(a.sum(), 501015u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.quantile(0.5), 0u);
+    EXPECT_EQ(a.usedBuckets(), 0u);
+}
+
+TEST(LatencyHist, JsonHasPercentilesAndSparseBuckets)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+    Json j = toJson(h);
+    ASSERT_NE(j.find("p50"), nullptr);
+    ASSERT_NE(j.find("p99"), nullptr);
+    ASSERT_NE(j.find("p999"), nullptr);
+    EXPECT_EQ(j.find("count")->asUint(), 100u);
+    const Json *buckets = j.find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->isArray());
+    ASSERT_GT(buckets->size(), 0u);
+    // Each entry is [lo, n] with n > 0.
+    for (std::size_t i = 0; i < buckets->size(); ++i) {
+        ASSERT_EQ(buckets->at(i).size(), 2u);
+        EXPECT_GT(buckets->at(i).at(1).asUint(), 0u);
+    }
+}
+
+// ---- arrival processes ----
+
+ArrivalConfig
+poissonCfg(double rate, std::uint64_t key_range = 256)
+{
+    ArrivalConfig a;
+    a.kind = ArrivalKind::Poisson;
+    a.ratePerSec = rate;
+    a.keyRange = key_range;
+    return a;
+}
+
+TEST(Arrival, PoissonIsDeterministicInTheSeed)
+{
+    ArrivalConfig cfg = poissonCfg(1e6);
+    ArrivalGen g1(cfg, 7), g2(cfg, 7), g3(cfg, 8);
+    ServiceRequest a, b, c;
+    bool anyDiffers = false;
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(g1.next(10'000'000, &a));
+        ASSERT_TRUE(g2.next(10'000'000, &b));
+        EXPECT_EQ(a.arrivalNs, b.arrivalNs);
+        EXPECT_EQ(a.key, b.key);
+        EXPECT_EQ(int(a.op), int(b.op));
+        EXPECT_EQ(a.seq, std::uint64_t(i));
+        if (g3.next(10'000'000, &c) &&
+            (c.arrivalNs != a.arrivalNs || c.key != a.key)) {
+            anyDiffers = true;
+        }
+    }
+    EXPECT_TRUE(anyDiffers);
+}
+
+TEST(Arrival, PoissonRateIsRight)
+{
+    ArrivalGen gen(poissonCfg(1e6), 11);
+    ServiceRequest r;
+    std::uint64_t n = 0, last = 0;
+    while (gen.next(20'000'000, &r)) {
+        EXPECT_GT(r.arrivalNs, last);
+        last = r.arrivalNs;
+        ++n;
+    }
+    // 1e6/s over 20 ms => ~20000; allow 10%.
+    EXPECT_GT(n, 18000u);
+    EXPECT_LT(n, 22000u);
+    EXPECT_FALSE(gen.next(20'000'000, &r)) << "exhaustion is sticky";
+}
+
+TEST(Arrival, UpdateMixFollowsThePercentage)
+{
+    ArrivalConfig all = poissonCfg(1e6);
+    all.updatePct = 100;
+    ArrivalConfig none = poissonCfg(1e6);
+    none.updatePct = 0;
+    ArrivalGen ga(all, 3), gn(none, 3);
+    ServiceRequest r;
+    for (int i = 0; i < 300; ++i) {
+        ASSERT_TRUE(ga.next(10'000'000, &r));
+        EXPECT_NE(int(r.op), int(OpKind::Contains));
+        ASSERT_TRUE(gn.next(10'000'000, &r));
+        EXPECT_EQ(int(r.op), int(OpKind::Contains));
+    }
+}
+
+TEST(Arrival, ZipfSkewsTowardLowRanks)
+{
+    ZipfKeys keys(512, 1.1);
+    Rng rng(99);
+    std::vector<std::uint64_t> byRank(512, 0);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t k = keys.draw(rng);
+        ASSERT_LT(k, 512u);
+        ++byRank[keys.rankOf(k)];
+    }
+    // Rank 0 dominates; the tail is cold.
+    std::uint64_t tail = 0;
+    for (std::uint64_t r = 256; r < 512; ++r)
+        tail = std::max(tail, byRank[r]);
+    EXPECT_GT(byRank[0], 20000u / 10);
+    EXPECT_GT(byRank[0], tail * 8);
+    // The permutation spreads rank 0 away from key 0 (fixed seed, so
+    // this is a stable property, not a probabilistic one).
+    std::uint64_t hotKey = 0;
+    for (std::uint64_t k = 0; k < 512; ++k) {
+        if (keys.rankOf(k) == 0)
+            hotKey = k;
+    }
+    EXPECT_NE(hotKey, 0u);
+}
+
+TEST(Arrival, ZipfZeroIsUniform)
+{
+    ZipfKeys keys(64, 0.0);
+    Rng rng(5);
+    std::vector<std::uint64_t> counts(64, 0);
+    for (int i = 0; i < 64000; ++i)
+        ++counts[keys.draw(rng)];
+    auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    EXPECT_GT(*lo, 500u);   // E = 1000
+    EXPECT_LT(*hi, 1500u);
+}
+
+TEST(Arrival, BurstPhaseGeometry)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::OnOffBurst;
+    cfg.ratePerSec = 2e5;
+    cfg.burstRatePerSec = 2e6;
+    cfg.offNs = 3'000'000;
+    cfg.onNs = 1'000'000;
+    ArrivalGen gen(cfg, 21);
+    EXPECT_FALSE(gen.burstAt(0));
+    EXPECT_FALSE(gen.burstAt(2'999'999));
+    EXPECT_TRUE(gen.burstAt(3'000'000));
+    EXPECT_TRUE(gen.burstAt(3'999'999));
+    EXPECT_FALSE(gen.burstAt(4'000'000));
+    std::vector<std::uint64_t> b = gen.phaseBoundaries(10'000'000);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 3'000'000u);
+    EXPECT_EQ(b[1], 4'000'000u);
+    EXPECT_EQ(b[2], 7'000'000u);
+    EXPECT_EQ(b[3], 8'000'000u);
+    // Arrivals are ~10x denser inside the on phase.
+    std::uint64_t off = 0, on = 0;
+    ServiceRequest r;
+    while (gen.next(8'000'000, &r))
+        (gen.burstAt(r.arrivalNs) ? on : off) += 1;
+    double offRate = double(off) / 6.0;  // 6 ms off in [0, 8) ms
+    double onRate = double(on) / 2.0;    // 2 ms on
+    EXPECT_GT(onRate, offRate * 5.0);
+}
+
+TEST(Arrival, PoissonHasNoPhaseBoundaries)
+{
+    ArrivalGen gen(poissonCfg(1e6), 1);
+    EXPECT_TRUE(gen.phaseBoundaries(100'000'000).empty());
+    EXPECT_FALSE(gen.burstAt(12345));
+}
+
+// ---- trace parsing ----
+
+TEST(TraceSource, RoundTripsThroughAFile)
+{
+    std::vector<ServiceRequest> reqs;
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        ServiceRequest r;
+        r.arrivalNs = i * 1000;
+        r.op = i % 3 == 0   ? OpKind::Insert
+               : i % 3 == 1 ? OpKind::Remove
+                            : OpKind::Contains;
+        r.key = i % 32;
+        r.value = r.op == OpKind::Insert ? i * 7 : 0;
+        r.seq = i;
+        reqs.push_back(r);
+    }
+    std::string path = "service_trace_roundtrip.jsonl";
+    ASSERT_TRUE(writeTraceFile(path, reqs));
+    TraceParseResult got = loadTraceFile(path, 32);
+    std::remove(path.c_str());
+    ASSERT_TRUE(got.ok) << got.diag;
+    ASSERT_EQ(got.requests.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(got.requests[i].arrivalNs, reqs[i].arrivalNs);
+        EXPECT_EQ(int(got.requests[i].op), int(reqs[i].op));
+        EXPECT_EQ(got.requests[i].key, reqs[i].key);
+        EXPECT_EQ(got.requests[i].seq, i);
+        if (reqs[i].op == OpKind::Insert) {
+            EXPECT_EQ(got.requests[i].value, reqs[i].value);
+        }
+    }
+}
+
+TraceParseResult
+parseText(const std::string &text, std::uint64_t key_range = 64)
+{
+    std::istringstream in(text);
+    return parseTrace(in, key_range);
+}
+
+TEST(TraceSource, TruncatedJsonNamesTheLine)
+{
+    TraceParseResult r = parseText(
+        "{\"t\": 0, \"op\": \"contains\", \"key\": 1}\n"
+        "{\"t\": 5, \"op\": \"cont\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.diag.find("line 2"), std::string::npos) << r.diag;
+}
+
+TEST(TraceSource, UnknownOpNamesTheLine)
+{
+    TraceParseResult r = parseText(
+        "{\"t\": 0, \"op\": \"contains\", \"key\": 1}\n"
+        "{\"t\": 1, \"op\": \"upsert\", \"key\": 2}\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.diag.find("line 2"), std::string::npos) << r.diag;
+    EXPECT_NE(r.diag.find("upsert"), std::string::npos) << r.diag;
+}
+
+TEST(TraceSource, KeyOutOfRangeRejected)
+{
+    TraceParseResult r =
+        parseText("{\"t\": 0, \"op\": \"contains\", \"key\": 64}\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.diag.find("line 1"), std::string::npos) << r.diag;
+}
+
+TEST(TraceSource, MissingAndMistypedFieldsRejected)
+{
+    EXPECT_FALSE(parseText("{\"op\": \"contains\", \"key\": 1}\n").ok);
+    EXPECT_FALSE(parseText("{\"t\": 0, \"key\": 1}\n").ok);
+    EXPECT_FALSE(parseText("{\"t\": 0, \"op\": \"contains\"}\n").ok);
+    EXPECT_FALSE(
+        parseText("{\"t\": 1.5, \"op\": \"contains\", \"key\": 1}\n").ok);
+    EXPECT_FALSE(
+        parseText("{\"t\": -3, \"op\": \"contains\", \"key\": 1}\n").ok);
+    EXPECT_FALSE(
+        parseText("{\"t\": 0, \"op\": \"contains\", \"key\": -1}\n").ok);
+    EXPECT_FALSE(parseText("[1, 2, 3]\n").ok) << "non-object line";
+}
+
+TEST(TraceSource, NonMonotonicTimestampsRejected)
+{
+    TraceParseResult r = parseText(
+        "{\"t\": 100, \"op\": \"contains\", \"key\": 1}\n"
+        "{\"t\": 99, \"op\": \"contains\", \"key\": 2}\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.diag.find("line 2"), std::string::npos) << r.diag;
+}
+
+TEST(TraceSource, BlankLinesAndEqualTimestampsAllowed)
+{
+    TraceParseResult r = parseText(
+        "{\"t\": 5, \"op\": \"insert\", \"key\": 1, \"value\": 9}\n"
+        "\n"
+        "{\"t\": 5, \"op\": \"remove\", \"key\": 1}\n");
+    ASSERT_TRUE(r.ok) << r.diag;
+    ASSERT_EQ(r.requests.size(), 2u);
+    EXPECT_EQ(r.requests[0].value, 9u);
+}
+
+TEST(TraceSource, MissingFileDiagnosed)
+{
+    TraceParseResult r = loadTraceFile("no_such_trace_file.jsonl", 64);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.diag.empty());
+}
+
+// ---- admission policies ----
+
+TEST(Admission, DropTailOnlyDropsWhenFull)
+{
+    AdmissionConfig cfg;
+    cfg.policy = AdmissionPolicy::DropTail;
+    cfg.queueCap = 4;
+    AdmissionController c(cfg);
+    EXPECT_EQ(int(c.decide(0, 0)), int(AdmissionDecision::Admit));
+    EXPECT_EQ(int(c.decide(3, 1u << 30)), int(AdmissionDecision::Admit));
+    EXPECT_EQ(int(c.decide(4, 0)), int(AdmissionDecision::DropFull));
+}
+
+TEST(Admission, DepthThresholdShedsEarly)
+{
+    AdmissionConfig cfg;
+    cfg.policy = AdmissionPolicy::DepthThreshold;
+    cfg.queueCap = 8;
+    cfg.depthThreshold = 4;
+    AdmissionController c(cfg);
+    EXPECT_EQ(int(c.decide(3, 0)), int(AdmissionDecision::Admit));
+    EXPECT_EQ(int(c.decide(4, 0)), int(AdmissionDecision::Shed));
+    EXPECT_EQ(int(c.decide(8, 0)), int(AdmissionDecision::DropFull));
+}
+
+TEST(Admission, BackpressureShedsOnDelayKeepingAProbe)
+{
+    AdmissionConfig cfg;
+    cfg.policy = AdmissionPolicy::DelayBackpressure;
+    cfg.queueCap = 64;
+    cfg.sloP99Ns = 1000;
+    cfg.shedKeepOneIn = 4;
+    AdmissionController c(cfg);
+    // Within SLO: always admit, and the probe counter does not tick.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(int(c.decide(5, 1000)), int(AdmissionDecision::Admit));
+    // Over SLO: 1 admit in 4.
+    int admits = 0, sheds = 0;
+    for (int i = 0; i < 12; ++i) {
+        AdmissionDecision d = c.decide(5, 1001);
+        (d == AdmissionDecision::Admit ? admits : sheds) += 1;
+    }
+    EXPECT_EQ(admits, 3);
+    EXPECT_EQ(sheds, 9);
+    // Recovered p99 re-opens admission fully.
+    EXPECT_EQ(int(c.decide(5, 900)), int(AdmissionDecision::Admit));
+}
+
+// ---- end-to-end service runs ----
+
+ServiceConfig
+baseServiceCfg()
+{
+    ServiceConfig cfg;
+    cfg.workload.workload = WorkloadKind::HashTable;
+    cfg.workload.initialSize = 128;
+    cfg.workload.keyRange = 256;
+    cfg.workload.seed = 1;
+    cfg.workload.conflictClasses = 4;
+    cfg.workers = 4;
+    cfg.arrival = poissonCfg(3e4, 256);
+    cfg.durationNs = 10'000'000;
+    cfg.windowNs = 1'000'000;
+    cfg.baseServiceNs = 20'000;
+    cfg.perAbortNs = 20'000;
+    return cfg;
+}
+
+TEST(Service, NativeUnderloadCompletesEverything)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    NativeRequestExecutor exec{StmConfig{}};
+    ServiceResult r = runService(cfg, exec);
+    EXPECT_GT(r.offered, 200u);
+    EXPECT_EQ(r.admitted, r.offered);
+    EXPECT_EQ(r.completed, r.offered);
+    EXPECT_EQ(r.droppedFull, 0u);
+    EXPECT_EQ(r.shedPolicy, 0u);
+    EXPECT_TRUE(r.invariantOk);
+    EXPECT_TRUE(r.gateQuiescent);
+    EXPECT_GE(r.makespanNs, cfg.durationNs);
+    EXPECT_GE(r.p50Ns, cfg.baseServiceNs);
+    EXPECT_GE(r.p99Ns, r.p50Ns);
+    EXPECT_GT(r.goodputPerSec, 0.0);
+    EXPECT_EQ(r.latency.count(), r.completed);
+    EXPECT_GE(r.windowCount, cfg.durationNs / cfg.windowNs);
+    EXPECT_FALSE(r.depthSeries.empty());
+    ASSERT_EQ(r.segments.size(), 1u);
+    EXPECT_EQ(r.segments[0].offered, r.offered);
+    EXPECT_EQ(r.segments[0].completed, r.completed);
+}
+
+TEST(Service, NativeRerunIsBitIdentical)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.arrival.zipfS = 1.1;
+    NativeRequestExecutor e1{StmConfig{}}, e2{StmConfig{}};
+    ServiceResult a = runService(cfg, e1);
+    ServiceResult b = runService(cfg, e2);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.p99Ns, b.p99Ns);
+}
+
+TEST(Service, NativeOverloadShedsInsteadOfCollapsing)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.arrival.ratePerSec = 8e5;  // ~4x the ~200k/s capacity
+    cfg.admission.policy = AdmissionPolicy::DelayBackpressure;
+    cfg.admission.queueCap = 64;
+    cfg.admission.sloP99Ns = 500'000;
+    NativeRequestExecutor exec{StmConfig{}};
+    ServiceResult r = runService(cfg, exec);
+    EXPECT_GT(r.shedPolicy + r.droppedFull, 0u);
+    EXPECT_LT(r.completed, r.offered);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_LE(r.maxQueueDepth, cfg.admission.queueCap);
+    EXPECT_GE(r.sloViolationWindows, 1u);
+    EXPECT_TRUE(r.invariantOk);
+    // The latency histogram only holds completed (served) requests,
+    // so backpressure keeps its p99 far below the no-shedding bound
+    // of queueCap * serviceNs.
+    EXPECT_LT(r.p99Ns,
+              cfg.admission.queueCap * cfg.baseServiceNs * 2);
+}
+
+TEST(Service, BurstSegmentsAlternateAndAccount)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.arrival.kind = ArrivalKind::OnOffBurst;
+    cfg.arrival.ratePerSec = 2e4;
+    cfg.arrival.burstRatePerSec = 4e5;
+    cfg.arrival.offNs = 4'000'000;
+    cfg.arrival.onNs = 2'000'000;
+    cfg.durationNs = 12'000'000;
+    NativeRequestExecutor exec{StmConfig{}};
+    ServiceResult r = runService(cfg, exec);
+    // Boundaries at 4, 6, 10 ms -> 4 segments off/on/off/on.
+    ASSERT_EQ(r.segments.size(), 4u);
+    EXPECT_FALSE(r.segments[0].burst);
+    EXPECT_TRUE(r.segments[1].burst);
+    EXPECT_FALSE(r.segments[2].burst);
+    EXPECT_TRUE(r.segments[3].burst);
+    std::uint64_t offered = 0, completed = 0;
+    for (const ServiceSegment &s : r.segments) {
+        offered += s.offered;
+        completed += s.completed;
+        EXPECT_LE(s.startNs, s.endNs);
+    }
+    EXPECT_EQ(offered, r.offered);
+    EXPECT_EQ(completed, r.completed);
+    // The burst is ~20x the base rate.
+    EXPECT_GT(r.segments[1].offered, r.segments[0].offered);
+}
+
+TEST(Service, TraceDrivenRunIsDeterministic)
+{
+    std::vector<ServiceRequest> reqs;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        ServiceRequest q;
+        q.arrivalNs = (i + 1) * 20'000;
+        q.op = i % 4 == 0 ? OpKind::Insert : OpKind::Contains;
+        q.key = (i * 37) % 256;
+        q.value = i;
+        q.seq = i;
+        reqs.push_back(q);
+    }
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.arrival.kind = ArrivalKind::Trace;
+    cfg.trace = reqs;
+    NativeRequestExecutor e1{StmConfig{}}, e2{StmConfig{}};
+    ServiceResult a = runService(cfg, e1);
+    EXPECT_EQ(a.offered, 300u);
+    EXPECT_EQ(a.completed, 300u);
+    EXPECT_TRUE(a.invariantOk);
+    ServiceResult b = runService(cfg, e2);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Service, SimStmRunsAndRerunsBitIdentical)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.arrival.ratePerSec = 5e4;  // genuine underload even with
+                                   // rivalry-induced abort penalties
+    cfg.durationNs = 2'000'000;
+    cfg.workload.initialSize = 32;
+    cfg.workload.conflictClasses = 1;
+    SimRequestExecutor e1(TmScheme::Stm, StmConfig{});
+    ServiceResult a = runService(cfg, e1);
+    EXPECT_GT(a.completed, 50u);
+    EXPECT_EQ(a.completed, a.offered);
+    EXPECT_TRUE(a.invariantOk);
+    EXPECT_GE(a.tm.commits, a.completed);
+    SimRequestExecutor e2(TmScheme::Stm, StmConfig{});
+    ServiceResult b = runService(cfg, e2);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Service, SimRivalryCausesRealAborts)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.arrival.ratePerSec = 6e5;  // overload -> busy collisions
+    cfg.durationNs = 1'500'000;
+    cfg.workload.initialSize = 32;
+    cfg.workload.conflictClasses = 1;
+    cfg.admission.queueCap = 16;
+    SimRequestExecutor exec(TmScheme::Stm, StmConfig{});
+    ServiceResult r = runService(cfg, exec);
+    EXPECT_GT(r.rivalsInjected, 0u);
+    EXPECT_GT(r.tm.aborts, 0u);
+    EXPECT_TRUE(r.invariantOk);
+}
+
+TEST(Service, JsonSerializationIsWellFormed)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.durationNs = 2'000'000;
+    NativeRequestExecutor exec{StmConfig{}};
+    ServiceResult r = runService(cfg, exec);
+    Json jc = toJson(cfg);
+    Json jr = toJson(r);
+    EXPECT_NE(jc.find("arrival"), nullptr);
+    EXPECT_NE(jc.find("admission"), nullptr);
+    ASSERT_NE(jr.find("latency"), nullptr);
+    EXPECT_NE(jr.find("latency")->find("p99"), nullptr);
+    EXPECT_EQ(jr.find("completed")->asUint(), r.completed);
+    EXPECT_EQ(jr.find("fingerprint")->asUint(), r.fingerprint());
+    // Round-trips through the strict parser.
+    std::string err;
+    Json back = Json::parse(jr.str(), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_FALSE(back.isNull());
+}
+
+// ---- serial-gate overload regression (satellite #3) ----
+
+TEST(Service, NativeGateOverloadEscalatesAndRecovers)
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.workload.conflictClasses = 1;  // every request collides
+    cfg.rivalCap = 3;
+    cfg.arrival.kind = ArrivalKind::OnOffBurst;
+    cfg.arrival.ratePerSec = 1e3;      // calm: workers never overlap
+                                       // (Poisson triple-collisions
+                                       // included), so no rivalry
+    cfg.arrival.burstRatePerSec = 8e5; // burst: 4x capacity
+    cfg.arrival.offNs = 8'000'000;
+    cfg.arrival.onNs = 4'000'000;
+    cfg.durationNs = 20'000'000;  // off [0,8), on [8,12), off [12,20]
+    StmConfig stm;
+    stm.watchdogConsecAborts = 2;  // hair-trigger watchdog
+    NativeRequestExecutor exec{stm};
+    ServiceResult r = runService(cfg, exec);
+    ASSERT_EQ(r.segments.size(), 3u);
+    EXPECT_FALSE(r.segments[0].burst);
+    EXPECT_TRUE(r.segments[1].burst);
+    EXPECT_FALSE(r.segments[2].burst);
+    // Sustained overload drove real serial-irrevocable entries
+    // through the NativeGate...
+    EXPECT_GT(r.segments[1].irrevocableEntries, 0u);
+    EXPECT_GT(r.segments[1].aborts, 0u);
+    // ...the calm pre-burst phase had none (no collisions, no
+    // rivals, no watchdog)...
+    EXPECT_EQ(r.segments[0].irrevocableEntries, 0u);
+    // ...and recovery drained them: far fewer than the burst, the
+    // gate quiescent, state intact.
+    EXPECT_LT(r.segments[2].irrevocableEntries,
+              r.segments[1].irrevocableEntries);
+    EXPECT_TRUE(r.gateQuiescent);
+    EXPECT_TRUE(r.invariantOk);
+    // Direct quiescence probe: a zero-rival request after the run
+    // commits first try, no aborts, no new gate entries.
+    TmStats before = exec.totalStats();
+    ServiceRequest probe;
+    probe.op = OpKind::Contains;
+    probe.key = 1;
+    ExecOutcome o = exec.execute(probe, 0);
+    EXPECT_EQ(o.aborts, 0u);
+    EXPECT_EQ(o.irrevocable, 0u);
+    EXPECT_EQ(o.commits, 1u);
+    TmStats after = exec.totalStats();
+    EXPECT_EQ(after.irrevocableEntries, before.irrevocableEntries);
+    EXPECT_TRUE(exec.gateQuiescent());
+}
+
+ServiceConfig
+simBurstCfg()
+{
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.workload.conflictClasses = 1;
+    cfg.workload.initialSize = 32;
+    cfg.rivalCap = 3;
+    cfg.arrival.kind = ArrivalKind::OnOffBurst;
+    cfg.arrival.ratePerSec = 1e3;
+    cfg.arrival.burstRatePerSec = 6e5;
+    cfg.arrival.offNs = 1'500'000;
+    cfg.arrival.onNs = 1'000'000;
+    cfg.durationNs = 4'000'000;  // off [0,1.5), on [1.5,2.5), off rest
+    cfg.admission.queueCap = 16;
+    return cfg;
+}
+
+TEST(Service, SimStmOverloadEscalatesIntoSerialAndRecovers)
+{
+    ServiceConfig cfg = simBurstCfg();
+    StmConfig stm;
+    stm.watchdogConsecAborts = 2;  // hair-trigger watchdog
+    SimRequestExecutor exec(TmScheme::Stm, stm);
+    ServiceResult r = runService(cfg, exec);
+    ASSERT_EQ(r.segments.size(), 3u);
+    EXPECT_TRUE(r.segments[1].burst);
+    // The calm lead-in never overlaps workers: no rivalry, no
+    // aborts, no escalations.
+    EXPECT_EQ(r.segments[0].irrevocableEntries, 0u);
+    // The burst drives real watchdog escalations into the simulated
+    // serial-irrevocable gate; recovery ends with the structure
+    // intact and far fewer escalations than the burst.
+    EXPECT_GT(r.segments[1].aborts, 0u);
+    EXPECT_GT(r.segments[1].irrevocableEntries, 0u);
+    EXPECT_LT(r.segments[2].irrevocableEntries,
+              r.segments[1].irrevocableEntries);
+    EXPECT_TRUE(r.invariantOk);
+}
+
+TEST(Service, SimAdaptiveBeatsSoftwareStmUnderIdenticalOverload)
+{
+    // The same open-system burst, same seed, same hair-trigger
+    // watchdog, two runtimes: pure software STM burns full retry
+    // sequences on every conflicted request, while the adaptive
+    // runtime rides the hardware rung (whose conflict resolution
+    // stalls or takes cheap HTM aborts) and demotes only the sites
+    // that keep failing — the paper's architectural-support
+    // argument, measured through the service as more completed
+    // requests and fewer aborts under identical offered load.
+    ServiceConfig cfg = simBurstCfg();
+    StmConfig stm;
+    stm.watchdogConsecAborts = 2;
+    SimRequestExecutor sw(TmScheme::Stm, stm);
+    ServiceResult rs = runService(cfg, sw);
+    SimRequestExecutor ad(TmScheme::Adaptive, stm);
+    ServiceResult ra = runService(cfg, ad);
+    ASSERT_EQ(ra.segments.size(), 3u);
+    EXPECT_TRUE(rs.invariantOk);
+    EXPECT_TRUE(ra.invariantOk);
+    EXPECT_GT(ra.rivalsInjected, 0u);
+    // Goodput and conflict cost: adaptive completes more of the
+    // identical offered stream, with fewer software aborts.
+    EXPECT_EQ(ra.offered, rs.offered);
+    EXPECT_GT(ra.completed, rs.completed);
+    EXPECT_LT(ra.tm.aborts, rs.tm.aborts);
+    // The hardware rung really engaged: HTM conflicts were taken
+    // there (the software run cannot have any), and the arbiter kept
+    // the majority of dispatches on it through the burst.
+    EXPECT_GT(ra.tm.htmAborts, 0u);
+    EXPECT_EQ(rs.tm.htmAborts, 0u);
+    std::uint64_t dispatched = 0;
+    for (unsigned m = 0; m < kNumAdaptiveModes; ++m)
+        dispatched += ra.tm.adaptiveDispatch[m];
+    EXPECT_GT(ra.tm.adaptiveDispatch[unsigned(AdaptiveMode::Hytm)],
+              dispatched / 2);
+    // Per-segment serial tallies add up to the session total, and
+    // the calm lead-in saw none of it.
+    std::uint64_t serialTotal = 0;
+    for (const ServiceSegment &s : ra.segments)
+        serialTotal += s.serialDispatch;
+    EXPECT_EQ(serialTotal,
+              ra.tm.adaptiveDispatch[unsigned(AdaptiveMode::Serial)]);
+    EXPECT_EQ(ra.segments[0].serialDispatch, 0u);
+}
+
+} // namespace
+} // namespace hastm
