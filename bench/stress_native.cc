@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.hh"
 #include "harness/native_experiment.hh"
 #include "harness/report.hh"
 #include "harness/table.hh"
@@ -101,27 +102,6 @@ reproLine(bool snapshot_clock, const std::string &profile,
            std::to_string(threads);
 }
 
-/** Value following @p flag in argv, or "" when absent. */
-std::string
-argValue(int argc, char **argv, const std::string &flag)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (argv[i] == flag)
-            return argv[i + 1];
-    }
-    return "";
-}
-
-bool
-hasFlag(int argc, char **argv, const std::string &flag)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (argv[i] == flag)
-            return true;
-    }
-    return false;
-}
-
 } // namespace
 
 int
@@ -154,8 +134,8 @@ main(int argc, char **argv)
     std::vector<unsigned> threadCounts =
         ci ? std::vector<unsigned>{1, 2, 4}
            : std::vector<unsigned>{1, 2, 4, 8};
-    if (std::string t = argValue(argc, argv, "--threads"); !t.empty())
-        threadCounts = {unsigned(std::strtoul(t.c_str(), nullptr, 10))};
+    if (unsigned t = countArg(argc, argv, "--threads"))
+        threadCounts = {t};
 
     const WorkloadKind workloads[] = {WorkloadKind::HashTable,
                                       WorkloadKind::Bst,

@@ -1,0 +1,44 @@
+#include "harness/cli.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace hastm {
+
+std::string
+argValue(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return "";
+}
+
+bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i] == flag)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+countArg(int argc, char **argv, const std::string &flag)
+{
+    std::string v = argValue(argc, argv, flag);
+    if (v.empty())
+        return 0;
+    char *end = nullptr;
+    unsigned long n = std::strtoul(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || n == 0 || n > 1u << 20) {
+        fatal("%s expects a positive count, got '%s'", flag.c_str(),
+              v.c_str());
+    }
+    return unsigned(n);
+}
+
+} // namespace hastm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared command-line helpers for the bench drivers.
+ *
+ * Every bench spells the same handful of flag shapes; these helpers
+ * keep the spelling (and the failure modes) identical across
+ * binaries — in particular the thread/worker-count restrictions that
+ * serve (--workers) and stress_native (--threads) both expose, where
+ * a silently mis-parsed count would run the wrong matrix.
+ */
+
+#ifndef HASTM_HARNESS_CLI_HH
+#define HASTM_HARNESS_CLI_HH
+
+#include <string>
+
+namespace hastm {
+
+/** Value following @p flag in argv, or "" when absent. */
+std::string argValue(int argc, char **argv, const std::string &flag);
+
+/** True when @p flag appears anywhere in argv. */
+bool hasFlag(int argc, char **argv, const std::string &flag);
+
+/**
+ * Positive count following @p flag (thread/worker matrix
+ * restrictions): 0 when the flag is absent, fatal() on a malformed,
+ * zero, or out-of-range value — a typo must not silently run the
+ * unrestricted matrix.
+ */
+unsigned countArg(int argc, char **argv, const std::string &flag);
+
+} // namespace hastm
+
+#endif // HASTM_HARNESS_CLI_HH

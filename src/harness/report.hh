@@ -99,6 +99,24 @@
  * handled bench-side, "fingerprint"}}. No existing field changed:
  * sim/native experiment runs serialize byte-identically to v8
  * modulo the version number.
+ *
+ * v10 adds the parallel native worker pool: every serve result
+ * carries "occupancy" (virtual per-worker {"busyNs", "completed"}
+ * whose busyNs sum equals "totalBusyNs") and "fingerprintExempt".
+ * fingerprintExempt is false for synchronous cells (any sim cell,
+ * native workers=1), whose "fingerprint" keeps the full bit-identity
+ * contract; it is true for pool cells (native workers>1), where
+ * measured stat deltas depend on real host interleaving — those
+ * cells instead carry a "pool" block ({"workers", per-worker
+ * {"executed", "commits", "aborts", "busyHostNs"}, "wallHostNs",
+ * "execPerHostSec", "opsRecorded", "oracleChecked"/"oracleOk",
+ * "simReplayChecked"/"simReplayOk", "nativeInvariantsOk", "diag"})
+ * recording the replay-oracle + sim-replay + invariant-sweep verdict
+ * that stands in for bit-identity. Serve labels gain a worker-count
+ * segment (scheme/load/wN/seedS) and the bench emits a
+ * "workerScaling" summary ({"hostCores", per-cell goodput and
+ * host-side exec/sec, the 4-vs-1-worker saturated-goodput ratio and
+ * whether the >= 1.8x bar was checked or skipped for lack of cores}).
  */
 
 #ifndef HASTM_HARNESS_REPORT_HH
@@ -114,7 +132,7 @@
 namespace hastm {
 
 /** The report document format version (see the header comment). */
-constexpr unsigned kReportSchemaVersion = 9;
+constexpr unsigned kReportSchemaVersion = 10;
 
 Json toJson(const Histogram &h);
 Json toJson(const LatencyHistogram &h);

@@ -46,16 +46,11 @@ siteForOp(OpKind op)
     return txsite::kGeneric;
 }
 
-namespace {
+namespace svcdetail {
 
-/**
- * Shared populate: build the structure and the per-class hot-word
- * array through @p t (which must be able to run atomic blocks), then
- * load initialSize random inserts from the dedicated populate stream
- * (same derivation as harness/native_experiment.cc).
- */
 Addr
-buildAndPopulate(TmExec &t, const ExecutorWorkload &w, DsInstance *ds)
+buildAndPopulate(TmExec &t, const ExecutorWorkload &w, DsInstance *ds,
+                 std::vector<OpRecord> *pop_log)
 {
     *ds = makeDs(t, w.workload, w.hashBuckets);
     Addr hot = kNullAddr;
@@ -67,8 +62,15 @@ buildAndPopulate(TmExec &t, const ExecutorWorkload &w, DsInstance *ds)
             t.writeField(hot, c * 8, 1);
     });
     Rng pop(w.seed * 7919 + 1);
-    for (std::uint64_t i = 0; i < w.initialSize; ++i)
-        ds->ops.insert(t, pop.range(w.keyRange), pop.next() >> 16);
+    for (std::uint64_t i = 0; i < w.initialSize; ++i) {
+        std::uint64_t key = pop.range(w.keyRange);
+        std::uint64_t val = pop.next() >> 16;
+        bool res = ds->ops.insert(t, key, val);
+        if (pop_log) {
+            pop_log->push_back({t.commitStamp(), 0, 0, OpKind::Insert,
+                                key, val, res, pop_log->size()});
+        }
+    }
     return hot;
 }
 
@@ -90,18 +92,6 @@ runOp(TmExec &t, const DsOps &ops, const ServiceRequest &req)
     return o;
 }
 
-struct StatSnap
-{
-    std::uint64_t commits, aborts, barriers, irrevocable;
-
-    explicit StatSnap(const TmStats &s)
-        : commits(s.commits), aborts(s.aborts),
-          barriers(s.rdBarriers + s.wrBarriers),
-          irrevocable(s.irrevocableEntries)
-    {
-    }
-};
-
 void
 fillDeltas(ExecOutcome *o, const StatSnap &before, const TmStats &after)
 {
@@ -112,7 +102,26 @@ fillDeltas(ExecOutcome *o, const StatSnap &before, const TmStats &after)
     o->irrevocable = now.irrevocable - before.irrevocable;
 }
 
-} // namespace
+} // namespace svcdetail
+
+using svcdetail::buildAndPopulate;
+using svcdetail::fillDeltas;
+using svcdetail::runOp;
+using svcdetail::StatSnap;
+
+// ---- RequestExecutor pool defaults ----
+
+std::uint64_t
+RequestExecutor::submit(const ServiceRequest &)
+{
+    panic("RequestExecutor::submit on a synchronous executor");
+}
+
+ExecOutcome
+RequestExecutor::collect(std::uint64_t)
+{
+    panic("RequestExecutor::collect on a synchronous executor");
+}
 
 // ---- NativeRequestExecutor ----
 

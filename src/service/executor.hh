@@ -37,10 +37,13 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "backend/native_backend.hh"
 #include "backend/sim_backend.hh"
 #include "harness/ds_ops.hh"
+#include "harness/oracle.hh"
 #include "service/arrival.hh"
 
 namespace hastm {
@@ -173,6 +176,39 @@ struct RivalPace
     bool quit = false;  //!< worker finished; rival must not wait more
 };
 
+/** One host worker thread's end-of-run tally (pool executors). */
+struct PoolWorkerStats
+{
+    std::uint64_t executed = 0;    //!< requests this worker ran
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t busyHostNs = 0;  //!< wall time inside request bodies
+};
+
+/**
+ * End-of-run report of a concurrent (pool) executor: per-worker
+ * host occupancy plus the three-way validation verdict that stands
+ * in for bit-identical fingerprints when workers > 1 — the replay
+ * oracle over the recorded op log, the optional sim-replay
+ * cross-validation, and the native protocol invariant sweep.
+ * enabled stays false for the synchronous executors.
+ */
+struct PoolOutcome
+{
+    bool enabled = false;
+    unsigned workers = 0;
+    std::vector<PoolWorkerStats> perWorker;
+    std::uint64_t wallHostNs = 0;       //!< populate -> quiesce
+    double execPerHostSec = 0.0;        //!< executed / host wall sec
+    std::uint64_t opsRecorded = 0;      //!< populate + request ops
+    bool oracleChecked = false;
+    bool oracleOk = true;
+    bool simReplayChecked = false;
+    bool simReplayOk = true;
+    bool nativeInvariantsOk = true;
+    std::string diag;                   //!< first failure, when any
+};
+
 /** One scheme/backend's request-execution engine for the service. */
 class RequestExecutor
 {
@@ -188,6 +224,26 @@ class RequestExecutor
      */
     virtual ExecOutcome execute(const ServiceRequest &req,
                                 unsigned rivals) = 0;
+
+    /**
+     * True when requests run on real concurrent worker threads via
+     * submit()/collect(). The event loop then hands every admitted
+     * request to the pool immediately and collects the measured
+     * outcome at virtual dispatch; results are fingerprint-exempt
+     * (validated by PoolOutcome instead).
+     */
+    virtual bool concurrent() const { return false; }
+
+    /** Hand an admitted request to the pool; returns its ticket.
+     *  Blocks while the bounded dispatch channel is full. */
+    virtual std::uint64_t submit(const ServiceRequest &req);
+
+    /** Block until the submitted request really finished. */
+    virtual ExecOutcome collect(std::uint64_t ticket);
+
+    /** Pool occupancy + validation report (disabled unless
+     *  concurrent(); quiesces the pool first). */
+    virtual PoolOutcome poolOutcome() { return {}; }
 
     virtual TmStats totalStats() const = 0;
     virtual std::uint64_t checksum() = 0;
@@ -249,6 +305,48 @@ class SimRequestExecutor : public RequestExecutor
 
 /** Site tag for @p op (the ds ops re-tag; harmless duplication). */
 std::uint32_t siteForOp(OpKind op);
+
+/**
+ * Shared executor plumbing, exported for the worker pool
+ * (service/worker_pool.cc): the inline executors above and the pool
+ * workers must populate identically and measure identically or the
+ * two modes would not be comparable.
+ */
+namespace svcdetail {
+
+/**
+ * Build the structure and the per-class hot-word array through
+ * @p t, then load initialSize random inserts from the dedicated
+ * populate stream (same derivation as harness/native_experiment.cc).
+ * When @p pop_log is non-null, every populate insert is recorded as
+ * an epoch-0 OpRecord for the replay oracle.
+ */
+Addr buildAndPopulate(TmExec &t, const ExecutorWorkload &w,
+                      DsInstance *ds,
+                      std::vector<OpRecord> *pop_log = nullptr);
+
+/** Run @p req's single map operation through @p t. */
+ExecOutcome runOp(TmExec &t, const DsOps &ops,
+                  const ServiceRequest &req);
+
+/** The stat fields the service-time model consumes, snapshotted. */
+struct StatSnap
+{
+    std::uint64_t commits, aborts, barriers, irrevocable;
+
+    explicit StatSnap(const TmStats &s)
+        : commits(s.commits), aborts(s.aborts),
+          barriers(s.rdBarriers + s.wrBarriers),
+          irrevocable(s.irrevocableEntries)
+    {
+    }
+};
+
+/** Fill @p o's deltas as @p after minus @p before. */
+void fillDeltas(ExecOutcome *o, const StatSnap &before,
+                const TmStats &after);
+
+} // namespace svcdetail
 
 } // namespace hastm
 

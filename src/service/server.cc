@@ -17,6 +17,7 @@ struct Completion
     std::uint64_t time;
     unsigned worker;
     std::uint64_t arrivalNs;
+    std::uint64_t dispatchNs;
 
     bool
     operator>(const Completion &o) const
@@ -29,6 +30,13 @@ struct Worker
 {
     bool busy = false;
     unsigned cls = 0;
+};
+
+/** A queued admitted request plus its pool ticket (pooled mode). */
+struct Queued
+{
+    ServiceRequest req;
+    std::uint64_t ticket = 0;
 };
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
@@ -46,8 +54,11 @@ class ServiceRun
   public:
     ServiceRun(const ServiceConfig &cfg, RequestExecutor &exec)
         : cfg_(cfg), exec_(exec),
+          pooled_(exec.concurrent()),
           admission_(cfg.admission),
           workers_(std::max(1u, cfg.workers)),
+          wBusy_(workers_.size(), 0),
+          wDone_(workers_.size(), 0),
           samplePeriod_(std::max<std::uint64_t>(
               1, cfg.durationNs / std::max(1u, cfg.depthSamples)))
     {
@@ -66,11 +77,17 @@ class ServiceRun
 
     const ServiceConfig &cfg_;
     RequestExecutor &exec_;
+    /** Concurrent executor: submit at admission, collect at
+     *  dispatch; segment TM deltas come from collected outcomes
+     *  (reading live pool-thread stats mid-run would race). */
+    const bool pooled_;
     AdmissionController admission_;
     ServiceResult r_;
 
     std::vector<Worker> workers_;
-    std::deque<ServiceRequest> queue_;
+    std::vector<std::uint64_t> wBusy_, wDone_;  //!< virtual occupancy
+    TmStats acc_;  //!< pooled mode: outcome-accumulated TM counters
+    std::deque<Queued> queue_;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         completions_;
@@ -140,7 +157,7 @@ ServiceRun::closeWindow()
 void
 ServiceRun::closeSegment(std::uint64_t end_ns)
 {
-    TmStats now = exec_.totalStats();
+    TmStats now = pooled_ ? acc_ : exec_.totalStats();
     ServiceSegment s;
     s.burst = segBurst_;
     s.startNs = segStart_;
@@ -214,25 +231,38 @@ ServiceRun::dispatchFree(std::uint64_t now)
         }
         if (free == workers_.size())
             return;
-        ServiceRequest req = queue_.front();
+        Queued q = queue_.front();
         queue_.pop_front();
+        const ServiceRequest &req = q.req;
         unsigned cls =
             unsigned(req.key % std::max(1u, cfg_.workload.conflictClasses));
-        unsigned colliding = 0;
-        for (const Worker &w : workers_) {
-            if (w.busy && w.cls == cls)
-                ++colliding;
+        ExecOutcome o;
+        if (pooled_) {
+            // The request has been running for real since admission;
+            // contention came from genuinely concurrent workers, not
+            // an injected rival. Block for its measured outcome.
+            o = exec_.collect(q.ticket);
+            acc_.commits += o.commits;
+            acc_.aborts += o.aborts;
+            acc_.irrevocableEntries += o.irrevocable;
+        } else {
+            unsigned colliding = 0;
+            for (const Worker &w : workers_) {
+                if (w.busy && w.cls == cls)
+                    ++colliding;
+            }
+            unsigned rivals = std::min(colliding, cfg_.rivalCap);
+            o = exec_.execute(req, rivals);
+            r_.rivalsInjected += rivals;
         }
-        unsigned rivals = std::min(colliding, cfg_.rivalCap);
-        ExecOutcome o = exec_.execute(req, rivals);
-        r_.rivalsInjected += rivals;
         if (o.irrevocable > 0 && sink_) {
             sink_->instant(0, now, "serial-escalation",
                            Json::object().set("key", req.key));
         }
         workers_[free].busy = true;
         workers_[free].cls = cls;
-        completions_.push({now + serviceNsFor(o), free, req.arrivalNs});
+        completions_.push(
+            {now + serviceNsFor(o), free, req.arrivalNs, now});
     }
 }
 
@@ -240,7 +270,10 @@ ServiceResult
 ServiceRun::run()
 {
     exec_.populate(cfg_.workload);
-    segBase_ = exec_.totalStats();
+    // Pooled mode accumulates TM deltas from collected outcomes (the
+    // pool threads own their live stats); populate reset them, so the
+    // accumulated base is zero.
+    segBase_ = pooled_ ? TmStats{} : exec_.totalStats();
 
     // ---- arrival source ----
     std::unique_ptr<ArrivalGen> gen;
@@ -287,6 +320,8 @@ ServiceRun::run()
             ++r_.completed;
             ++segCompleted_;
             workers_[c.worker].busy = false;
+            wBusy_[c.worker] += c.time - c.dispatchNs;
+            ++wDone_[c.worker];
             lastCompletion = c.time;
             dispatchFree(c.time);
         } else {
@@ -296,13 +331,21 @@ ServiceRun::run()
             AdmissionDecision d = admission_.decide(
                 unsigned(queue_.size()), lastWindowP99_);
             switch (d) {
-              case AdmissionDecision::Admit:
+              case AdmissionDecision::Admit: {
                 ++r_.admitted;
-                queue_.push_back(pending);
+                Queued q{pending, 0};
+                if (pooled_) {
+                    // Real execution starts now: the pool runs the
+                    // request concurrently with everything else
+                    // admitted but not yet virtually dispatched.
+                    q.ticket = exec_.submit(pending);
+                }
+                queue_.push_back(q);
                 r_.maxQueueDepth = std::max(
                     r_.maxQueueDepth, unsigned(queue_.size()));
                 dispatchFree(tA);
                 break;
+              }
               case AdmissionDecision::DropFull:
                 ++r_.droppedFull;
                 ++winShed_;
@@ -336,6 +379,15 @@ ServiceRun::run()
         r_.makespanNs
             ? double(r_.completed) * 1e9 / double(r_.makespanNs)
             : 0.0;
+    r_.workerBusyNs = wBusy_;
+    r_.workerCompleted = wDone_;
+    for (std::uint64_t b : wBusy_)
+        r_.totalBusyNs += b;
+    r_.fingerprintExempt = pooled_;
+    // Pool verification first: it quiesces the worker threads, after
+    // which the end-of-run structure reads below are single-threaded
+    // on either executor kind.
+    r_.pool = exec_.poolOutcome();
     r_.tm = exec_.totalStats();
     r_.finalSize = exec_.size();
     r_.checksum = exec_.checksum();
@@ -473,6 +525,15 @@ toJson(const ServiceResult &r)
                           .set("irrevocableEntries", s.irrevocableEntries)
                           .set("serialDispatch", s.serialDispatch));
     }
+    Json occ_workers = Json::array();
+    for (std::size_t w = 0; w < r.workerBusyNs.size(); ++w) {
+        occ_workers.push(Json::object()
+                             .set("busyNs", r.workerBusyNs[w])
+                             .set("completed", r.workerCompleted[w]));
+    }
+    Json occupancy = Json::object();
+    occupancy.set("perWorker", std::move(occ_workers))
+        .set("totalBusyNs", r.totalBusyNs);
     Json j = Json::object();
     j.set("offered", r.offered)
         .set("admitted", r.admitted)
@@ -495,9 +556,35 @@ toJson(const ServiceResult &r)
         .set("tm", toJson(r.tm))
         .set("finalSize", r.finalSize)
         .set("checksum", r.checksum)
+        .set("occupancy", std::move(occupancy))
         .set("invariantOk", r.invariantOk)
         .set("gateQuiescent", r.gateQuiescent)
+        .set("fingerprintExempt", r.fingerprintExempt)
         .set("fingerprint", r.fingerprint());
+    if (r.pool.enabled) {
+        Json pw = Json::array();
+        for (const PoolWorkerStats &s : r.pool.perWorker) {
+            pw.push(Json::object()
+                        .set("executed", s.executed)
+                        .set("commits", s.commits)
+                        .set("aborts", s.aborts)
+                        .set("busyHostNs", s.busyHostNs));
+        }
+        Json pool = Json::object();
+        pool.set("workers", r.pool.workers)
+            .set("perWorker", std::move(pw))
+            .set("wallHostNs", r.pool.wallHostNs)
+            .set("execPerHostSec", r.pool.execPerHostSec)
+            .set("opsRecorded", r.pool.opsRecorded)
+            .set("oracleChecked", r.pool.oracleChecked)
+            .set("oracleOk", r.pool.oracleOk)
+            .set("simReplayChecked", r.pool.simReplayChecked)
+            .set("simReplayOk", r.pool.simReplayOk)
+            .set("nativeInvariantsOk", r.pool.nativeInvariantsOk);
+        if (!r.pool.diag.empty())
+            pool.set("diag", r.pool.diag);
+        j.set("pool", std::move(pool));
+    }
     return j;
 }
 

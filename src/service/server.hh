@@ -25,6 +25,16 @@
  * stats segments (the burst-recovery evidence). Everything is a pure
  * function of (ServiceConfig, executor): reruns are bit-identical at
  * any host parallelism because the only clock is virtual.
+ *
+ * Concurrent executors (service/worker_pool.hh) relax exactly one
+ * side of that: admitted requests are handed to a real pool of N
+ * worker host threads at admission time (submit) and their measured
+ * outcomes collected at virtual dispatch (collect), so the measured
+ * deltas — and the latencies and segments derived from them — depend
+ * on host interleaving. Virtual time stays authoritative and every
+ * accounting identity still holds exactly; such results carry
+ * fingerprintExempt and a PoolOutcome validation block instead of
+ * the bit-identity claim.
  */
 
 #ifndef HASTM_SERVICE_SERVER_HH
@@ -108,13 +118,32 @@ struct ServiceResult
     std::uint64_t rivalsInjected = 0;
     std::vector<ServiceSegment> segments;
     TmStats tm;  //!< executor totals (request + rival threads)
+    // ---- virtual per-worker occupancy (schema v10) ----
+    /** Virtual busy ns per virtual worker (sums to totalBusyNs). */
+    std::vector<std::uint64_t> workerBusyNs;
+    /** Completed requests per virtual worker (sums to completed). */
+    std::vector<std::uint64_t> workerCompleted;
+    std::uint64_t totalBusyNs = 0;
     // ---- end-of-run verification ----
     std::uint64_t finalSize = 0;
     std::uint64_t checksum = 0;
     bool invariantOk = false;
     bool gateQuiescent = false;
+    /**
+     * True when the executor ran requests on real concurrent pool
+     * threads: measured outcomes (and everything derived from them)
+     * then depend on host interleaving, so the fingerprint must not
+     * be compared across runs — the PoolOutcome validation (replay
+     * oracle, sim replay, invariant sweep) plus the accounting
+     * identities stand in for bit-identity. Synchronous executors
+     * (any sim cell, native workers=1) keep the full bit-identical
+     * contract.
+     */
+    bool fingerprintExempt = false;
+    PoolOutcome pool;  //!< host pool report (enabled=false when sync)
 
-    /** FNV-1a over every deterministic field (rerun comparison). */
+    /** FNV-1a over every deterministic field (rerun comparison).
+     *  Meaningless across runs when fingerprintExempt. */
     std::uint64_t fingerprint() const;
 };
 

@@ -301,7 +301,8 @@ TEST(Report, BenchReportWritesParsableDocument)
     Json doc = Json::parse(ss.str(), &err);
     ASSERT_TRUE(err.empty()) << err;
     EXPECT_EQ(doc.find("bench")->asString(), "unit");
-    EXPECT_EQ(doc.find("schemaVersion")->asUint(), 9u);
+    EXPECT_EQ(doc.find("schemaVersion")->asUint(),
+              kReportSchemaVersion);
     const Json *runs = doc.find("runs");
     ASSERT_NE(runs, nullptr);
     ASSERT_EQ(runs->size(), 2u);

@@ -27,6 +27,7 @@
 #include "harness/report.hh"
 #include "service/server.hh"
 #include "service/trace_source.hh"
+#include "service/worker_pool.hh"
 
 namespace hastm {
 namespace {
@@ -772,6 +773,160 @@ TEST(Service, SimAdaptiveBeatsSoftwareStmUnderIdenticalOverload)
     EXPECT_EQ(serialTotal,
               ra.tm.adaptiveDispatch[unsigned(AdaptiveMode::Serial)]);
     EXPECT_EQ(ra.segments[0].serialDispatch, 0u);
+}
+
+// ---- LatencyHistogram satellites (merge + boundary) ----
+
+TEST(LatencyHist, MergeAcrossDisjointMajorBuckets)
+{
+    // a populates only the exact region and the 2^10 major bucket; b
+    // only 2^6 and 2^20. The merged histogram must hold all four
+    // populations with quantiles that thread through every one.
+    LatencyHistogram a, b;
+    for (int i = 0; i < 10; ++i)
+        a.record(12);          // exact bucket 12
+    for (int i = 0; i < 10; ++i)
+        a.record(1024);        // major bucket 2^10, first sub-bucket
+    for (int i = 0; i < 10; ++i)
+        b.record(64);          // the first log-linear bucket
+    for (int i = 0; i < 10; ++i)
+        b.record(1 << 20);     // far major bucket
+    a.merge(b);
+    EXPECT_EQ(a.count(), 40u);
+    EXPECT_EQ(a.min(), 12u);
+    EXPECT_EQ(a.max(), std::uint64_t(1) << 20);
+    EXPECT_EQ(a.sum(), 10u * (12 + 64 + 1024 + (1u << 20)));
+    // Quantiles walk the merged buckets in value order: each quarter
+    // lands in its own population (within sub-bucket rounding).
+    EXPECT_EQ(a.quantile(0.25), 12u);
+    EXPECT_EQ(a.quantile(0.50),
+              LatencyHistogram::bucketHi(LatencyHistogram::bucketOf(64)));
+    EXPECT_EQ(a.quantile(0.75),
+              LatencyHistogram::bucketHi(LatencyHistogram::bucketOf(1024)));
+    EXPECT_GE(a.quantile(1.0), std::uint64_t(1) << 20);
+}
+
+TEST(LatencyHist, ExactToLogLinearBoundary)
+{
+    // The contract at the seam: every value below kSubCount (64) has
+    // a bucket to itself; 64 starts the first width-2 log-linear
+    // sub-bucket.
+    EXPECT_EQ(LatencyHistogram::bucketOf(63), 63u);
+    EXPECT_EQ(LatencyHistogram::bucketLo(63), 63u);
+    EXPECT_EQ(LatencyHistogram::bucketHi(63), 63u);
+    unsigned seam = LatencyHistogram::bucketOf(64);
+    EXPECT_EQ(seam, LatencyHistogram::kSubCount);
+    EXPECT_EQ(LatencyHistogram::bucketLo(seam), 64u);
+    EXPECT_EQ(LatencyHistogram::bucketHi(seam), 65u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(65), seam);
+    EXPECT_EQ(LatencyHistogram::bucketOf(66), seam + 1);
+    // Quantiles stay exact right up to the seam and take at most the
+    // sub-bucket rounding just past it: 63 reports exactly, 64 may
+    // report its bucket's inclusive hi (65).
+    LatencyHistogram h;
+    h.record(63);
+    h.record(64);
+    EXPECT_EQ(h.quantile(0.5), 63u);
+    EXPECT_LE(h.quantile(1.0), 65u);
+    EXPECT_GE(h.quantile(1.0), 64u);
+}
+
+// ---- the native worker pool (schema v10) ----
+
+TEST(Service, PooledNativeRunValidatesWithoutFingerprint)
+{
+    // A 2-worker pool cell: measured outcomes depend on host
+    // interleaving, so the run must declare itself fingerprint-exempt
+    // and pass the validation that stands in for bit-identity —
+    // replay oracle over the merged op log, sim-replay
+    // cross-validation, native invariant sweep, and every accounting
+    // identity.
+    ServiceConfig cfg = baseServiceCfg();
+    cfg.workers = 2;
+    NativePoolRequestExecutor exec(2, StmConfig{});
+    ServiceResult r = runService(cfg, exec);
+    EXPECT_GT(r.offered, 0u);
+    EXPECT_EQ(r.offered, r.admitted + r.droppedFull + r.shedPolicy);
+    EXPECT_EQ(r.completed, r.admitted);
+    EXPECT_TRUE(r.invariantOk);
+    EXPECT_TRUE(r.gateQuiescent);
+    EXPECT_TRUE(r.fingerprintExempt);
+    // Virtual occupancy: one slot per virtual worker, sums exact.
+    ASSERT_EQ(r.workerBusyNs.size(), cfg.workers);
+    std::uint64_t busy = 0, done = 0;
+    for (std::uint64_t b : r.workerBusyNs)
+        busy += b;
+    for (std::uint64_t d : r.workerCompleted)
+        done += d;
+    EXPECT_EQ(busy, r.totalBusyNs);
+    EXPECT_EQ(done, r.completed);
+    // The pool validation block.
+    ASSERT_TRUE(r.pool.enabled);
+    EXPECT_EQ(r.pool.workers, 2u);
+    EXPECT_TRUE(r.pool.oracleChecked);
+    EXPECT_TRUE(r.pool.oracleOk) << r.pool.diag;
+    EXPECT_TRUE(r.pool.simReplayChecked);
+    EXPECT_TRUE(r.pool.simReplayOk) << r.pool.diag;
+    EXPECT_TRUE(r.pool.nativeInvariantsOk) << r.pool.diag;
+    ASSERT_EQ(r.pool.perWorker.size(), 2u);
+    std::uint64_t executed = 0, commits = 0;
+    for (const PoolWorkerStats &w : r.pool.perWorker) {
+        executed += w.executed;
+        commits += w.commits;
+    }
+    EXPECT_EQ(executed, r.admitted);
+    // tm totals also count the end-of-run verification transactions
+    // (checksum/size/invariant run on thread 0), so >=, not ==.
+    EXPECT_GE(r.tm.commits, commits);
+    // The merged log carries the populate inserts ahead of the
+    // request ops (epoch 0 vs 1).
+    EXPECT_GE(r.pool.opsRecorded, r.admitted);
+    // The report serialization carries the exemption and the block.
+    Json j = toJson(r);
+    ASSERT_NE(j.find("fingerprintExempt"), nullptr);
+    EXPECT_TRUE(j.find("fingerprintExempt")->asBool());
+    ASSERT_NE(j.find("pool"), nullptr);
+    ASSERT_NE(j.find("occupancy"), nullptr);
+}
+
+TEST(Service, SyncNativeRunKeepsTheBitIdentityContract)
+{
+    // The other determinism mode: the inline workers=1-path executor
+    // must not be exempted — and must still fingerprint identically
+    // across runs (the PR 9 contract, untouched by the pool).
+    ServiceConfig cfg = baseServiceCfg();
+    NativeRequestExecutor e1{StmConfig{}}, e2{StmConfig{}};
+    ServiceResult a = runService(cfg, e1);
+    EXPECT_FALSE(a.fingerprintExempt);
+    EXPECT_FALSE(a.pool.enabled);
+    ServiceResult b = runService(cfg, e2);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    Json j = toJson(a);
+    ASSERT_NE(j.find("fingerprintExempt"), nullptr);
+    EXPECT_FALSE(j.find("fingerprintExempt")->asBool());
+    EXPECT_EQ(j.find("pool"), nullptr);
+}
+
+TEST(Service, PooledExecutorInlinePathMatchesPopulateContract)
+{
+    // Before the DES starts submitting, the pool executor must serve
+    // the calibration-style inline path: execute() on a fresh
+    // populate without any submit() works and reports sane deltas.
+    NativePoolRequestExecutor exec(2, StmConfig{});
+    ExecutorWorkload w;
+    w.workload = WorkloadKind::HashTable;
+    w.initialSize = 64;
+    w.keyRange = 128;
+    w.seed = 3;
+    exec.populate(w);
+    ServiceRequest req;
+    req.op = OpKind::Contains;
+    req.key = 5;
+    ExecOutcome o = exec.execute(req, 0);
+    EXPECT_GT(o.barriers, 0u);
+    EXPECT_GT(exec.size(), 0u);
+    EXPECT_TRUE(exec.invariant());
+    EXPECT_TRUE(exec.gateQuiescent());
 }
 
 } // namespace
